@@ -1,0 +1,14 @@
+//! The evaluation harness: regenerates every table and figure of the
+//! paper's evaluation section (§VI) from the reimplemented system.
+//!
+//! * [`micro`] — Fig 8a–8f operator microbenchmarks;
+//! * [`evaluation`] — Fig 9 (Table I spatial workload), Fig 10a–c (TPC-H
+//!   Q1/Q6/Q14), Fig 11 (multi-stream throughput), Fig 1 (motivation);
+//! * [`report`] — table rendering and CSV output.
+//!
+//! Run `cargo run --release -p bwd-bench --bin figures -- all` (or a
+//! single figure id). Criterion microbenches live under `benches/`.
+
+pub mod evaluation;
+pub mod micro;
+pub mod report;

@@ -1,0 +1,145 @@
+//! Figure output: aligned console tables plus CSV files.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// One regenerated figure: an x-axis sweep with named series (seconds).
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier (`fig8a`, `fig10b`, ...).
+    pub id: String,
+    /// Paper caption.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Series names (column headers).
+    pub series: Vec<String>,
+    /// Rows: x value + one measurement per series (`NaN` = not applicable).
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Free-text notes printed under the table.
+    pub notes: Vec<String>,
+    /// Print raw numbers instead of formatting values as seconds
+    /// (Figure 1's axes are capacity/bandwidth, not time).
+    pub raw_units: bool,
+}
+
+impl Figure {
+    /// Start a figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        series: Vec<&str>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            series: series.into_iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+            raw_units: false,
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, x: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.series.len(), "row/series mismatch");
+        self.rows.push((x.into(), values));
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render the aligned console table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let width = 14usize;
+        let _ = write!(out, "{:<18}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{s:>width$}");
+        }
+        let _ = writeln!(out);
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "{x:<18}");
+            for v in vals {
+                if v.is_nan() {
+                    let _ = write!(out, "{:>width$}", "-");
+                } else if self.raw_units {
+                    let _ = write!(out, "{:>width$}", format!("{v}"));
+                } else {
+                    let _ = write!(out, "{:>width$}", format_seconds(*v));
+                }
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "   note: {n}");
+        }
+        out
+    }
+
+    /// Write `<dir>/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut s = String::new();
+        let _ = write!(s, "{}", self.x_label.replace(',', ";"));
+        for name in &self.series {
+            let _ = write!(s, ",{}", name.replace(',', ";"));
+        }
+        let _ = writeln!(s);
+        for (x, vals) in &self.rows {
+            let _ = write!(s, "{}", x.replace(',', ";"));
+            for v in vals {
+                let _ = write!(s, ",{v}");
+            }
+            let _ = writeln!(s);
+        }
+        fs::write(dir.join(format!("{}.csv", self.id)), s)
+    }
+}
+
+/// Human-readable seconds with stable units.
+pub fn format_seconds(v: f64) -> String {
+    if v >= 1.0 {
+        format!("{v:.3} s")
+    } else if v >= 1e-3 {
+        format!("{:.2} ms", v * 1e3)
+    } else {
+        format!("{:.1} us", v * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_table_and_csv() {
+        let mut f = Figure::new("figX", "Demo", "selectivity", vec!["A", "B"]);
+        f.push("1%", vec![0.5, f64::NAN]);
+        f.push("10%", vec![0.0005, 2.0]);
+        f.note("hello");
+        let r = f.render();
+        assert!(r.contains("figX"));
+        assert!(r.contains("500.00 ms"));
+        assert!(r.contains("500.0 us"));
+        assert!(r.contains("2.000 s"));
+        assert!(r.contains("hello"));
+        let dir = std::env::temp_dir().join("bwd-bench-test");
+        f.write_csv(&dir).unwrap();
+        let csv = std::fs::read_to_string(dir.join("figX.csv")).unwrap();
+        assert!(csv.starts_with("selectivity,A,B"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row/series mismatch")]
+    fn mismatched_row_panics() {
+        let mut f = Figure::new("f", "t", "x", vec!["A"]);
+        f.push("1", vec![1.0, 2.0]);
+    }
+}

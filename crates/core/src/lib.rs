@@ -1,0 +1,33 @@
+//! The Approximate & Refine (A&R) processing paradigm — the primary
+//! contribution of Pirk et al., ICDE 2014.
+//!
+//! Relational operators over bitwise-distributed data are split into
+//! *approximation* operators (device-side candidate production over lossily
+//! compressed approximations) and *refinement* operators (host-side false
+//! positive elimination via residual bits). The crate provides:
+//!
+//! * [`column`] — decomposed columns bound to the simulated device;
+//! * [`translucent`] — the translucent join (Algorithm 1) with its
+//!   invisible fast path;
+//! * [`relax`] — predicate relaxation (`f(x)`, §IV-B) and granule
+//!   certainty classification;
+//! * [`bounds`] — interval arithmetic for error-bound propagation and the
+//!   destructive-distributivity analysis (§IV-G);
+//! * [`ops`] — the operator pairs: selection (Algorithm 2), projection,
+//!   foreign-key & theta joins, grouping, and aggregation with Figure 6's
+//!   extremum candidate sets;
+//! * [`plan`] — logical plans, the A&R physical plan, the `bwd_pipe`
+//!   rewriter and the rule-based approximate-selection pushdown (§III-A,
+//!   §V-B).
+
+pub mod bounds;
+pub mod column;
+pub mod ops;
+pub mod plan;
+pub mod relax;
+pub mod translucent;
+
+pub use bounds::Interval;
+pub use column::BoundColumn;
+pub use relax::{classify_granule, relax_to_stored, CmpOp, GranuleMatch, RangePred};
+pub use translucent::{hash_join_baseline, translucent_join, translucent_join_with, JoinPath};

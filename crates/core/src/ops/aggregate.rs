@@ -1,0 +1,375 @@
+//! The A&R aggregation operators (§IV-F, §IV-G).
+//!
+//! Aggregation handling depends on the function:
+//!
+//! * **count** — trivial: the refined survivor count.
+//! * **sum / avg** — victims of *destructive distributivity* (§IV-G): a
+//!   sum of products of decomposed values cannot be refined from
+//!   per-device partial sums, so these are evaluated from **exact** values
+//!   — on the device when every input column is fully device-resident
+//!   (see [`bwd_kernels::reduce`]), on the host otherwise.
+//! * **min / max** — the approximation must produce a *candidate set* that
+//!   provably contains the true extremum even in the presence of selection
+//!   false positives (Figure 6). The construction: among candidates whose
+//!   selection granules are *certain* matches, take the best (smallest,
+//!   for min) stored approximation `T`; every candidate with a stored
+//!   approximation not worse than `T` might win and is kept. Refinement
+//!   re-tests the selection precisely and minimizes exact values.
+
+use crate::column::BoundColumn;
+use bwd_device::{CostLedger, Env};
+use bwd_kernels::gather::gather;
+use bwd_kernels::reduce::{filter_ge, filter_le};
+use bwd_kernels::Candidates;
+use bwd_types::Oid;
+
+/// Which extremum an extremum aggregation computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Extremum {
+    /// `min(...)`
+    Min,
+    /// `max(...)`
+    Max,
+}
+
+/// Host-side exact sum over reconstructed payloads (the destructive-
+/// distributivity fallback: exact values are mandatory, §IV-G).
+pub fn sum_exact_host(
+    env: &Env,
+    col: &BoundColumn,
+    survivors: &[Oid],
+    survivor_stored: &[u64],
+    ledger: &mut CostLedger,
+) -> i128 {
+    debug_assert_eq!(survivors.len(), survivor_stored.len());
+    let mut acc: i128 = 0;
+    for (&oid, &stored) in survivors.iter().zip(survivor_stored) {
+        acc += col.reconstruct_with(oid, stored) as i128;
+    }
+    env.charge_host_scattered(
+        "agg.sum.host",
+        col.residual_access_bytes(survivors.len()),
+        survivors.len() as u64,
+        ledger,
+    );
+    acc
+}
+
+/// Host-side exact sum of products `a * b` over reconstructed payloads
+/// (TPC-H Q6's aggregate when the columns are decomposed).
+pub fn sum_product_exact_host(
+    env: &Env,
+    a: &BoundColumn,
+    a_stored: &[u64],
+    b: &BoundColumn,
+    b_stored: &[u64],
+    survivors: &[Oid],
+    ledger: &mut CostLedger,
+) -> i128 {
+    debug_assert_eq!(survivors.len(), a_stored.len());
+    debug_assert_eq!(survivors.len(), b_stored.len());
+    let mut acc: i128 = 0;
+    for i in 0..survivors.len() {
+        let oid = survivors[i];
+        let x = a.reconstruct_with(oid, a_stored[i]) as i128;
+        let y = b.reconstruct_with(oid, b_stored[i]) as i128;
+        acc += x * y;
+    }
+    env.charge_host_scattered(
+        "agg.sumprod.host",
+        a.residual_access_bytes(survivors.len()) + b.residual_access_bytes(survivors.len()),
+        survivors.len() as u64,
+        ledger,
+    );
+    acc
+}
+
+/// The device-side approximate phase of an extremum aggregation: produce
+/// the candidate set that provably contains the true extremum.
+///
+/// `is_certain(i)` must report whether candidate `i` (by position in
+/// `cands`) is a *certain* selection match — its selection granule lies
+/// entirely inside every precise predicate (see
+/// [`crate::relax::classify_granule`]). With no selection at all, pass
+/// `|_| true`.
+pub fn extremum_approx(
+    env: &Env,
+    val_col: &BoundColumn,
+    cands: &Candidates,
+    is_certain: &dyn Fn(usize) -> bool,
+    which: Extremum,
+    ledger: &mut CostLedger,
+) -> Candidates {
+    if cands.is_empty() {
+        return Candidates::empty();
+    }
+    // Device gather of the value approximations for all candidates.
+    let stored = gather(env, val_col.approx(), cands, "agg.ext.gather", ledger);
+
+    // Threshold: the best stored approximation among *certain* survivors.
+    // A false positive may not survive refinement, so its (possibly
+    // extreme) approximation cannot bound the candidate set — exactly the
+    // failure Figure 6 illustrates.
+    let mut threshold: Option<u64> = None;
+    for (i, &s) in stored.iter().enumerate() {
+        if is_certain(i) {
+            threshold = Some(match (threshold, which) {
+                (None, _) => s,
+                (Some(t), Extremum::Min) => t.min(s),
+                (Some(t), Extremum::Max) => t.max(s),
+            });
+        }
+    }
+
+    // Gathered values become the candidate payload for the filter kernels.
+    let with_vals = Candidates {
+        oids: cands.oids.clone(),
+        approx: stored,
+        sorted: cands.sorted,
+        dense: cands.dense,
+    };
+    match (threshold, which) {
+        // No certain survivor: every candidate may win.
+        (None, _) => with_vals,
+        (Some(t), Extremum::Min) => {
+            filter_le(env, val_col.approx(), &with_vals, t, "agg.min.filter", ledger)
+        }
+        (Some(t), Extremum::Max) => {
+            filter_ge(env, val_col.approx(), &with_vals, t, "agg.max.filter", ledger)
+        }
+    }
+}
+
+/// Refine an extremum: re-test the precise selection per candidate and
+/// reduce over exact values. `survives(oid)` evaluates the precise
+/// predicate (reconstructing whatever selection columns it needs — its
+/// cost is charged by the caller's closure context).
+pub fn extremum_refine(
+    env: &Env,
+    val_col: &BoundColumn,
+    ext_cands: &Candidates,
+    survives: &dyn Fn(Oid) -> bool,
+    which: Extremum,
+    ledger: &mut CostLedger,
+) -> Option<i64> {
+    ext_cands.download(
+        env,
+        val_col.meta().stored_width(),
+        "agg.ext.download",
+        ledger,
+    );
+    let mut best: Option<i64> = None;
+    for (&oid, &stored) in ext_cands.oids.iter().zip(&ext_cands.approx) {
+        if !survives(oid) {
+            continue;
+        }
+        let v = val_col.reconstruct_with(oid, stored);
+        best = Some(match (best, which) {
+            (None, _) => v,
+            (Some(b), Extremum::Min) => b.min(v),
+            (Some(b), Extremum::Max) => b.max(v),
+        });
+    }
+    env.charge_host_scattered(
+        "agg.ext.refine",
+        val_col.residual_access_bytes(ext_cands.len()),
+        ext_cands.len() as u64,
+        ledger,
+    );
+    best
+}
+
+/// `avg` = exact sum / exact count, computed on the host (destructive
+/// distributivity applies to the sum part).
+pub fn avg_from_parts(sum: i128, count: u64) -> Option<f64> {
+    if count == 0 {
+        None
+    } else {
+        Some(sum as f64 / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::select::{select_approx, select_refine};
+    use crate::relax::{classify_granule, GranuleMatch, RangePred};
+    use bwd_kernels::ScanOptions;
+    use bwd_storage::{DecomposedColumn, DecompositionSpec};
+    use bwd_types::DataType;
+
+    fn bind(env: &Env, vals: &[i64], device_bits: u32) -> BoundColumn {
+        let mut load = CostLedger::new();
+        BoundColumn::bind(
+            DecomposedColumn::decompose(
+                vals,
+                DataType::Int32,
+                &DecompositionSpec::with_device_bits(device_bits),
+            )
+            .unwrap(),
+            &env.device,
+            "agg",
+            &mut load,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_host_sums() {
+        let vals: Vec<i64> = (0..1000).collect();
+        let env = Env::paper_default();
+        let col = bind(&env, &vals, 24);
+        let survivors: Vec<Oid> = (0..1000).step_by(2).collect();
+        let stored: Vec<u64> = survivors
+            .iter()
+            .map(|&o| col.approx().get(o as usize))
+            .collect();
+        let mut ledger = CostLedger::new();
+        let s = sum_exact_host(&env, &col, &survivors, &stored, &mut ledger);
+        assert_eq!(s, (0..1000i128).step_by(2).sum::<i128>());
+    }
+
+    #[test]
+    fn sum_product_matches_reference() {
+        let a_vals: Vec<i64> = (0..500).map(|i| i % 97).collect();
+        let b_vals: Vec<i64> = (0..500).map(|i| 1 + i % 11).collect();
+        let env = Env::paper_default();
+        let a = bind(&env, &a_vals, 26);
+        let b = bind(&env, &b_vals, 26);
+        let survivors: Vec<Oid> = (0..500).collect();
+        let a_stored: Vec<u64> = survivors.iter().map(|&o| a.approx().get(o as usize)).collect();
+        let b_stored: Vec<u64> = survivors.iter().map(|&o| b.approx().get(o as usize)).collect();
+        let mut ledger = CostLedger::new();
+        let s = sum_product_exact_host(&env, &a, &a_stored, &b, &b_stored, &survivors, &mut ledger);
+        let expect: i128 = a_vals
+            .iter()
+            .zip(&b_vals)
+            .map(|(&x, &y)| x as i128 * y as i128)
+            .sum();
+        assert_eq!(s, expect);
+    }
+
+    /// The Figure 6 scenario: the tuple with the minimal *approximate*
+    /// value is a selection false positive; a naive "all tuples with the
+    /// minimal approximation" candidate set would miss the true minimum.
+    #[test]
+    fn figure6_false_minimum_survives_ar() {
+        // x: selection column; y: aggregated column. Granule = 4 payloads
+        // (device_bits = 30 on 32-bit physical).
+        // Precise query: select min(y) from r where x > 6.
+        let x_vals: Vec<i64> = vec![4, 5, 7, 8, 9, 12];
+        let y_vals: Vec<i64> = vec![90, 2, 50, 60, 70, 80];
+        // Tuple 1 (x=5, y=2): false positive for "x > 6" after relaxation
+        // (granule of 5 is [4,7] which overlaps x>6), with the smallest y.
+        let env = Env::paper_default();
+        let x = bind(&env, &x_vals, 30);
+        let y = bind(&env, &y_vals, 30);
+        assert_eq!(x.meta().resbits(), 2);
+
+        let range = RangePred::from_cmp(crate::relax::CmpOp::Gt, 6).unwrap();
+        let mut ledger = CostLedger::new();
+        let cands = select_approx(&env, &x, &range, &ScanOptions::default(), &mut ledger);
+        // The false positive is among the candidates.
+        assert!(cands.oids.contains(&1), "x=5 must be a candidate of x>6 relaxed");
+
+        let x_meta = *x.meta();
+        let cands_approx = cands.approx.clone();
+        let is_certain = move |i: usize| {
+            classify_granule(&x_meta, cands_approx[i], &range) == GranuleMatch::Certain
+        };
+        let min_cands = extremum_approx(&env, &y, &cands, &is_certain, Extremum::Min, &mut ledger);
+        // The true minimum among exact matches is y=50 (oid 2).
+        assert!(
+            min_cands.oids.contains(&2),
+            "candidate set {:?} must contain the true minimum's oid",
+            min_cands.oids
+        );
+
+        let survives = |oid: Oid| range.test(x.reconstruct(oid));
+        let m = extremum_refine(&env, &y, &min_cands, &survives, Extremum::Min, &mut ledger);
+        assert_eq!(m, Some(50));
+    }
+
+    #[test]
+    fn extremum_max_and_empty_cases() {
+        let vals: Vec<i64> = vec![3, 17, 5, 17, 1];
+        let env = Env::paper_default();
+        let col = bind(&env, &vals, 30);
+        let cands = Candidates {
+            oids: (0..5).collect(),
+            approx: vec![0; 5],
+            sorted: true,
+            dense: true,
+        };
+        let mut ledger = CostLedger::new();
+        let max_cands =
+            extremum_approx(&env, &col, &cands, &|_| true, Extremum::Max, &mut ledger);
+        let m = extremum_refine(&env, &col, &max_cands, &|_| true, Extremum::Max, &mut ledger);
+        assert_eq!(m, Some(17));
+
+        let empty = extremum_approx(
+            &env,
+            &col,
+            &Candidates::empty(),
+            &|_| true,
+            Extremum::Min,
+            &mut ledger,
+        );
+        assert!(empty.is_empty());
+        assert_eq!(
+            extremum_refine(&env, &col, &empty, &|_| true, Extremum::Min, &mut ledger),
+            None
+        );
+    }
+
+    #[test]
+    fn no_certain_candidates_keeps_everything() {
+        let vals: Vec<i64> = vec![10, 20, 30];
+        let env = Env::paper_default();
+        let col = bind(&env, &vals, 30);
+        let cands = Candidates {
+            oids: (0..3).collect(),
+            approx: vec![0; 3],
+            sorted: true,
+            dense: true,
+        };
+        let mut ledger = CostLedger::new();
+        let c = extremum_approx(&env, &col, &cands, &|_| false, Extremum::Min, &mut ledger);
+        assert_eq!(c.len(), 3, "without certainty the full candidate set is kept");
+    }
+
+    #[test]
+    fn avg_from_parts_handles_empty() {
+        assert_eq!(avg_from_parts(100, 4), Some(25.0));
+        assert_eq!(avg_from_parts(0, 0), None);
+    }
+
+    /// Refinement after a selection refine: sums over survivors match a
+    /// scalar reference on random-ish data.
+    #[test]
+    fn end_to_end_sum_after_selection() {
+        let x_vals: Vec<i64> = (0..5000).map(|i| (i * 13) % 1000).collect();
+        let y_vals: Vec<i64> = (0..5000).map(|i| (i * 7) % 300).collect();
+        let env = Env::paper_default();
+        let x = bind(&env, &x_vals, 26);
+        let y = bind(&env, &y_vals, 26);
+        let range = RangePred::between(100, 400);
+        let mut ledger = CostLedger::new();
+        let cands = select_approx(&env, &x, &range, &ScanOptions::default(), &mut ledger);
+        let refined = select_refine(&env, &x, &cands, None, &range, true, &mut ledger).unwrap();
+        // Project y approximations for survivors, then exact-sum on host.
+        let surv_cands = Candidates {
+            oids: refined.oids.clone(),
+            approx: vec![0; refined.len()],
+            sorted: false,
+            dense: false,
+        };
+        let y_stored = gather(&env, y.approx(), &surv_cands, "gather", &mut ledger);
+        let s = sum_exact_host(&env, &y, &refined.oids, &y_stored, &mut ledger);
+        let expect: i128 = (0..5000)
+            .filter(|&i| range.test(x_vals[i]))
+            .map(|i| y_vals[i] as i128)
+            .sum();
+        assert_eq!(s, expect);
+    }
+}

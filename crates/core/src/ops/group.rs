@@ -1,0 +1,259 @@
+//! The A&R grouping operator pair (§IV-E).
+//!
+//! **Approximation** — hash-based pre-grouping of approximate key values
+//! on the device; the output group-id vector is positionally aligned with
+//! the input candidates.
+//!
+//! **Refinement** — two responsibilities:
+//!
+//! 1. eliminate earlier operators' false positives by aligning the
+//!    grouping with the surviving oids (a translucent join);
+//! 2. when the key column is decomposed (residual bits exist), the
+//!    approximate groups may merge logically distinct keys — the host
+//!    *subgroups* by (approximate group, residual). When the key is fully
+//!    device-resident — the common case the paper argues for, since
+//!    low-cardinality grouping keys need few bits — the approximate
+//!    grouping is already exact and refinement is pure false-positive
+//!    elimination.
+
+use crate::column::BoundColumn;
+use crate::translucent::translucent_join_with;
+use bwd_device::{CostLedger, Env};
+use bwd_kernels::group::hash_group;
+use bwd_kernels::{Candidates, GroupResult};
+use bwd_types::{FxHashMap, Oid, Result};
+
+/// Approximate (pre-)grouping over the candidates' key approximations.
+pub fn group_approx(
+    env: &Env,
+    key_col: &BoundColumn,
+    cands: &Candidates,
+    ledger: &mut CostLedger,
+) -> GroupResult {
+    hash_group(env, key_col.approx(), Some(cands), ledger)
+}
+
+/// Exact groups after refinement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefinedGroups {
+    /// Exact group id per survivor (aligned with the survivor list).
+    pub group_ids: Vec<u32>,
+    /// Exact key payload per group.
+    pub group_payloads: Vec<i64>,
+}
+
+impl RefinedGroups {
+    /// Number of distinct groups.
+    pub fn n_groups(&self) -> usize {
+        self.group_payloads.len()
+    }
+}
+
+/// Refine a grouping: restrict to `survivors` (a subsequence of
+/// `cands.oids` under the shared permutation) and split approximate groups
+/// by residual bits where necessary.
+pub fn group_refine(
+    env: &Env,
+    key_col: &BoundColumn,
+    cands: &Candidates,
+    approx_groups: &GroupResult,
+    survivors: &[Oid],
+    charge_download: bool,
+    ledger: &mut CostLedger,
+) -> Result<RefinedGroups> {
+    assert_eq!(
+        cands.len(),
+        approx_groups.group_ids.len(),
+        "approximate grouping must align with its candidate list"
+    );
+    if charge_download {
+        env.charge_download(
+            "group.refine.download",
+            cands.len() as u64 * 4,
+            ledger,
+        );
+    }
+
+    let dense_base = cands.dense.then_some(0);
+    let mut group_ids = Vec::with_capacity(survivors.len());
+    let mut group_payloads: Vec<i64> = Vec::new();
+
+    if key_col.meta().fully_device_resident() {
+        // Approximate groups are exact; only false-positive elimination
+        // (translucent alignment) and key decoding remain.
+        let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
+        translucent_join_with(
+            &cands.oids,
+            &approx_groups.group_ids,
+            dense_base,
+            survivors,
+            |_bi, gid| {
+                let next = group_payloads.len() as u32;
+                let id = *remap.entry(gid).or_insert_with(|| {
+                    group_payloads.push(
+                        key_col
+                            .meta()
+                            .payload_from_parts(approx_groups.group_keys[gid as usize], 0),
+                    );
+                    next
+                });
+                group_ids.push(id);
+            },
+        )?;
+    } else {
+        // Subgroup by (approximate group, residual): exact keys emerge.
+        let mut remap: FxHashMap<(u32, u64), u32> = FxHashMap::default();
+        translucent_join_with(
+            &cands.oids,
+            &approx_groups.group_ids,
+            dense_base,
+            survivors,
+            |bi, gid| {
+                let oid = survivors[bi];
+                let res = key_col.residual_of(oid);
+                let next = group_payloads.len() as u32;
+                let id = *remap.entry((gid, res)).or_insert_with(|| {
+                    group_payloads.push(
+                        key_col
+                            .meta()
+                            .payload_from_parts(approx_groups.group_keys[gid as usize], res),
+                    );
+                    next
+                });
+                group_ids.push(id);
+            },
+        )?;
+    }
+
+    env.charge_host_scattered(
+        "group.refine",
+        key_col.residual_access_bytes(survivors.len()) + cands.len() as u64 * 4,
+        survivors.len() as u64 * crate::ops::REFINE_OPS_PER_TUPLE,
+        ledger,
+    );
+    Ok(RefinedGroups {
+        group_ids,
+        group_payloads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwd_storage::{DecomposedColumn, DecompositionSpec};
+    use bwd_types::DataType;
+
+    fn bind(env: &Env, vals: &[i64], device_bits: u32) -> BoundColumn {
+        let mut load = CostLedger::new();
+        BoundColumn::bind(
+            DecomposedColumn::decompose(
+                vals,
+                DataType::Int32,
+                &DecompositionSpec::with_device_bits(device_bits),
+            )
+            .unwrap(),
+            &env.device,
+            "g",
+            &mut load,
+        )
+        .unwrap()
+    }
+
+    fn all_cands(n: usize) -> Candidates {
+        Candidates {
+            oids: (0..n as Oid).collect(),
+            approx: vec![0; n],
+            sorted: true,
+            dense: true,
+        }
+    }
+
+    /// Exact reference grouping: first-seen group ids over payloads.
+    fn reference(vals: &[i64], oids: &[Oid]) -> (Vec<u32>, Vec<i64>) {
+        let mut map: FxHashMap<i64, u32> = FxHashMap::default();
+        let mut ids = Vec::new();
+        let mut keys = Vec::new();
+        for &o in oids {
+            let v = vals[o as usize];
+            let next = keys.len() as u32;
+            let id = *map.entry(v).or_insert_with(|| {
+                keys.push(v);
+                next
+            });
+            ids.push(id);
+        }
+        (ids, keys)
+    }
+
+    #[test]
+    fn fully_resident_grouping_is_exact() {
+        let vals: Vec<i64> = (0..1000).map(|i| i % 7).collect();
+        let env = Env::paper_default();
+        let col = bind(&env, &vals, 32);
+        let cands = all_cands(vals.len());
+        let mut ledger = CostLedger::new();
+        let g = group_approx(&env, &col, &cands, &mut ledger);
+        assert_eq!(g.n_groups(), 7);
+        let survivors: Vec<Oid> = cands.oids.clone();
+        let refined =
+            group_refine(&env, &col, &cands, &g, &survivors, true, &mut ledger).unwrap();
+        let (ref_ids, ref_keys) = reference(&vals, &survivors);
+        assert_eq!(refined.group_ids, ref_ids);
+        assert_eq!(refined.group_payloads, ref_keys);
+    }
+
+    #[test]
+    fn decomposed_key_subgroups_by_residual() {
+        // Key domain 0..64 decomposed with 4 residual bits: approximate
+        // groups collapse 16 keys each; refinement must split them again.
+        let vals: Vec<i64> = (0..2000).map(|i| i % 64).collect();
+        let env = Env::paper_default();
+        let col = bind(&env, &vals, 28);
+        assert_eq!(col.meta().resbits(), 4);
+        let cands = all_cands(vals.len());
+        let mut ledger = CostLedger::new();
+        let g = group_approx(&env, &col, &cands, &mut ledger);
+        assert!(g.n_groups() < 64, "approximate groups must be coarser");
+        let survivors: Vec<Oid> = cands.oids.clone();
+        let refined =
+            group_refine(&env, &col, &cands, &g, &survivors, true, &mut ledger).unwrap();
+        assert_eq!(refined.n_groups(), 64);
+        // Group payloads must be the exact key values.
+        for (i, &o) in survivors.iter().enumerate() {
+            let gid = refined.group_ids[i] as usize;
+            assert_eq!(refined.group_payloads[gid], vals[o as usize]);
+        }
+    }
+
+    #[test]
+    fn refine_restricts_to_survivors() {
+        let vals: Vec<i64> = vec![5, 9, 5, 7, 9, 5];
+        let env = Env::paper_default();
+        let col = bind(&env, &vals, 32);
+        let cands = all_cands(vals.len());
+        let mut ledger = CostLedger::new();
+        let g = group_approx(&env, &col, &cands, &mut ledger);
+        // Only oids 1, 3, 4 survive a (hypothetical) earlier refinement.
+        let survivors = vec![1, 3, 4];
+        let refined =
+            group_refine(&env, &col, &cands, &g, &survivors, false, &mut ledger).unwrap();
+        let (ref_ids, ref_keys) = reference(&vals, &survivors);
+        assert_eq!(refined.group_ids, ref_ids);
+        assert_eq!(refined.group_payloads, ref_keys);
+        assert_eq!(refined.n_groups(), 2); // 9 and 7
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn misaligned_grouping_panics() {
+        let env = Env::paper_default();
+        let col = bind(&env, &[1, 2], 32);
+        let cands = all_cands(2);
+        let bad = GroupResult {
+            group_ids: vec![0],
+            group_keys: vec![0],
+        };
+        let mut ledger = CostLedger::new();
+        let _ = group_refine(&env, &col, &cands, &bad, &[0], false, &mut ledger);
+    }
+}

@@ -1,0 +1,171 @@
+//! The A&R physical plan.
+//!
+//! An [`ArPlan`] is the engine-executable form of Figure 3 / Figure 7: a
+//! chain of relaxed selections and device-side pre-operators (the
+//! *approximation subplan*) paired with the refinement stages that turn
+//! candidates into exact results. By construction no approximation step
+//! depends on a refinement output, so the whole approximation subplan can
+//! run — and deliver an approximate query answer — before the first
+//! refinement starts (§III's "fast approximation at no additional cost").
+
+use crate::plan::logical::{AggExpr, ScalarExpr};
+use crate::relax::RangePred;
+
+/// A selection bound to a column, with the predicate already translated to
+/// the payload domain (dates resolved to day counts, decimals rescaled,
+/// dictionary prefixes to code ranges).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundSelection {
+    /// Qualified column name (`table.column` for dimension columns).
+    pub column: String,
+    /// Inclusive payload range.
+    pub range: RangePred,
+    /// Optional selectivity hint in `[0, 1]` used by the pushdown rule to
+    /// order the approximate selection chain (most selective first).
+    pub selectivity_hint: Option<f64>,
+}
+
+/// A pre-indexed foreign-key join step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FkJoinPlan {
+    /// The fact table's foreign-key column.
+    pub fact_key: String,
+    /// The joined dimension table.
+    pub dim_table: String,
+}
+
+/// The A&R physical plan for the supported query shape
+/// (select – [fk-join] – [group] – aggregate/project).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArPlan {
+    /// The fact table.
+    pub table: String,
+    /// Relaxed selections, in approximate-chain order.
+    pub selections: Vec<BoundSelection>,
+    /// Optional foreign-key join.
+    pub fk_join: Option<FkJoinPlan>,
+    /// Grouping columns (empty = global aggregation).
+    pub group_by: Vec<String>,
+    /// Aggregates (empty when the query is a plain projection).
+    pub aggs: Vec<AggExpr>,
+    /// Non-aggregate output expressions.
+    pub project: Vec<(ScalarExpr, String)>,
+    /// Whether the rule-based optimizer chained every approximate
+    /// selection below the refinements (§III-A). When `false`, each
+    /// selection is approximated *and refined* before the next one runs —
+    /// the pre-optimizer plan shape, kept as an ablation.
+    pub pushdown: bool,
+}
+
+impl ArPlan {
+    /// Every column the plan touches (diagnostics, residency planning).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.selections {
+            if !out.contains(&s.column) {
+                out.push(s.column.clone());
+            }
+        }
+        if let Some(j) = &self.fk_join {
+            if !out.contains(&j.fact_key) {
+                out.push(j.fact_key.clone());
+            }
+        }
+        for g in &self.group_by {
+            if !out.contains(g) {
+                out.push(g.clone());
+            }
+        }
+        for a in &self.aggs {
+            if let Some(arg) = &a.arg {
+                arg.collect_columns(&mut out);
+            }
+        }
+        for (e, _) in &self.project {
+            e.collect_columns(&mut out);
+        }
+        out
+    }
+
+    /// The invariant behind the translucent join (§IV-A): the approximate
+    /// selection chain must not be interrupted by order-changing
+    /// refinement steps when pushdown is on. The plan structure enforces
+    /// this by construction; this check exists for tests and debugging.
+    pub fn validate(&self) -> Result<(), String> {
+        for s in &self.selections {
+            if let Some(h) = s.selectivity_hint {
+                if !(0.0..=1.0).contains(&h) {
+                    return Err(format!(
+                        "selectivity hint {h} for {} outside [0,1]",
+                        s.column
+                    ));
+                }
+            }
+        }
+        if self.aggs.is_empty() && self.project.is_empty() {
+            return Err("plan produces no output".into());
+        }
+        if !self.group_by.is_empty() && self.aggs.is_empty() {
+            return Err("grouping without aggregates".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::logical::AggFunc;
+
+    fn minimal_plan() -> ArPlan {
+        ArPlan {
+            table: "t".into(),
+            selections: vec![],
+            fk_join: None,
+            group_by: vec![],
+            aggs: vec![AggExpr {
+                func: AggFunc::Count,
+                arg: None,
+                alias: "n".into(),
+            }],
+            project: vec![],
+            pushdown: true,
+        }
+    }
+
+    #[test]
+    fn validate_catches_empty_output() {
+        let mut p = minimal_plan();
+        assert!(p.validate().is_ok());
+        p.aggs.clear();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_hints() {
+        let mut p = minimal_plan();
+        p.selections.push(BoundSelection {
+            column: "a".into(),
+            range: RangePred::all(),
+            selectivity_hint: Some(2.0),
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn referenced_columns_dedup() {
+        let mut p = minimal_plan();
+        p.selections.push(BoundSelection {
+            column: "a".into(),
+            range: RangePred::all(),
+            selectivity_hint: None,
+        });
+        p.group_by.push("a".into());
+        p.aggs.push(AggExpr {
+            func: AggFunc::Sum,
+            arg: Some(ScalarExpr::col("b")),
+            alias: "s".into(),
+        });
+        assert_eq!(p.referenced_columns(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,396 @@
+//! The `bwd_pipe` micro-optimizer (§V-B): rewrite a classic logical plan
+//! into an A&R plan, then apply the rule-based optimization of §III-A —
+//! push approximate selections below refinements, ordered most-selective
+//! first when hints exist.
+//!
+//! Literal payloads are resolved through a [`PlanResolver`] so the core
+//! stays catalog-agnostic: the engine's catalog knows dictionary codes,
+//! decimal scales and date encodings.
+
+use crate::plan::arplan::{ArPlan, BoundSelection, FkJoinPlan};
+use crate::plan::logical::{LogicalPlan, Predicate};
+use crate::relax::RangePred;
+use bwd_types::{BwdError, Result, Value};
+
+/// Catalog services the rewriter needs to bind literals to payloads.
+pub trait PlanResolver {
+    /// Translate a literal into the payload domain of `table.column`.
+    fn payload_of(&self, table: &str, column: &str, v: &Value) -> Result<i64>;
+
+    /// Inclusive payload (dictionary-code) range of values starting with
+    /// `prefix`, or `None` when nothing matches — the ordered-dictionary
+    /// rewrite of `like 'PROMO%'` (§VI-D1).
+    fn prefix_payload_range(
+        &self,
+        table: &str,
+        column: &str,
+        prefix: &str,
+    ) -> Result<Option<(i64, i64)>>;
+
+    /// Optional selectivity hint for ordering the approximate chain.
+    fn selectivity_hint(&self, _table: &str, _column: &str, _range: &RangePred) -> Option<f64> {
+        None
+    }
+}
+
+/// Rewrite options.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteOptions {
+    /// Apply the §III-A pushdown rule (default on; off is the ablation).
+    pub pushdown: bool,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions { pushdown: true }
+    }
+}
+
+/// Rewrite a logical plan into an A&R plan.
+///
+/// # Errors
+/// Returns a plan error when the logical plan uses shapes outside the
+/// supported subset (disjunctions, non-FK joins, nested aggregates).
+pub fn rewrite(
+    plan: &LogicalPlan,
+    resolver: &dyn PlanResolver,
+    opts: &RewriteOptions,
+) -> Result<ArPlan> {
+    let mut table: Option<String> = None;
+    let mut selections: Vec<BoundSelection> = Vec::new();
+    let mut fk_join: Option<FkJoinPlan> = None;
+    let mut group_by = Vec::new();
+    let mut aggs = Vec::new();
+    let mut project = Vec::new();
+
+    // Walk the linear plan spine bottom-up.
+    fn walk(
+        node: &LogicalPlan,
+        resolver: &dyn PlanResolver,
+        table: &mut Option<String>,
+        selections: &mut Vec<BoundSelection>,
+        fk_join: &mut Option<FkJoinPlan>,
+        group_by: &mut Vec<String>,
+        aggs: &mut Vec<crate::plan::logical::AggExpr>,
+        project: &mut Vec<(crate::plan::logical::ScalarExpr, String)>,
+    ) -> Result<()> {
+        match node {
+            LogicalPlan::Scan { table: t } => {
+                *table = Some(t.clone());
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                walk(input, resolver, table, selections, fk_join, group_by, aggs, project)?;
+                let t = table.as_deref().ok_or_else(|| {
+                    BwdError::Plan("filter without a scanned table".into())
+                })?;
+                for conj in predicate.conjuncts() {
+                    selections.push(bind_selection(conj, t, fk_join.as_ref(), resolver)?);
+                }
+            }
+            LogicalPlan::FkJoin {
+                input,
+                fact_key,
+                dim_table,
+            } => {
+                walk(input, resolver, table, selections, fk_join, group_by, aggs, project)?;
+                if fk_join.is_some() {
+                    return Err(BwdError::Unsupported(
+                        "multiple foreign-key joins in one plan".into(),
+                    ));
+                }
+                *fk_join = Some(FkJoinPlan {
+                    fact_key: fact_key.clone(),
+                    dim_table: dim_table.clone(),
+                });
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by: g,
+                aggs: a,
+            } => {
+                walk(input, resolver, table, selections, fk_join, group_by, aggs, project)?;
+                if !aggs.is_empty() {
+                    return Err(BwdError::Unsupported("nested aggregation".into()));
+                }
+                *group_by = g.clone();
+                *aggs = a.clone();
+            }
+            LogicalPlan::Project { input, exprs } => {
+                walk(input, resolver, table, selections, fk_join, group_by, aggs, project)?;
+                *project = exprs.clone();
+            }
+        }
+        Ok(())
+    }
+
+    walk(
+        plan,
+        resolver,
+        &mut table,
+        &mut selections,
+        &mut fk_join,
+        &mut group_by,
+        &mut aggs,
+        &mut project,
+    )?;
+
+    let table = table.ok_or_else(|| BwdError::Plan("plan has no table scan".into()))?;
+
+    if opts.pushdown {
+        // §III-A: approximate selections chain below everything; order the
+        // chain most-selective-first where hints exist (stable otherwise).
+        selections.sort_by(|a, b| {
+            let ka = a.selectivity_hint.unwrap_or(f64::INFINITY);
+            let kb = b.selectivity_hint.unwrap_or(f64::INFINITY);
+            ka.total_cmp(&kb)
+        });
+    }
+
+    let plan = ArPlan {
+        table,
+        selections,
+        fk_join,
+        group_by,
+        aggs,
+        project,
+        pushdown: opts.pushdown,
+    };
+    plan.validate().map_err(BwdError::Plan)?;
+    Ok(plan)
+}
+
+fn bind_selection(
+    pred: &Predicate,
+    fact_table: &str,
+    fk: Option<&FkJoinPlan>,
+    resolver: &dyn PlanResolver,
+) -> Result<BoundSelection> {
+    // Qualified dimension columns resolve against the dimension table.
+    let split = |column: &str| -> (String, String) {
+        if let Some((t, c)) = column.split_once('.') {
+            (t.to_string(), c.to_string())
+        } else {
+            (fact_table.to_string(), column.to_string())
+        }
+    };
+    let bound = match pred {
+        Predicate::Cmp { column, op, value } => {
+            let (t, c) = split(column);
+            ensure_known_table(&t, fact_table, fk)?;
+            let payload = resolver.payload_of(&t, &c, value)?;
+            let range = RangePred::from_cmp(*op, payload)
+                .unwrap_or(RangePred::between(1, 0)); // unsatisfiable marker
+            BoundSelection {
+                column: column.clone(),
+                range,
+                selectivity_hint: resolver.selectivity_hint(&t, &c, &range),
+            }
+        }
+        Predicate::Between { column, lo, hi } => {
+            let (t, c) = split(column);
+            ensure_known_table(&t, fact_table, fk)?;
+            let lo = resolver.payload_of(&t, &c, lo)?;
+            let hi = resolver.payload_of(&t, &c, hi)?;
+            let range = RangePred::between(lo, hi);
+            BoundSelection {
+                column: column.clone(),
+                range,
+                selectivity_hint: resolver.selectivity_hint(&t, &c, &range),
+            }
+        }
+        Predicate::PrefixLike { column, prefix } => {
+            let (t, c) = split(column);
+            ensure_known_table(&t, fact_table, fk)?;
+            let range = match resolver.prefix_payload_range(&t, &c, prefix)? {
+                Some((lo, hi)) => RangePred::between(lo, hi),
+                None => RangePred::between(1, 0), // nothing matches
+            };
+            BoundSelection {
+                column: column.clone(),
+                range,
+                selectivity_hint: resolver.selectivity_hint(&t, &c, &range),
+            }
+        }
+        Predicate::And(_) => unreachable!("conjuncts() flattens And"),
+    };
+    Ok(bound)
+}
+
+fn ensure_known_table(t: &str, fact: &str, fk: Option<&FkJoinPlan>) -> Result<()> {
+    if t == fact || fk.is_some_and(|j| j.dim_table == t) {
+        Ok(())
+    } else {
+        Err(BwdError::Bind(format!(
+            "predicate references table {t} which is neither the fact table nor a joined dimension"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::logical::{AggExpr, AggFunc};
+    use crate::relax::CmpOp;
+
+    /// A resolver over integer payloads with a fixed dictionary.
+    struct TestResolver;
+
+    impl PlanResolver for TestResolver {
+        fn payload_of(&self, _t: &str, _c: &str, v: &Value) -> Result<i64> {
+            v.as_i64()
+                .ok_or_else(|| BwdError::TypeMismatch("int expected".into()))
+        }
+
+        fn prefix_payload_range(
+            &self,
+            _t: &str,
+            _c: &str,
+            prefix: &str,
+        ) -> Result<Option<(i64, i64)>> {
+            match prefix {
+                "PROMO" => Ok(Some((10, 19))),
+                _ => Ok(None),
+            }
+        }
+
+        fn selectivity_hint(&self, _t: &str, column: &str, _r: &RangePred) -> Option<f64> {
+            // Pretend "b" is the most selective column.
+            match column {
+                "b" => Some(0.01),
+                "a" => Some(0.5),
+                _ => None,
+            }
+        }
+    }
+
+    fn count_agg() -> Vec<AggExpr> {
+        vec![AggExpr {
+            func: AggFunc::Count,
+            arg: None,
+            alias: "n".into(),
+        }]
+    }
+
+    #[test]
+    fn rewrites_filter_aggregate() {
+        let plan = LogicalPlan::scan("t")
+            .filter(Predicate::And(vec![
+                Predicate::Cmp {
+                    column: "a".into(),
+                    op: CmpOp::Gt,
+                    value: Value::Int(10),
+                },
+                Predicate::Between {
+                    column: "b".into(),
+                    lo: Value::Int(0),
+                    hi: Value::Int(5),
+                },
+            ]))
+            .aggregate(vec![], count_agg());
+        let ar = rewrite(&plan, &TestResolver, &RewriteOptions::default()).unwrap();
+        assert_eq!(ar.table, "t");
+        assert_eq!(ar.selections.len(), 2);
+        // Pushdown ordered most-selective first: b (0.01) before a (0.5).
+        assert_eq!(ar.selections[0].column, "b");
+        assert_eq!(ar.selections[0].range, RangePred::between(0, 5));
+        assert_eq!(ar.selections[1].column, "a");
+        assert_eq!(
+            ar.selections[1].range,
+RangePred::at_least(11)
+        );
+        assert!(ar.pushdown);
+    }
+
+    #[test]
+    fn no_pushdown_preserves_query_order() {
+        let plan = LogicalPlan::scan("t")
+            .filter(Predicate::And(vec![
+                Predicate::Cmp {
+                    column: "a".into(),
+                    op: CmpOp::Gt,
+                    value: Value::Int(10),
+                },
+                Predicate::Cmp {
+                    column: "b".into(),
+                    op: CmpOp::Lt,
+                    value: Value::Int(5),
+                },
+            ]))
+            .aggregate(vec![], count_agg());
+        let ar = rewrite(&plan, &TestResolver, &RewriteOptions { pushdown: false }).unwrap();
+        assert_eq!(ar.selections[0].column, "a");
+        assert!(!ar.pushdown);
+    }
+
+    #[test]
+    fn prefix_like_becomes_code_range() {
+        let plan = LogicalPlan::scan("part")
+            .filter(Predicate::PrefixLike {
+                column: "p_type".into(),
+                prefix: "PROMO".into(),
+            })
+            .aggregate(vec![], count_agg());
+        let ar = rewrite(&plan, &TestResolver, &RewriteOptions::default()).unwrap();
+        assert_eq!(ar.selections[0].range, RangePred::between(10, 19));
+    }
+
+    #[test]
+    fn fk_join_and_dim_predicates() {
+        let plan = LogicalPlan::scan("lineitem")
+            .fk_join("l_partkey", "part")
+            .filter(Predicate::Cmp {
+                column: "part.p_size".into(),
+                op: CmpOp::Eq,
+                value: Value::Int(7),
+            })
+            .aggregate(vec![], count_agg());
+        let ar = rewrite(&plan, &TestResolver, &RewriteOptions::default()).unwrap();
+        assert_eq!(
+            ar.fk_join,
+            Some(FkJoinPlan {
+                fact_key: "l_partkey".into(),
+                dim_table: "part".into()
+            })
+        );
+        assert_eq!(ar.selections[0].column, "part.p_size");
+    }
+
+    #[test]
+    fn rejects_unknown_dimension() {
+        let plan = LogicalPlan::scan("t")
+            .filter(Predicate::Cmp {
+                column: "other.x".into(),
+                op: CmpOp::Eq,
+                value: Value::Int(1),
+            })
+            .aggregate(vec![], count_agg());
+        assert!(rewrite(&plan, &TestResolver, &RewriteOptions::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_double_join_and_nested_aggregate() {
+        let plan = LogicalPlan::scan("t")
+            .fk_join("k1", "d1")
+            .fk_join("k2", "d2")
+            .aggregate(vec![], count_agg());
+        assert!(rewrite(&plan, &TestResolver, &RewriteOptions::default()).is_err());
+
+        let plan = LogicalPlan::scan("t")
+            .aggregate(vec![], count_agg())
+            .aggregate(vec![], count_agg());
+        assert!(rewrite(&plan, &TestResolver, &RewriteOptions::default()).is_err());
+    }
+
+    #[test]
+    fn unsatisfiable_predicate_binds_to_empty_range() {
+        let plan = LogicalPlan::scan("t")
+            .filter(Predicate::PrefixLike {
+                column: "s".into(),
+                prefix: "NOPE".into(),
+            })
+            .aggregate(vec![], count_agg());
+        let ar = rewrite(&plan, &TestResolver, &RewriteOptions::default()).unwrap();
+        let r = &ar.selections[0].range;
+        assert!(r.lo.unwrap() > r.hi.unwrap(), "must be unsatisfiable");
+    }
+}

@@ -1,0 +1,19 @@
+//! Deterministic workload generators for the `waste-not` evaluation.
+//!
+//! * [`tpch`] — the TPC-H subset (lineitem/part columns of Q1, Q6, Q14)
+//!   with the exact value domains the paper's bit-width analysis uses;
+//! * [`spatial`] — synthetic GPS traces standing in for the paper's
+//!   proprietary navigation data (Table I schema, same coordinate ranges);
+//! * [`micro`] — the microbenchmark datasets of §VI-B;
+//! * [`rng`] — the tiny deterministic PRNG behind all of them.
+//!
+//! Everything is reproducible from a seed: two runs at the same
+//! configuration produce bit-identical data on any platform.
+
+pub mod micro;
+pub mod rng;
+pub mod spatial;
+pub mod tpch;
+
+pub use spatial::{gen_trips, SpatialConfig, TripsTable};
+pub use tpch::{gen_lineitem, gen_part, LineitemTable, PartTable, TpchConfig};

@@ -1,0 +1,230 @@
+//! Synthetic GPS trace generator — the Table I spatial workload.
+//!
+//! The paper evaluates on ~250 M proprietary navigation fixes (generated
+//! per Bösche et al., TPCTC 2012: "Scalable Generation Of Synthetic GPS
+//! Traces With Real-Life Data Characteristics"). That data is not
+//! available, so this module synthesizes the closest equivalent that
+//! exercises the same code paths: trips between hotspot cities inside the
+//! paper's exact bounding box (lon −12.62427..29.64975, lat
+//! 27.09371..70.13643), with dense random-walk fixes along each trip.
+//! The coordinate ranges matter — they force wide (≥23-bit) value domains
+//! that limit prefix compression to roughly the paper's 25 % (§VI-C2) and
+//! make the full-resolution data exceed a 2 GB device at paper scale.
+//!
+//! Schema (Table I): `trips(tripid int, lon decimal(8,5), lat
+//! decimal(7,5), time int)`.
+
+use crate::rng::Xoshiro;
+use bwd_storage::Column;
+
+/// The paper's coordinate bounding box, scaled by 1e5 (payload domain).
+pub const LON_MIN: i64 = -1_262_427;
+/// Maximum longitude payload.
+pub const LON_MAX: i64 = 2_964_975;
+/// Minimum latitude payload.
+pub const LAT_MIN: i64 = 2_709_371;
+/// Maximum latitude payload.
+pub const LAT_MAX: i64 = 7_013_643;
+
+/// Hotspot city centers `(lon, lat)` in the scaled domain — population
+/// weight decays with index (Zipf-ish), giving the skewed density real
+/// traces show.
+const CITIES: [(i64, i64); 12] = [
+    (236_950, 4_885_660),    // Paris-ish
+    (1_340_000, 5_252_000),  // Berlin-ish
+    (-370_000, 5_150_000),   // London-ish
+    (490_000, 5_237_000),    // Amsterdam-ish
+    (1_640_000, 4_808_000),  // Vienna-ish
+    (912_000, 4_567_000),    // Milan-ish
+    (-566_000, 4_040_000),   // Madrid-ish
+    (2_102_000, 5_223_000),  // Warsaw-ish
+    (1_247_000, 4_183_000),  // Rome-ish
+    (1_805_000, 5_932_000),  // Stockholm-ish
+    (-912_000, 3_858_000),   // Lisbon-ish
+    (2_801_000, 4_102_000),  // Istanbul-ish
+];
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SpatialConfig {
+    /// Total number of GPS fixes (the paper: ~250 M).
+    pub fixes: usize,
+    /// Average fixes per trip.
+    pub fixes_per_trip: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpatialConfig {
+    fn default() -> Self {
+        SpatialConfig {
+            fixes: 1_000_000,
+            fixes_per_trip: 200,
+            seed: 0x6F5,
+        }
+    }
+}
+
+impl SpatialConfig {
+    /// A configuration with the given number of fixes.
+    pub fn fixes(n: usize) -> Self {
+        SpatialConfig {
+            fixes: n,
+            ..Default::default()
+        }
+    }
+}
+
+/// The generated `trips` table (Table I schema).
+pub struct TripsTable {
+    /// `tripid` — trip identifier.
+    pub tripid: Column,
+    /// `lon` — decimal(8,5) longitude.
+    pub lon: Column,
+    /// `lat` — decimal(7,5) latitude.
+    pub lat: Column,
+    /// `time` — seconds since trip start epoch.
+    pub time: Column,
+}
+
+/// Generate the spatial workload.
+pub fn gen_trips(cfg: &SpatialConfig) -> TripsTable {
+    let n = cfg.fixes;
+    let mut rng = Xoshiro::seed(cfg.seed);
+    let mut tripid = Vec::with_capacity(n);
+    let mut lon = Vec::with_capacity(n);
+    let mut lat = Vec::with_capacity(n);
+    let mut time = Vec::with_capacity(n);
+
+    let mut trip = 0i32;
+    let mut produced = 0usize;
+    let mut clock = 0i64;
+    while produced < n {
+        trip += 1;
+        // Zipf-weighted city pair: earlier cities are denser.
+        let pick = |r: &mut Xoshiro| -> usize {
+            let u = r.unit_f64();
+            ((CITIES.len() as f64) * u * u) as usize % CITIES.len()
+        };
+        let (sx, sy) = CITIES[pick(&mut rng)];
+        let (tx, ty) = CITIES[pick(&mut rng)];
+        let len = 1 + rng.below(2 * cfg.fixes_per_trip as u64) as usize;
+        let len = len.min(n - produced);
+        // Walk from source toward target with GPS jitter.
+        for step in 0..len {
+            let f = step as f64 / len.max(1) as f64;
+            let jitter_x = rng.range_i64(-4_000, 4_000);
+            let jitter_y = rng.range_i64(-4_000, 4_000);
+            let x = (sx as f64 + (tx - sx) as f64 * f) as i64 + jitter_x;
+            let y = (sy as f64 + (ty - sy) as f64 * f) as i64 + jitter_y;
+            tripid.push(trip);
+            lon.push(x.clamp(LON_MIN, LON_MAX));
+            lat.push(y.clamp(LAT_MIN, LAT_MAX));
+            clock += 1 + rng.below(10) as i64;
+            time.push(clock as i32);
+        }
+        produced += len;
+    }
+
+    TripsTable {
+        tripid: Column::from_i32(tripid),
+        lon: Column::from_decimals(lon, 8, 5).expect("lon fits decimal(8,5)"),
+        lat: Column::from_decimals(lat, 7, 5).expect("lat fits decimal(7,5)"),
+        time: Column::from_i32(time),
+    }
+}
+
+impl TripsTable {
+    /// As named columns for `Database::create_table`.
+    pub fn into_columns(self) -> Vec<(String, Column)> {
+        vec![
+            ("tripid".into(), self.tripid),
+            ("lon".into(), self.lon),
+            ("lat".into(), self.lat),
+            ("time".into(), self.time),
+        ]
+    }
+}
+
+/// The paper's Table I benchmark query range (a small box near (2.69,
+/// 50.43)); returns `((lon_lo, lon_hi), (lat_lo, lat_hi))` payloads.
+pub fn table1_query_box() -> ((i64, i64), (i64, i64)) {
+    ((268_288, 270_228), (5_042_220, 5_044_850))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_the_bounding_box() {
+        let t = gen_trips(&SpatialConfig {
+            fixes: 50_000,
+            fixes_per_trip: 100,
+            seed: 3,
+        });
+        assert_eq!(t.lon.len(), 50_000);
+        let (lo, hi) = t.lon.payload_min_max().unwrap();
+        assert!(lo >= LON_MIN && hi <= LON_MAX);
+        let (lo, hi) = t.lat.payload_min_max().unwrap();
+        assert!(lo >= LAT_MIN && hi <= LAT_MAX);
+    }
+
+    #[test]
+    fn uses_a_wide_range_limiting_prefix_compression() {
+        // The whole point of the spatial dataset: coordinates span a wide
+        // domain, so the decomposed approximation stays wide (§VI-C2).
+        let t = gen_trips(&SpatialConfig {
+            fixes: 200_000,
+            fixes_per_trip: 150,
+            seed: 5,
+        });
+        let (lo, hi) = t.lon.payload_min_max().unwrap();
+        assert!(
+            (hi - lo) > (LON_MAX - LON_MIN) / 2,
+            "trips should span most of the longitude range"
+        );
+    }
+
+    #[test]
+    fn trips_are_contiguous_and_times_monotone() {
+        let t = gen_trips(&SpatialConfig {
+            fixes: 10_000,
+            fixes_per_trip: 50,
+            seed: 1,
+        });
+        let ids = t.tripid.payloads();
+        // Trip ids are non-decreasing (fixes of one trip are contiguous).
+        assert!(ids.windows(2).all(|w| w[0] <= w[1]));
+        let times = t.time.payloads();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = SpatialConfig {
+            fixes: 5_000,
+            fixes_per_trip: 50,
+            seed: 9,
+        };
+        assert_eq!(gen_trips(&cfg).lon.payloads(), gen_trips(&cfg).lon.payloads());
+    }
+
+    #[test]
+    fn query_box_selects_some_but_not_all() {
+        let t = gen_trips(&SpatialConfig {
+            fixes: 300_000,
+            fixes_per_trip: 150,
+            seed: 12,
+        });
+        let ((lon_lo, lon_hi), (lat_lo, lat_hi)) = table1_query_box();
+        let lons = t.lon.payloads();
+        let lats = t.lat.payloads();
+        let matches = lons
+            .iter()
+            .zip(&lats)
+            .filter(|(&x, &y)| x >= lon_lo && x <= lon_hi && y >= lat_lo && y <= lat_hi)
+            .count();
+        assert!(matches < t.lon.len());
+    }
+}

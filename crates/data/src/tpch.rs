@@ -1,0 +1,288 @@
+//! TPC-H subset generator.
+//!
+//! Generates the `lineitem` and `part` columns the evaluation queries
+//! (Q1, Q6, Q14 — §VI-D) touch, with the distributions the paper's
+//! analysis depends on:
+//!
+//! * `l_quantity`: 50 distinct values → 6 significant bits;
+//! * `l_discount`: 0.00–0.10 in cents → ≤ 4 bits;
+//! * `l_shipdate`: 2,526 distinct days → 12 bits;
+//! * `p_type`: 125 distinct strings (5 × 5 × 5 syllables), 25 of them
+//!   `PROMO*` — the dictionary-range rewrite target of Q14.
+//!
+//! Scale factor 1 ≈ 6 M lineitems / 200 K parts, linearly scaled.
+
+use crate::rng::Xoshiro;
+use bwd_storage::Column;
+use bwd_types::Date;
+
+/// Deterministic generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchConfig {
+    /// TPC-H scale factor (1.0 = 6M lineitems).
+    pub scale: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            scale: 0.01,
+            seed: 0x7C_41,
+        }
+    }
+}
+
+impl TpchConfig {
+    /// A configuration at the given scale factor.
+    pub fn scale(scale: f64) -> Self {
+        TpchConfig {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    /// Number of lineitem rows.
+    pub fn lineitems(&self) -> usize {
+        (self.scale * 6_000_000.0).round().max(1.0) as usize
+    }
+
+    /// Number of part rows.
+    pub fn parts(&self) -> usize {
+        (self.scale * 200_000.0).round().max(125.0) as usize
+    }
+}
+
+/// The five-syllable type vocabulary: 125 combinations, matching the
+/// paper's "125 string values of the column" (§VI-D1).
+const TYPES1: [&str; 5] = ["ECONOMY", "LARGE", "MEDIUM", "PROMO", "STANDARD"];
+const TYPES2: [&str; 5] = ["ANODIZED", "BURNISHED", "BRUSHED", "PLATED", "POLISHED"];
+const TYPES3: [&str; 5] = ["BRASS", "COPPER", "NICKEL", "STEEL", "TIN"];
+
+/// First shippable day (TPC-H: 1992-01-02).
+pub fn ship_epoch() -> Date {
+    Date::from_ymd(1992, 1, 2)
+}
+
+/// Number of distinct ship dates (TPC-H: 2,526 days — 12 bits).
+pub const SHIPDATE_DAYS: i64 = 2526;
+
+/// Generated `part` table columns.
+pub struct PartTable {
+    /// `p_partkey` — dense 1-based keys.
+    pub p_partkey: Column,
+    /// `p_type` — dictionary-encoded type strings.
+    pub p_type: Column,
+    /// `p_retailprice` — decimal(12,2).
+    pub p_retailprice: Column,
+}
+
+/// Generate the `part` table.
+pub fn gen_part(cfg: &TpchConfig) -> PartTable {
+    let n = cfg.parts();
+    let mut rng = Xoshiro::seed(cfg.seed ^ 0x9A57);
+    let mut keys = Vec::with_capacity(n);
+    let mut types: Vec<String> = Vec::with_capacity(n);
+    let mut prices = Vec::with_capacity(n);
+    for i in 0..n {
+        keys.push((i + 1) as i32);
+        let t1 = TYPES1[rng.below(5) as usize];
+        let t2 = TYPES2[rng.below(5) as usize];
+        let t3 = TYPES3[rng.below(5) as usize];
+        types.push(format!("{t1} {t2} {t3}"));
+        // TPC-H retail price formula, in cents.
+        let key = (i + 1) as i64;
+        prices.push(90_000 + (key % 20_001) * 10 + (key % 1_000) * 100);
+    }
+    PartTable {
+        p_partkey: Column::from_i32(keys),
+        p_type: Column::from_strings(&types),
+        p_retailprice: Column::from_decimals(prices, 12, 2).expect("prices fit"),
+    }
+}
+
+/// Generated `lineitem` table columns (the Q1/Q6/Q14 subset).
+pub struct LineitemTable {
+    /// `l_partkey` — foreign key into `part`.
+    pub l_partkey: Column,
+    /// `l_quantity` — 1..=50.
+    pub l_quantity: Column,
+    /// `l_extendedprice` — decimal(12,2).
+    pub l_extendedprice: Column,
+    /// `l_discount` — decimal(12,2), 0.00..=0.10.
+    pub l_discount: Column,
+    /// `l_tax` — decimal(12,2), 0.00..=0.08.
+    pub l_tax: Column,
+    /// `l_returnflag` — 'A' | 'N' | 'R'.
+    pub l_returnflag: Column,
+    /// `l_linestatus` — 'F' | 'O'.
+    pub l_linestatus: Column,
+    /// `l_shipdate` — 2,526-day domain.
+    pub l_shipdate: Column,
+}
+
+/// Generate the `lineitem` table.
+pub fn gen_lineitem(cfg: &TpchConfig) -> LineitemTable {
+    let n = cfg.lineitems();
+    let parts = cfg.parts() as i64;
+    let mut rng = Xoshiro::seed(cfg.seed);
+    let epoch = ship_epoch().days();
+
+    let mut partkey = Vec::with_capacity(n);
+    let mut quantity = Vec::with_capacity(n);
+    let mut price = Vec::with_capacity(n);
+    let mut discount = Vec::with_capacity(n);
+    let mut tax = Vec::with_capacity(n);
+    let mut rflag: Vec<&str> = Vec::with_capacity(n);
+    let mut lstatus: Vec<&str> = Vec::with_capacity(n);
+    let mut shipdate = Vec::with_capacity(n);
+
+    // The 1995-06-17 "current date" watershed drives returnflag/linestatus.
+    let currentdate = Date::from_ymd(1995, 6, 17).days();
+
+    for _ in 0..n {
+        let pk = 1 + rng.below(parts as u64) as i64;
+        partkey.push(pk as i32);
+        let qty = rng.range_i64(1, 50);
+        quantity.push(qty as i32);
+        // extendedprice = qty * part retail price (same formula as gen_part).
+        let retail = 90_000 + (pk % 20_001) * 10 + (pk % 1_000) * 100;
+        price.push(qty * retail);
+        discount.push(rng.range_i64(0, 10));
+        tax.push(rng.range_i64(0, 8));
+        let ship = epoch + rng.range_i64(0, SHIPDATE_DAYS - 1) as i32;
+        shipdate.push(Date(ship));
+        if ship <= currentdate {
+            rflag.push(if rng.below(2) == 0 { "A" } else { "R" });
+            lstatus.push("F");
+        } else {
+            rflag.push("N");
+            lstatus.push("O");
+        }
+    }
+
+    LineitemTable {
+        l_partkey: Column::from_i32(partkey),
+        l_quantity: Column::from_i32(quantity),
+        l_extendedprice: Column::from_decimals(price, 12, 2).expect("prices fit"),
+        l_discount: Column::from_decimals(discount, 12, 2).expect("fits"),
+        l_tax: Column::from_decimals(tax, 12, 2).expect("fits"),
+        l_returnflag: Column::from_strings(&rflag),
+        l_linestatus: Column::from_strings(&lstatus),
+        l_shipdate: Column::from_dates(shipdate),
+    }
+}
+
+impl LineitemTable {
+    /// As named columns for `Database::create_table`.
+    pub fn into_columns(self) -> Vec<(String, Column)> {
+        vec![
+            ("l_partkey".into(), self.l_partkey),
+            ("l_quantity".into(), self.l_quantity),
+            ("l_extendedprice".into(), self.l_extendedprice),
+            ("l_discount".into(), self.l_discount),
+            ("l_tax".into(), self.l_tax),
+            ("l_returnflag".into(), self.l_returnflag),
+            ("l_linestatus".into(), self.l_linestatus),
+            ("l_shipdate".into(), self.l_shipdate),
+        ]
+    }
+}
+
+impl PartTable {
+    /// As named columns for `Database::create_table`.
+    pub fn into_columns(self) -> Vec<(String, Column)> {
+        vec![
+            ("p_partkey".into(), self.p_partkey),
+            ("p_type".into(), self.p_type),
+            ("p_retailprice".into(), self.p_retailprice),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_match_the_papers_bit_analysis() {
+        let cfg = TpchConfig {
+            scale: 0.005,
+            seed: 1,
+        };
+        let li = gen_lineitem(&cfg);
+        // l_quantity: 50 values.
+        let (lo, hi) = li.l_quantity.payload_min_max().unwrap();
+        assert!(lo >= 1 && hi <= 50);
+        // l_discount: 11 cent-values 0..=10.
+        let (lo, hi) = li.l_discount.payload_min_max().unwrap();
+        assert!(lo >= 0 && hi <= 10);
+        // l_shipdate: within the 2526-day domain.
+        let (lo, hi) = li.l_shipdate.payload_min_max().unwrap();
+        let epoch = ship_epoch().days() as i64;
+        assert!(lo >= epoch && hi < epoch + SHIPDATE_DAYS);
+        // Flags.
+        let dict = li.l_returnflag.dictionary().unwrap();
+        assert!(dict.len() <= 3);
+        let dict = li.l_linestatus.dictionary().unwrap();
+        assert!(dict.len() <= 2);
+    }
+
+    #[test]
+    fn part_types_are_the_125_combinations() {
+        let part = gen_part(&TpchConfig {
+            scale: 0.05,
+            seed: 2,
+        });
+        let dict = part.p_type.dictionary().unwrap();
+        assert!(dict.len() <= 125);
+        // A PROMO range exists and is a contiguous code block.
+        let (lo, hi) = dict.prefix_code_range("PROMO").unwrap();
+        assert!(hi >= lo);
+        for code in lo..=hi {
+            assert!(dict.value_of(code).starts_with("PROMO"));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = TpchConfig {
+            scale: 0.001,
+            seed: 7,
+        };
+        let a = gen_lineitem(&cfg);
+        let b = gen_lineitem(&cfg);
+        assert_eq!(a.l_quantity.payloads(), b.l_quantity.payloads());
+        assert_eq!(a.l_shipdate.payloads(), b.l_shipdate.payloads());
+    }
+
+    #[test]
+    fn fk_targets_exist() {
+        let cfg = TpchConfig {
+            scale: 0.002,
+            seed: 3,
+        };
+        let li = gen_lineitem(&cfg);
+        let parts = cfg.parts() as i64;
+        let (lo, hi) = li.l_partkey.payload_min_max().unwrap();
+        assert!(lo >= 1 && hi <= parts);
+    }
+
+    #[test]
+    fn extendedprice_is_quantity_times_retail() {
+        let cfg = TpchConfig {
+            scale: 0.001,
+            seed: 11,
+        };
+        let li = gen_lineitem(&cfg);
+        for i in 0..li.l_quantity.len().min(100) {
+            let pk = li.l_partkey.payload(i);
+            let retail = 90_000 + (pk % 20_001) * 10 + (pk % 1_000) * 100;
+            assert_eq!(
+                li.l_extendedprice.payload(i),
+                li.l_quantity.payload(i) * retail
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! A software simulator of the paper's co-processing platform.
+//!
+//! No Rust-native CUDA/OpenCL stack is mature enough to reproduce the
+//! paper's GPU setup portably, and this environment has no GPU at all —
+//! so the platform is *simulated*: kernels in `bwd-kernels` execute their
+//! real computation on the host (bit-exact results) while charging
+//! calibrated simulated time to a [`CostLedger`]. Three things are real,
+//! not merely modeled:
+//!
+//! * **capacity** — [`DeviceMemory`] enforces the 2 GB limit and fails
+//!   allocations with a genuine OOM error, which is what forces the
+//!   space-constrained decompositions of §VI;
+//! * **data volume** — costs are computed from the *actual* bit-packed
+//!   sizes and the *actual* candidate counts flowing through operators;
+//! * **topology** — every byte crossing host↔device is metered through
+//!   the [`PcieSpec`] link, making the PCI-E bottleneck observable.
+//!
+//! Constants default to the paper's hardware (§VI-A): GTX 680 (2 GB,
+//! 192 GB/s), dual Xeon E5-2650, PCI-E at a measured 3.95 GB/s.
+
+pub mod device;
+pub mod ledger;
+pub mod memory;
+pub mod spec;
+
+pub use device::{Device, Env};
+pub use ledger::{Breakdown, Component, CostEvent, CostLedger, TrafficBytes};
+pub use memory::{DeviceBuffer, DeviceMemory};
+pub use spec::{CpuSpec, DeviceSpec, PcieSpec, GIB};

@@ -1,0 +1,275 @@
+//! Shared aggregate computation over materialized row blocks.
+//!
+//! Both executors end in the same place: a [`RowBlock`] of surviving rows,
+//! an optional grouping, and a list of aggregates / projections to
+//! evaluate. The arithmetic here is exact (i128 accumulation over scaled
+//! integers) so the classic and A&R paths must produce *identical* rows —
+//! the equivalence the integration tests assert.
+
+use crate::eval::{bind_expr, eval, AggValue, BoundExpr, RowBlock};
+use bwd_core::plan::{AggExpr, AggFunc, ScalarExpr};
+use bwd_types::{BwdError, Result, Value};
+
+/// A grouping over the block rows.
+#[derive(Debug, Clone)]
+pub struct Grouping {
+    /// Group id per block row.
+    pub group_ids: Vec<u32>,
+    /// Per group, the rendered key values (one per group-by column).
+    pub group_keys: Vec<Vec<Value>>,
+    /// Names of the group-by columns.
+    pub key_names: Vec<String>,
+}
+
+/// Compute aggregates (grouped or global) over the block.
+///
+/// Returns `(column names, rows)`, rows sorted by group key.
+pub fn compute_aggregates(
+    block: &RowBlock,
+    grouping: Option<&Grouping>,
+    aggs: &[AggExpr],
+) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+    let bound: Vec<(AggFunc, Option<BoundExpr>, &str)> = aggs
+        .iter()
+        .map(|a| {
+            let be = a.arg.as_ref().map(|e| bind_expr(e, block)).transpose()?;
+            if be.is_none() && a.func != AggFunc::Count {
+                return Err(BwdError::Plan(format!(
+                    "{:?} requires an argument expression",
+                    a.func
+                )));
+            }
+            Ok((a.func, be, a.alias.as_str()))
+        })
+        .collect::<Result<_>>()?;
+
+    let n_groups = grouping.map(|g| g.group_keys.len()).unwrap_or(1);
+    let group_of = |row: usize| -> usize {
+        grouping.map(|g| g.group_ids[row] as usize).unwrap_or(0)
+    };
+
+    // Accumulators per (group, aggregate).
+    #[derive(Clone, Copy)]
+    struct Acc {
+        sum: i128,
+        count: u64,
+        min: i128,
+        max: i128,
+        scale: u8,
+    }
+    let empty = Acc {
+        sum: 0,
+        count: 0,
+        min: i128::MAX,
+        max: i128::MIN,
+        scale: 0,
+    };
+    let mut accs = vec![vec![empty; bound.len()]; n_groups];
+
+    for row in 0..block.len() {
+        let g = group_of(row);
+        for (ai, (func, be, _)) in bound.iter().enumerate() {
+            let acc = &mut accs[g][ai];
+            match (func, be) {
+                (AggFunc::Count, None) => acc.count += 1,
+                (_, Some(be)) => {
+                    let (v, s) = eval(be, block, row)?;
+                    acc.scale = s;
+                    acc.count += 1;
+                    acc.sum += v;
+                    acc.min = acc.min.min(v);
+                    acc.max = acc.max.max(v);
+                }
+                (_, None) => unreachable!("validated above"),
+            }
+        }
+    }
+
+    let mut columns: Vec<String> = grouping
+        .map(|g| g.key_names.clone())
+        .unwrap_or_default();
+    columns.extend(bound.iter().map(|(_, _, alias)| alias.to_string()));
+
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(n_groups);
+    for g in 0..n_groups {
+        // Global aggregation over zero rows still yields one row
+        // (count = 0); grouped aggregation only has non-empty groups.
+        let mut row: Vec<Value> = grouping
+            .map(|gr| gr.group_keys[g].clone())
+            .unwrap_or_default();
+        for (ai, (func, _, _)) in bound.iter().enumerate() {
+            let a = accs[g][ai];
+            row.push(match func {
+                AggFunc::Count => Value::Int(a.count as i64),
+                AggFunc::Sum => AggValue {
+                    unscaled: a.sum,
+                    scale: a.scale,
+                }
+                .to_value(),
+                AggFunc::Avg => {
+                    if a.count == 0 {
+                        Value::Double(f64::NAN)
+                    } else {
+                        Value::Double(
+                            AggValue {
+                                unscaled: a.sum,
+                                scale: a.scale,
+                            }
+                            .as_f64()
+                                / a.count as f64,
+                        )
+                    }
+                }
+                AggFunc::Min => AggValue {
+                    unscaled: if a.count == 0 { 0 } else { a.min },
+                    scale: a.scale,
+                }
+                .to_value(),
+                AggFunc::Max => AggValue {
+                    unscaled: if a.count == 0 { 0 } else { a.max },
+                    scale: a.scale,
+                }
+                .to_value(),
+            });
+        }
+        rows.push(row);
+    }
+
+    // Deterministic output: sort by the group key values.
+    let key_len = grouping.map(|g| g.key_names.len()).unwrap_or(0);
+    rows.sort_by(|a, b| {
+        for k in 0..key_len {
+            let ord = a[k].total_cmp(&b[k]);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok((columns, rows))
+}
+
+/// Evaluate plain projections over the block (non-aggregate queries).
+pub fn compute_projection(
+    block: &RowBlock,
+    exprs: &[(ScalarExpr, String)],
+) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+    let bound: Vec<BoundExpr> = exprs
+        .iter()
+        .map(|(e, _)| bind_expr(e, block))
+        .collect::<Result<_>>()?;
+    let columns: Vec<String> = exprs.iter().map(|(_, a)| a.clone()).collect();
+    let mut rows = Vec::with_capacity(block.len());
+    for row in 0..block.len() {
+        let mut out = Vec::with_capacity(bound.len());
+        for be in &bound {
+            let (v, s) = eval(be, block, row)?;
+            out.push(
+                AggValue {
+                    unscaled: v,
+                    scale: s,
+                }
+                .to_value(),
+            );
+        }
+        rows.push(out);
+    }
+    Ok((columns, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ColumnSlot;
+    use bwd_core::plan::ScalarExpr as E;
+    use bwd_types::DataType;
+
+    fn block() -> RowBlock {
+        let mut b = RowBlock::new(4);
+        b.push_slot(ColumnSlot {
+            name: "v".into(),
+            payloads: vec![10, 20, 30, 40],
+            dtype: DataType::Int32,
+            dict: None,
+        });
+        b
+    }
+
+    fn agg(func: AggFunc, arg: Option<ScalarExpr>, alias: &str) -> AggExpr {
+        AggExpr {
+            func,
+            arg,
+            alias: alias.into(),
+        }
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let b = block();
+        let (cols, rows) = compute_aggregates(
+            &b,
+            None,
+            &[
+                agg(AggFunc::Count, None, "n"),
+                agg(AggFunc::Sum, Some(E::col("v")), "s"),
+                agg(AggFunc::Avg, Some(E::col("v")), "a"),
+                agg(AggFunc::Min, Some(E::col("v")), "lo"),
+                agg(AggFunc::Max, Some(E::col("v")), "hi"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(cols, vec!["n", "s", "a", "lo", "hi"]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(4));
+        assert_eq!(rows[0][1], Value::Int(100));
+        assert_eq!(rows[0][2], Value::Double(25.0));
+        assert_eq!(rows[0][3], Value::Int(10));
+        assert_eq!(rows[0][4], Value::Int(40));
+    }
+
+    #[test]
+    fn grouped_aggregates_sorted_by_key() {
+        let b = block();
+        let grouping = Grouping {
+            group_ids: vec![1, 0, 1, 0],
+            group_keys: vec![vec![Value::Int(9)], vec![Value::Int(3)]],
+            key_names: vec!["k".into()],
+        };
+        let (cols, rows) = compute_aggregates(
+            &b,
+            Some(&grouping),
+            &[agg(AggFunc::Sum, Some(E::col("v")), "s")],
+        )
+        .unwrap();
+        assert_eq!(cols, vec!["k", "s"]);
+        // Sorted by key: group 3 (rows 0,2 -> v 10+30) then 9 (20+40).
+        assert_eq!(rows[0], vec![Value::Int(3), Value::Int(40)]);
+        assert_eq!(rows[1], vec![Value::Int(9), Value::Int(60)]);
+    }
+
+    #[test]
+    fn empty_block_global_count() {
+        let b = RowBlock::new(0);
+        let (_, rows) =
+            compute_aggregates(&b, None, &[agg(AggFunc::Count, None, "n")]).unwrap();
+        assert_eq!(rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn projection_rows() {
+        let b = block();
+        let (cols, rows) = compute_projection(
+            &b,
+            &[(E::col("v").binary(bwd_core::plan::BinOp::Mul, E::lit(2i64)), "v2".into())],
+        )
+        .unwrap();
+        assert_eq!(cols, vec!["v2"]);
+        assert_eq!(rows[3], vec![Value::Int(80)]);
+    }
+
+    #[test]
+    fn sum_without_argument_fails() {
+        let b = block();
+        assert!(compute_aggregates(&b, None, &[agg(AggFunc::Sum, None, "s")]).is_err());
+    }
+}

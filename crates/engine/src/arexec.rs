@@ -1,0 +1,634 @@
+//! The A&R executor: interprets an [`ArPlan`] over bound (bitwise
+//! distributed) tables.
+//!
+//! Execution has two phases, mirroring Figure 3 / Figure 7:
+//!
+//! 1. **Approximation subplan** (device): the relaxed selection chain runs
+//!    entirely on the co-processor — full scan first, candidate-list
+//!    filters after — followed by the approximate pre-grouping. No step
+//!    depends on any refinement, so the approximate answer (candidate
+//!    count) is available here.
+//! 2. **Refinement** (host): candidate lists cross PCI-E once; selections
+//!    are refined last-to-first (each refinement consumes the matching
+//!    approximation output through a translucent join), exact values are
+//!    reconstructed from residuals, and aggregates are computed — on the
+//!    device when *every* referenced column is fully device-resident (the
+//!    paper's all-GPU configurations), on the host otherwise (destructive
+//!    distributivity, §IV-G).
+//!
+//! The `pushdown: false` ablation interleaves refinement with the
+//! selection chain, paying a PCI-E round trip per predicate (§III-A).
+
+use crate::aggregate::{compute_aggregates, compute_projection, Grouping};
+use crate::database::Database;
+use crate::eval::{payload_to_value, ColumnSlot, RowBlock};
+use crate::result::{ApproxAnswer, QueryResult};
+use bwd_core::ops::join::{fk_project_approx, fk_project_refine, FkIndex};
+use bwd_core::plan::ArPlan;
+use bwd_core::relax::relax_to_stored;
+use bwd_core::translucent::translucent_join_with;
+use bwd_core::{BoundColumn, RangePred};
+use bwd_device::{Component, CostLedger, Env};
+use bwd_kernels::gather::{gather, gather_indirect};
+use bwd_kernels::group::hash_group_multi;
+use bwd_kernels::scan::{
+    select_range, select_range_indirect, select_range_on, select_range_on_indirect,
+};
+use bwd_kernels::{Candidates, ScanOptions};
+use bwd_types::{BwdError, FxHashMap, Oid, Result, Value};
+
+/// Execution options for the A&R path.
+#[derive(Debug, Clone, Default)]
+pub struct ArExecOptions {
+    /// Device scan tuning.
+    pub scan: ScanOptions,
+    /// Capture the approximate answer after the approximation subplan.
+    pub approximate_answer: bool,
+}
+
+/// A resolved column reference.
+struct ColRef<'a> {
+    bound: &'a BoundColumn,
+    /// Whether this is a dimension column reached through the FK index.
+    is_dim: bool,
+    dtype: bwd_types::DataType,
+    dict: Option<std::sync::Arc<bwd_storage::Dictionary>>,
+}
+
+/// Execute the plan with Approximate & Refine processing.
+pub fn run_ar(db: &Database, plan: &ArPlan, opts: &ArExecOptions) -> Result<QueryResult> {
+    let env = db.env();
+    let mut ledger = CostLedger::new();
+    let fact = db.catalog().table(&plan.table)?;
+    let n = fact.len();
+    let fk: Option<&FkIndex> = match &plan.fk_join {
+        Some(j) => Some(db.fk_index(&plan.table, &j.fact_key)?),
+        None => None,
+    };
+
+    let resolve = |name: &str| -> Result<ColRef<'_>> {
+        let (table, col, is_dim) = match name.split_once('.') {
+            Some((t, c)) => {
+                let j = plan
+                    .fk_join
+                    .as_ref()
+                    .filter(|j| j.dim_table == t)
+                    .ok_or_else(|| BwdError::Bind(format!("table {t} not joined")))?;
+                let _ = j;
+                (t, c, true)
+            }
+            None => (plan.table.as_str(), name, false),
+        };
+        let catalog_col = db.catalog().table(table)?.column(col)?;
+        Ok(ColRef {
+            bound: db.bound_column(table, col)?,
+            is_dim,
+            dtype: catalog_col.dtype(),
+            dict: catalog_col.dictionary().cloned(),
+        })
+    };
+
+    // ======================= Approximation subplan =======================
+    let mut sel_outputs: Vec<Candidates> = Vec::with_capacity(plan.selections.len());
+    let mut interleaved_survivors: Option<Vec<Oid>> = None;
+
+    if plan.pushdown {
+        for sel in &plan.selections {
+            let c = resolve(&sel.column)?;
+            let cands = approx_select_step(
+                env,
+                &c,
+                fk,
+                &sel.range,
+                sel_outputs.last(),
+                &opts.scan,
+                &mut ledger,
+            )?;
+            sel_outputs.push(cands);
+        }
+    } else {
+        // Ablation: approximate *and refine* each selection before the
+        // next — survivors re-cross PCI-E per predicate.
+        let mut surv: Option<Vec<Oid>> = None;
+        for sel in &plan.selections {
+            let c = resolve(&sel.column)?;
+            let input = surv.map(|oids| {
+                // Upload the refined oid list back to the device.
+                ledger.charge(
+                    Component::Pcie,
+                    "select.approx.upload-survivors",
+                    env.pcie.transfer_seconds(oids.len() as u64 * 4),
+                    oids.len() as u64 * 4,
+                );
+                let mut cand = Candidates {
+                    approx: Vec::new(),
+                    oids,
+                    sorted: false,
+                    dense: false,
+                };
+                cand.refresh_flags();
+                cand
+            });
+            let cands = approx_select_step(
+                env,
+                &c,
+                fk,
+                &sel.range,
+                input.as_ref(),
+                &opts.scan,
+                &mut ledger,
+            )?;
+            let refined = refine_selection(env, &c, fk, &cands, None, &sel.range, &mut ledger)?;
+            surv = Some(refined);
+            sel_outputs.push(cands);
+        }
+        interleaved_survivors = Some(surv.unwrap_or_else(|| (0..n as Oid).collect()));
+    }
+
+    let final_cands: Candidates = if plan.selections.is_empty() {
+        Candidates::dense_all(n)
+    } else {
+        sel_outputs.last().unwrap().clone()
+    };
+
+    // Approximate pre-grouping (device) where the keys allow it.
+    let group_cols: Vec<ColRef<'_>> = plan
+        .group_by
+        .iter()
+        .map(|g| resolve(g))
+        .collect::<Result<_>>()?;
+    let device_group = if !plan.group_by.is_empty()
+        && group_cols
+            .iter()
+            .all(|c| !c.is_dim && c.bound.meta().fully_device_resident())
+    {
+        let arrays: Vec<&bwd_kernels::DeviceArray> =
+            group_cols.iter().map(|c| c.bound.approx()).collect();
+        Some(hash_group_multi(env, &arrays, &final_cands, &mut ledger))
+    } else {
+        None
+    };
+
+    let approx_answer = opts.approximate_answer.then(|| ApproxAnswer {
+        candidate_count: final_cands.len(),
+        breakdown: ledger.breakdown(),
+    });
+
+    // Columns the aggregation/projection needs.
+    let mut needed: Vec<String> = plan.group_by.clone();
+    for a in &plan.aggs {
+        if let Some(arg) = &a.arg {
+            arg.collect_columns(&mut needed);
+        }
+    }
+    for (e, _) in &plan.project {
+        e.collect_columns(&mut needed);
+    }
+    needed.dedup();
+    let needed_cols: Vec<(String, ColRef<'_>)> = needed
+        .iter()
+        .map(|nm| resolve(nm).map(|c| (nm.clone(), c)))
+        .collect::<Result<_>>()?;
+
+    // Device fast path (the all-GPU configurations): every referenced
+    // column — selections included — is fully device-resident, so the
+    // relaxed bounds are exact (granule size 1), the candidate list holds
+    // no false positives, and no refinement is needed at all: the device
+    // computes exact aggregates and only final results cross the bus.
+    let selections_resident = plan
+        .selections
+        .iter()
+        .map(|s| resolve(&s.column))
+        .collect::<Result<Vec<_>>>()?
+        .iter()
+        .all(|c| c.bound.meta().fully_device_resident());
+    let all_resident = selections_resident
+        && needed_cols
+            .iter()
+            .all(|(_, c)| c.bound.meta().fully_device_resident())
+        && plan.pushdown
+        && interleaved_survivors.is_none();
+
+    // ============================ Refinement ============================
+    // Selections refine last-to-first: the matching approximation output
+    // is consumed through a translucent join, survivors shrink monotonically.
+    let survivors: Option<Vec<Oid>> = if all_resident {
+        None // exact by construction; the device path consumes candidates
+    } else if let Some(s) = interleaved_survivors {
+        Some(s)
+    } else if plan.selections.is_empty() {
+        None // every tuple survives; avoid materializing 0..n twice
+    } else {
+        let mut surv: Option<Vec<Oid>> = None;
+        for (i, sel) in plan.selections.iter().enumerate().rev() {
+            let c = resolve(&sel.column)?;
+            let refined = refine_selection(
+                env,
+                &c,
+                fk,
+                &sel_outputs[i],
+                surv.as_deref(),
+                &sel.range,
+                &mut ledger,
+            )?;
+            surv = Some(refined);
+        }
+        surv
+    };
+    let survivor_count = survivors.as_ref().map_or_else(
+        || if all_resident { final_cands.len() } else { n },
+        Vec::len,
+    );
+
+    let (block, grouping) = if all_resident {
+        build_device_block(env, &needed_cols, fk, &final_cands, &mut ledger)?
+            .with_grouping(env, plan, &group_cols, device_group.as_ref(), &final_cands)?
+    } else {
+        let surv_slice: Vec<Oid> = match &survivors {
+            Some(s) => s.clone(),
+            None => (0..n as Oid).collect(),
+        };
+        let block = build_host_block(
+            env,
+            &needed_cols,
+            fk,
+            &final_cands,
+            &surv_slice,
+            &mut ledger,
+        )?;
+        let grouping = host_grouping(env, plan, &block, &mut ledger)?;
+        (block, grouping)
+    };
+
+    // Aggregation / projection arithmetic.
+    let agg_component = if all_resident {
+        Component::Device
+    } else {
+        Component::Host
+    };
+    let expr_ops: u64 = plan
+        .aggs
+        .iter()
+        .map(|a| a.arg.as_ref().map_or(0, |e| e.op_count()) + 1)
+        .chain(plan.project.iter().map(|(e, _)| e.op_count() + 1))
+        .sum();
+    let agg_tuples = block.len() as u64 * expr_ops.max(1);
+    let t_agg = match agg_component {
+        Component::Device => {
+            let spec = env.device.spec();
+            let mut t = spec.compute_seconds(3 * agg_tuples);
+            if let Some(g) = grouping.as_ref() {
+                // Grouped device aggregation scatters atomic updates into
+                // per-group accumulators: the same write-conflict
+                // contention as the grouping kernel, once per aggregate
+                // per tuple (this is what bounds the paper's Q1 to a ~3x
+                // speedup). Expression arithmetic itself runs in registers
+                // and does not contend.
+                let conflicts = 1.0 + 31.0 / g.group_keys.len().max(1) as f64;
+                let updates = block.len() as f64 * plan.aggs.len() as f64;
+                t += updates * conflicts * spec.atomic_conflict_cost;
+            }
+            t
+        }
+        _ => {
+            // Destructive distributivity (§IV-G): the sums are evaluated
+            // with the *classic* bulk operators over reconstructed exact
+            // values — per-primitive materialization plus one accumulation
+            // pass per aggregate, same pricing as the classic pipe.
+            let expr = env.cpu.scan_seconds(
+                block.len() as u64 * expr_ops * 8,
+                agg_tuples,
+                env.host_threads,
+            );
+            let accum = plan.aggs.len().max(1) as f64
+                * env
+                    .cpu
+                    .scan_seconds(block.len() as u64 * 8, block.len() as u64, env.host_threads);
+            expr + accum
+        }
+    };
+    ledger.charge(agg_component, "aggregate.eval", t_agg, 0);
+
+    let (columns, rows) = if !plan.aggs.is_empty() {
+        compute_aggregates(&block, grouping.as_ref(), &plan.aggs)?
+    } else {
+        compute_projection(&block, &plan.project)?
+    };
+    if all_resident {
+        // Per-group results cross the bus (tiny).
+        env.charge_download("aggregate.download", rows.len() as u64 * 16, &mut ledger);
+    }
+
+    Ok(QueryResult {
+        columns,
+        rows,
+        breakdown: ledger.breakdown(),
+        survivors: if all_resident {
+            final_cands.len()
+        } else {
+            survivor_count
+        },
+        approx: approx_answer,
+    })
+}
+
+/// One approximate selection step (full scan / chained, direct / through
+/// the FK link).
+fn approx_select_step(
+    env: &Env,
+    col: &ColRef<'_>,
+    fk: Option<&FkIndex>,
+    range: &RangePred,
+    input: Option<&Candidates>,
+    scan: &ScanOptions,
+    ledger: &mut CostLedger,
+) -> Result<Candidates> {
+    let Some((lo, hi)) = relax_to_stored(col.bound.meta(), range) else {
+        return Ok(Candidates::empty());
+    };
+    let arr = col.bound.approx();
+    Ok(match (input, col.is_dim) {
+        (None, false) => select_range(env, arr, lo, hi, scan, ledger),
+        (Some(c), false) => select_range_on(env, arr, c, lo, hi, ledger),
+        (None, true) => {
+            let fk = fk.ok_or_else(|| BwdError::Exec("dim predicate without FK".into()))?;
+            select_range_indirect(env, arr, fk.device(), lo, hi, scan, ledger)
+        }
+        (Some(c), true) => {
+            let fk = fk.ok_or_else(|| BwdError::Exec("dim predicate without FK".into()))?;
+            select_range_on_indirect(env, arr, fk.device(), c, lo, hi, ledger)
+        }
+    })
+}
+
+/// Refine one selection: download its approximation output, align the
+/// survivor subset (translucent join), reconstruct exact payloads via the
+/// residual (at the fact position, or the dimension position through the
+/// host FK index) and re-test the precise range.
+fn refine_selection(
+    env: &Env,
+    col: &ColRef<'_>,
+    fk: Option<&FkIndex>,
+    approx_out: &Candidates,
+    survivors: Option<&[Oid]>,
+    range: &RangePred,
+    ledger: &mut CostLedger,
+) -> Result<Vec<Oid>> {
+    if col.bound.meta().fully_device_resident() {
+        env.charge_download("select.refine.download", approx_out.len() as u64 * 4, ledger);
+    } else {
+        approx_out.download(
+            env,
+            col.bound.meta().stored_width(),
+            "select.refine.download",
+            ledger,
+        );
+    }
+    let meta = col.bound.meta();
+    let residual_of = |oid: Oid| -> u64 {
+        if meta.resbits() == 0 {
+            0
+        } else if col.is_dim {
+            let dim_row = fk.expect("dim refine requires FK").dim_row(oid);
+            col.bound.residual().get(dim_row as usize)
+        } else {
+            col.bound.residual().get(oid as usize)
+        }
+    };
+
+    let mut out: Vec<Oid> = Vec::new();
+    let refined_n;
+    match survivors {
+        None => {
+            refined_n = approx_out.len();
+            for (&oid, &stored) in approx_out.oids.iter().zip(&approx_out.approx) {
+                if range.test(meta.payload_from_parts(stored, residual_of(oid))) {
+                    out.push(oid);
+                }
+            }
+        }
+        Some(subset) => {
+            refined_n = subset.len();
+            translucent_join_with(
+                &approx_out.oids,
+                &approx_out.approx,
+                approx_out.dense.then_some(0),
+                subset,
+                |bi, stored| {
+                    let oid = subset[bi];
+                    if range.test(meta.payload_from_parts(stored, residual_of(oid))) {
+                        out.push(oid);
+                    }
+                },
+            )?;
+        }
+    }
+    let merge_bytes = if survivors.is_some() {
+        approx_out.len() as u64 * 4
+    } else {
+        0
+    };
+    if col.bound.meta().fully_device_resident() {
+        env.charge_host_scan(
+            "select.refine.materialize",
+            refined_n as u64 * 4 + merge_bytes,
+            refined_n as u64,
+            ledger,
+        );
+    } else {
+        env.charge_host_scattered(
+            "select.refine",
+            col.bound.residual_access_bytes(refined_n) + merge_bytes,
+            refined_n as u64 * bwd_core::ops::REFINE_OPS_PER_TUPLE,
+            ledger,
+        );
+    }
+    Ok(out)
+}
+
+/// Intermediate for the device fast path.
+struct DeviceBlock {
+    block: RowBlock,
+}
+
+impl DeviceBlock {
+    fn with_grouping(
+        self,
+        _env: &Env,
+        plan: &ArPlan,
+        group_cols: &[ColRef<'_>],
+        device_group: Option<&bwd_kernels::MultiGroupResult>,
+        _cands: &Candidates,
+    ) -> Result<(RowBlock, Option<Grouping>)> {
+        let grouping = match (plan.group_by.is_empty(), device_group) {
+            (true, _) => None,
+            (false, Some(g)) => {
+                let group_keys: Vec<Vec<Value>> = g
+                    .group_keys
+                    .iter()
+                    .map(|keys| {
+                        keys.iter()
+                            .zip(group_cols)
+                            .map(|(&stored, c)| {
+                                payload_to_value(
+                                    c.bound.meta().payload_from_parts(stored, 0),
+                                    c.dtype,
+                                    c.dict.as_deref(),
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect();
+                Some(Grouping {
+                    group_ids: g.group_ids.clone(),
+                    group_keys,
+                    key_names: plan.group_by.clone(),
+                })
+            }
+            (false, None) => {
+                return Err(BwdError::Exec(
+                    "device aggregation requires a device grouping".into(),
+                ))
+            }
+        };
+        Ok((self.block, grouping))
+    }
+}
+
+/// Materialize needed columns on the device path: gathers stay on the
+/// device (charged there), payloads are decoded exactly (no residuals
+/// exist), and nothing but final aggregates will cross the bus.
+fn build_device_block(
+    env: &Env,
+    needed: &[(String, ColRef<'_>)],
+    fk: Option<&FkIndex>,
+    cands: &Candidates,
+    ledger: &mut CostLedger,
+) -> Result<DeviceBlock> {
+    let mut block = RowBlock::new(cands.len());
+    for (name, c) in needed {
+        let stored = if c.is_dim {
+            let fk = fk.ok_or_else(|| BwdError::Exec("dim column without FK".into()))?;
+            gather_indirect(
+                env,
+                c.bound.approx(),
+                fk.device(),
+                cands,
+                "aggregate.gather",
+                ledger,
+            )
+        } else {
+            gather(env, c.bound.approx(), cands, "aggregate.gather", ledger)
+        };
+        let meta = c.bound.meta();
+        block.push_slot(ColumnSlot {
+            name: name.clone(),
+            payloads: stored
+                .into_iter()
+                .map(|s| meta.payload_from_parts(s, 0))
+                .collect(),
+            dtype: c.dtype,
+            dict: c.dict.clone(),
+        });
+    }
+    Ok(DeviceBlock { block })
+}
+
+/// Materialize needed columns on the host path: approximate projections on
+/// the device, downloads, translucent refinement with residuals.
+fn build_host_block(
+    env: &Env,
+    needed: &[(String, ColRef<'_>)],
+    fk: Option<&FkIndex>,
+    cands: &Candidates,
+    survivors: &[Oid],
+    ledger: &mut CostLedger,
+) -> Result<RowBlock> {
+    let mut block = RowBlock::new(survivors.len());
+    for (name, c) in needed {
+        let payloads = if c.is_dim {
+            let fk = fk.ok_or_else(|| BwdError::Exec("dim column without FK".into()))?;
+            let approx = fk_project_approx(env, fk, c.bound, cands, ledger);
+            fk_project_refine(
+                env,
+                fk,
+                c.bound,
+                &cands.oids,
+                cands.dense.then_some(0),
+                &approx,
+                survivors,
+                true,
+                ledger,
+            )?
+        } else {
+            let approx = gather(env, c.bound.approx(), cands, "project.approx.gather", ledger);
+            bwd_core::ops::project::project_refine(
+                env,
+                c.bound,
+                &cands.oids,
+                cands.dense.then_some(0),
+                &approx,
+                survivors,
+                true,
+                ledger,
+            )?
+        };
+        block.push_slot(ColumnSlot {
+            name: name.clone(),
+            payloads,
+            dtype: c.dtype,
+            dict: c.dict.clone(),
+        });
+    }
+    Ok(block)
+}
+
+/// Exact host grouping over materialized key slots (used whenever the
+/// device pre-grouping is unavailable or unusable).
+fn host_grouping(
+    env: &Env,
+    plan: &ArPlan,
+    block: &RowBlock,
+    ledger: &mut CostLedger,
+) -> Result<Option<Grouping>> {
+    if plan.group_by.is_empty() {
+        return Ok(None);
+    }
+    let slots: Vec<usize> = plan
+        .group_by
+        .iter()
+        .map(|g| block.slot_index(g))
+        .collect::<Result<_>>()?;
+    let mut table: FxHashMap<Vec<i64>, u32> = FxHashMap::default();
+    let mut group_ids = Vec::with_capacity(block.len());
+    let mut group_keys: Vec<Vec<Value>> = Vec::new();
+    for row in 0..block.len() {
+        let key: Vec<i64> = slots.iter().map(|&s| block.slot(s).payloads[row]).collect();
+        let next = group_keys.len() as u32;
+        let id = *table.entry(key.clone()).or_insert_with(|| {
+            group_keys.push(
+                slots
+                    .iter()
+                    .zip(&key)
+                    .map(|(&s, &p)| {
+                        let slot = block.slot(s);
+                        payload_to_value(p, slot.dtype, slot.dict.as_deref())
+                    })
+                    .collect(),
+            );
+            next
+        });
+        group_ids.push(id);
+    }
+    env.charge_host_scan(
+        "group.refine.host",
+        block.len() as u64 * 8,
+        2 * block.len() as u64,
+        ledger,
+    );
+    Ok(Some(Grouping {
+        group_ids,
+        group_keys,
+        key_names: plan.group_by.clone(),
+    }))
+}

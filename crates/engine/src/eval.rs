@@ -1,0 +1,508 @@
+//! Scalar expression evaluation over row blocks.
+//!
+//! Both executors (classic and A&R) materialize the columns an aggregate
+//! needs as payload vectors aligned with the surviving rows — a
+//! [`RowBlock`] — and evaluate bound expressions per row with explicit
+//! decimal-scale tracking (`price * (1 - discount)` multiplies scale-2
+//! payloads into a scale-4 result, exactly like MonetDB's fixed-point
+//! arithmetic). Binding resolves column names, literal payloads and
+//! dictionary prefix ranges once; evaluation is then branch-light.
+
+use bwd_core::plan::{BinOp, Predicate, ScalarExpr};
+use bwd_core::RangePred;
+use bwd_storage::Dictionary;
+use bwd_types::{BwdError, DataType, Result, Value};
+use std::sync::Arc;
+
+/// One materialized column aligned with the surviving rows.
+#[derive(Debug, Clone)]
+pub struct ColumnSlot {
+    /// Qualified column name.
+    pub name: String,
+    /// Payloads, one per surviving row.
+    pub payloads: Vec<i64>,
+    /// Logical type (determines scale and value rendering).
+    pub dtype: DataType,
+    /// Dictionary for string columns.
+    pub dict: Option<Arc<Dictionary>>,
+}
+
+impl ColumnSlot {
+    /// Render row `i` as a logical value.
+    pub fn value(&self, i: usize) -> Value {
+        payload_to_value(self.payloads[i], self.dtype, self.dict.as_deref())
+    }
+}
+
+/// Render a payload as a logical value.
+pub fn payload_to_value(p: i64, dtype: DataType, dict: Option<&Dictionary>) -> Value {
+    match dtype {
+        DataType::Int32 | DataType::Int64 => Value::Int(p),
+        DataType::Date => Value::Date(bwd_types::Date(p as i32)),
+        DataType::Decimal { scale, .. } => Value::decimal(p, scale),
+        DataType::Bool => Value::Bool(p != 0),
+        DataType::Str => match dict {
+            Some(d) => Value::Str(d.value_of(p as u32).to_string()),
+            None => Value::Int(p),
+        },
+    }
+}
+
+/// Convert a literal to the payload domain of a column type/dictionary.
+pub fn value_to_payload(v: &Value, dtype: DataType, dict: Option<&Dictionary>) -> Result<i64> {
+    match (dtype, v) {
+        (DataType::Int32 | DataType::Int64, Value::Int(x)) => Ok(*x),
+        (DataType::Date, Value::Date(d)) => Ok(d.days() as i64),
+        (DataType::Decimal { scale, .. }, Value::Decimal { unscaled, scale: s }) => {
+            if *s == scale {
+                Ok(*unscaled)
+            } else if *s < scale {
+                unscaled
+                    .checked_mul(10i64.pow((scale - s) as u32))
+                    .ok_or_else(|| BwdError::InvalidArgument("decimal rescale overflow".into()))
+            } else {
+                let div = 10i64.pow((s - scale) as u32);
+                if unscaled % div != 0 {
+                    return Err(BwdError::InvalidArgument(
+                        "decimal literal loses precision".into(),
+                    ));
+                }
+                Ok(unscaled / div)
+            }
+        }
+        (DataType::Decimal { scale, .. }, Value::Int(x)) => x
+            .checked_mul(10i64.pow(scale as u32))
+            .ok_or_else(|| BwdError::InvalidArgument("decimal overflow".into())),
+        (DataType::Str, Value::Str(s)) => dict
+            .and_then(|d| d.code_of(s))
+            .map(|c| c as i64)
+            .ok_or_else(|| BwdError::NotFound(format!("string literal {s:?} not in dictionary"))),
+        (DataType::Bool, Value::Bool(b)) => Ok(*b as i64),
+        (dt, v) => Err(BwdError::TypeMismatch(format!(
+            "cannot bind literal {v:?} against a {dt} column"
+        ))),
+    }
+}
+
+/// A set of aligned column slots.
+#[derive(Debug, Default)]
+pub struct RowBlock {
+    slots: Vec<ColumnSlot>,
+    len: usize,
+}
+
+impl RowBlock {
+    /// An empty block of `len` rows (slots added incrementally).
+    pub fn new(len: usize) -> Self {
+        RowBlock {
+            slots: Vec::new(),
+            len,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Add a slot.
+    ///
+    /// # Panics
+    /// Panics if the payload length differs from the block length.
+    pub fn push_slot(&mut self, slot: ColumnSlot) {
+        assert_eq!(slot.payloads.len(), self.len, "slot misaligned with block");
+        self.slots.push(slot);
+    }
+
+    /// Index of a named slot.
+    pub fn slot_index(&self, name: &str) -> Result<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.name == name)
+            .ok_or_else(|| BwdError::NotFound(format!("column {name} not materialized")))
+    }
+
+    /// Whether the block already holds a slot.
+    pub fn has_slot(&self, name: &str) -> bool {
+        self.slots.iter().any(|s| s.name == name)
+    }
+
+    /// Slot accessor.
+    pub fn slot(&self, idx: usize) -> &ColumnSlot {
+        &self.slots[idx]
+    }
+}
+
+/// A typed scale of a bound expression node.
+fn scale_of(dtype: DataType) -> u8 {
+    dtype.scale()
+}
+
+/// An expression bound against a row block: names resolved to slot
+/// indices, literals to payloads, predicates to payload ranges.
+#[derive(Debug, Clone)]
+pub enum BoundExpr {
+    /// Column slot reference.
+    Col {
+        /// Slot index.
+        slot: usize,
+        /// Decimal scale of the payloads.
+        scale: u8,
+    },
+    /// Constant payload.
+    Lit {
+        /// The payload.
+        payload: i64,
+        /// Its scale.
+        scale: u8,
+    },
+    /// Arithmetic node.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<BoundExpr>,
+        /// Right operand.
+        rhs: Box<BoundExpr>,
+    },
+    /// `CASE WHEN slot IN range THEN a ELSE b END`.
+    Case {
+        /// Tested slot.
+        slot: usize,
+        /// Payload range of the WHEN condition.
+        range: RangePred,
+        /// Then branch.
+        then: Box<BoundExpr>,
+        /// Else branch.
+        otherwise: Box<BoundExpr>,
+    },
+}
+
+impl BoundExpr {
+    /// The decimal scale of the expression's result.
+    pub fn scale(&self) -> u8 {
+        match self {
+            BoundExpr::Col { scale, .. } | BoundExpr::Lit { scale, .. } => *scale,
+            BoundExpr::Bin { op, lhs, rhs } => match op {
+                BinOp::Add | BinOp::Sub => lhs.scale().max(rhs.scale()),
+                BinOp::Mul => lhs.scale() + rhs.scale(),
+                BinOp::Div => lhs.scale(),
+            },
+            BoundExpr::Case { then, .. } => then.scale(),
+        }
+    }
+}
+
+/// Bind a logical expression against a row block.
+pub fn bind_expr(expr: &ScalarExpr, block: &RowBlock) -> Result<BoundExpr> {
+    match expr {
+        ScalarExpr::Column(name) => {
+            let slot = block.slot_index(name)?;
+            Ok(BoundExpr::Col {
+                slot,
+                scale: scale_of(block.slot(slot).dtype),
+            })
+        }
+        ScalarExpr::Literal(v) => {
+            let (payload, scale) = match v {
+                Value::Int(x) => (*x, 0),
+                Value::Decimal { unscaled, scale } => (*unscaled, *scale),
+                Value::Date(d) => (d.days() as i64, 0),
+                Value::Bool(b) => (*b as i64, 0),
+                other => {
+                    return Err(BwdError::TypeMismatch(format!(
+                        "literal {other:?} not usable in arithmetic"
+                    )))
+                }
+            };
+            Ok(BoundExpr::Lit { payload, scale })
+        }
+        ScalarExpr::Binary { op, lhs, rhs } => Ok(BoundExpr::Bin {
+            op: *op,
+            lhs: Box::new(bind_expr(lhs, block)?),
+            rhs: Box::new(bind_expr(rhs, block)?),
+        }),
+        ScalarExpr::Case {
+            when,
+            then,
+            otherwise,
+        } => {
+            let (slot, range) = bind_case_predicate(when, block)?;
+            let mut then = Box::new(bind_expr(then, block)?);
+            let mut otherwise = Box::new(bind_expr(otherwise, block)?);
+            // Literal branches coerce to the other branch's scale
+            // (`... else 0` against a scale-4 THEN is ubiquitous in Q14).
+            let target = then.scale().max(otherwise.scale());
+            coerce_literal_scale(&mut then, target)?;
+            coerce_literal_scale(&mut otherwise, target)?;
+            if then.scale() != otherwise.scale() {
+                return Err(BwdError::TypeMismatch(
+                    "CASE branches must share one decimal scale".into(),
+                ));
+            }
+            Ok(BoundExpr::Case {
+                slot,
+                range,
+                then,
+                otherwise,
+            })
+        }
+    }
+}
+
+/// Rescale a literal node up to `target` scale (no-op for non-literals or
+/// literals already at the target).
+fn coerce_literal_scale(e: &mut BoundExpr, target: u8) -> Result<()> {
+    if let BoundExpr::Lit { payload, scale } = e {
+        if *scale < target {
+            *payload = payload
+                .checked_mul(10i64.pow((target - *scale) as u32))
+                .ok_or_else(|| BwdError::InvalidArgument("literal rescale overflow".into()))?;
+            *scale = target;
+        }
+    }
+    Ok(())
+}
+
+fn bind_case_predicate(pred: &Predicate, block: &RowBlock) -> Result<(usize, RangePred)> {
+    match pred {
+        Predicate::Cmp { column, op, value } => {
+            let slot = block.slot_index(column)?;
+            let s = block.slot(slot);
+            let payload = value_to_payload(value, s.dtype, s.dict.as_deref())?;
+            let range = RangePred::from_cmp(*op, payload)
+                .unwrap_or(RangePred::between(1, 0));
+            Ok((slot, range))
+        }
+        Predicate::Between { column, lo, hi } => {
+            let slot = block.slot_index(column)?;
+            let s = block.slot(slot);
+            let lo = value_to_payload(lo, s.dtype, s.dict.as_deref())?;
+            let hi = value_to_payload(hi, s.dtype, s.dict.as_deref())?;
+            Ok((slot, RangePred::between(lo, hi)))
+        }
+        Predicate::PrefixLike { column, prefix } => {
+            let slot = block.slot_index(column)?;
+            let s = block.slot(slot);
+            let dict = s.dict.as_deref().ok_or_else(|| {
+                BwdError::TypeMismatch(format!("{column} is not a dictionary column"))
+            })?;
+            let range = match dict.prefix_code_range(prefix) {
+                Some((lo, hi)) => RangePred::between(lo as i64, hi as i64),
+                None => RangePred::between(1, 0),
+            };
+            Ok((slot, range))
+        }
+        Predicate::And(_) => Err(BwdError::Unsupported(
+            "conjunctions inside CASE conditions".into(),
+        )),
+    }
+}
+
+/// Evaluate a bound expression for one row: `(unscaled payload, scale)`.
+pub fn eval(expr: &BoundExpr, block: &RowBlock, row: usize) -> Result<(i128, u8)> {
+    match expr {
+        BoundExpr::Col { slot, scale } => {
+            Ok((block.slot(*slot).payloads[row] as i128, *scale))
+        }
+        BoundExpr::Lit { payload, scale } => Ok((*payload as i128, *scale)),
+        BoundExpr::Bin { op, lhs, rhs } => {
+            let (a, sa) = eval(lhs, block, row)?;
+            let (b, sb) = eval(rhs, block, row)?;
+            match op {
+                BinOp::Add => {
+                    let s = sa.max(sb);
+                    Ok((rescale(a, sa, s) + rescale(b, sb, s), s))
+                }
+                BinOp::Sub => {
+                    let s = sa.max(sb);
+                    Ok((rescale(a, sa, s) - rescale(b, sb, s), s))
+                }
+                BinOp::Mul => Ok((a * b, sa + sb)),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(BwdError::Exec("division by zero".into()));
+                    }
+                    // Keep the left scale: (a * 10^sb) / b.
+                    Ok((a * 10i128.pow(sb as u32) / b, sa))
+                }
+            }
+        }
+        BoundExpr::Case {
+            slot,
+            range,
+            then,
+            otherwise,
+        } => {
+            let v = block.slot(*slot).payloads[row];
+            if range.test(v) {
+                eval(then, block, row)
+            } else {
+                eval(otherwise, block, row)
+            }
+        }
+    }
+}
+
+fn rescale(v: i128, from: u8, to: u8) -> i128 {
+    debug_assert!(to >= from);
+    v * 10i128.pow((to - from) as u32)
+}
+
+/// An accumulated aggregate payload: exact unscaled integer plus scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggValue {
+    /// Exact unscaled accumulation.
+    pub unscaled: i128,
+    /// Decimal scale.
+    pub scale: u8,
+}
+
+impl AggValue {
+    /// Render as a logical value (decimal when it fits, double otherwise).
+    pub fn to_value(&self) -> Value {
+        match i64::try_from(self.unscaled) {
+            Ok(v) if self.scale > 0 => Value::decimal(v, self.scale),
+            Ok(v) => Value::Int(v),
+            Err(_) => Value::Double(self.unscaled as f64 / 10f64.powi(self.scale as i32)),
+        }
+    }
+
+    /// As a float (for `avg`).
+    pub fn as_f64(&self) -> f64 {
+        self.unscaled as f64 / 10f64.powi(self.scale as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwd_core::plan::ScalarExpr as E;
+
+    fn block() -> RowBlock {
+        let mut b = RowBlock::new(3);
+        b.push_slot(ColumnSlot {
+            name: "price".into(),
+            payloads: vec![10_000, 20_000, 150], // scale 2: 100.00, 200.00, 1.50
+            dtype: DataType::decimal(2),
+            dict: None,
+        });
+        b.push_slot(ColumnSlot {
+            name: "discount".into(),
+            payloads: vec![5, 10, 0], // scale 2: 0.05, 0.10, 0.00
+            dtype: DataType::decimal(2),
+            dict: None,
+        });
+        b
+    }
+
+    #[test]
+    fn q6_expression_price_times_discount() {
+        let b = block();
+        let e = E::col("price").binary(BinOp::Mul, E::col("discount"));
+        let be = bind_expr(&e, &b).unwrap();
+        assert_eq!(be.scale(), 4);
+        // 100.00 * 0.05 = 5.0000 -> 50000 at scale 4.
+        assert_eq!(eval(&be, &b, 0).unwrap(), (50_000, 4));
+        assert_eq!(eval(&be, &b, 2).unwrap(), (0, 4));
+    }
+
+    #[test]
+    fn q1_expression_price_times_one_minus_discount() {
+        let b = block();
+        let e = E::col("price").binary(
+            BinOp::Mul,
+            E::lit(1i64).binary(BinOp::Sub, E::col("discount")),
+        );
+        let be = bind_expr(&e, &b).unwrap();
+        // (1 - 0.05) = 0.95 at scale 2 -> 95; 100.00 * 0.95 = 9500.00 scale 4.
+        assert_eq!(eval(&be, &b, 0).unwrap(), (10_000 * 95, 4));
+    }
+
+    #[test]
+    fn case_expression_over_dictionary() {
+        let (dict, codes) =
+            Dictionary::build(&["ECONOMY", "PROMO A", "PROMO B", "STANDARD"]);
+        let mut b = RowBlock::new(4);
+        b.push_slot(ColumnSlot {
+            name: "p_type".into(),
+            payloads: codes.iter().map(|&c| c as i64).collect(),
+            dtype: DataType::Str,
+            dict: Some(Arc::new(dict)),
+        });
+        b.push_slot(ColumnSlot {
+            name: "v".into(),
+            payloads: vec![100, 200, 300, 400],
+            dtype: DataType::Int32,
+            dict: None,
+        });
+        // CASE WHEN p_type LIKE 'PROMO%' THEN v ELSE 0 END
+        let e = ScalarExpr::Case {
+            when: Box::new(Predicate::PrefixLike {
+                column: "p_type".into(),
+                prefix: "PROMO".into(),
+            }),
+            then: Box::new(E::col("v")),
+            otherwise: Box::new(E::lit(0i64)),
+        };
+        let be = bind_expr(&e, &b).unwrap();
+        let got: Vec<i128> = (0..4).map(|i| eval(&be, &b, i).unwrap().0).collect();
+        assert_eq!(got, vec![0, 200, 300, 0]);
+    }
+
+    #[test]
+    fn division_and_errors() {
+        let b = block();
+        let e = E::col("price").binary(BinOp::Div, E::lit(Value::decimal(200, 2)));
+        let be = bind_expr(&e, &b).unwrap();
+        // 100.00 / 2.00 = 50.00 at scale 2.
+        assert_eq!(eval(&be, &b, 0).unwrap(), (5_000, 2));
+        let zero = E::col("price").binary(BinOp::Div, E::lit(0i64));
+        let be = bind_expr(&zero, &b).unwrap();
+        assert!(eval(&be, &b, 0).is_err());
+        // Unknown column fails at bind time.
+        assert!(bind_expr(&E::col("nope"), &b).is_err());
+    }
+
+    #[test]
+    fn agg_value_rendering() {
+        assert_eq!(
+            AggValue {
+                unscaled: 12345,
+                scale: 2
+            }
+            .to_value(),
+            Value::decimal(12345, 2)
+        );
+        assert_eq!(
+            AggValue {
+                unscaled: 7,
+                scale: 0
+            }
+            .to_value(),
+            Value::Int(7)
+        );
+        let huge = AggValue {
+            unscaled: i128::from(i64::MAX) * 10,
+            scale: 0,
+        };
+        assert!(matches!(huge.to_value(), Value::Double(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_slot_panics() {
+        let mut b = RowBlock::new(3);
+        b.push_slot(ColumnSlot {
+            name: "x".into(),
+            payloads: vec![1],
+            dtype: DataType::Int32,
+            dict: None,
+        });
+    }
+}

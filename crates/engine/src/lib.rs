@@ -1,0 +1,27 @@
+//! A MonetDB-like column engine with two execution pipelines.
+//!
+//! The engine hosts the paper's evaluation setup end to end:
+//!
+//! * [`catalog`] — tables of fully-decomposed columns (the logical schema);
+//! * [`database`] — the facade: `bwdecompose()` (§V-A), pre-built
+//!   foreign-key indexes, plan binding, and execution through either the
+//!   **classic pipe** ([`classic`], CPU bulk processing — the baseline) or
+//!   the **bwd pipe** ([`arexec`], Approximate & Refine co-processing);
+//! * [`eval`] / [`aggregate`] — exact scaled-integer expression evaluation
+//!   shared by both pipes, guaranteeing bit-identical results;
+//! * [`throughput`] — the Figure 11 multi-stream experiment.
+
+pub mod aggregate;
+pub mod arexec;
+pub mod catalog;
+pub mod classic;
+pub mod database;
+pub mod eval;
+pub mod result;
+pub mod throughput;
+
+pub use arexec::ArExecOptions;
+pub use catalog::{Catalog, FkDecl, Table};
+pub use database::{Database, DecompositionReport, ExecMode};
+pub use result::{ApproxAnswer, QueryResult};
+pub use throughput::{run_throughput, ThroughputReport};

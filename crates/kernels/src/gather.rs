@@ -1,0 +1,150 @@
+//! Gather (positional lookup) kernels — the device side of projections and
+//! foreign-key joins.
+//!
+//! A projection in a late-materializing column store is an *invisible
+//! join*: the value's location follows from the tuple id (§IV-C). On the
+//! device this is a scattered read of one packed element per candidate.
+//! A pre-indexed foreign-key join (§IV-D) is the same operation with one
+//! extra indirection through the device-resident key column — which is why
+//! the paper's implementation shares code between the two.
+
+use crate::array::DeviceArray;
+use crate::candidates::Candidates;
+use crate::scan::element_access_bytes;
+use bwd_device::{CostLedger, Env};
+
+/// Fetch `arr[oid]` for every candidate. The result is positionally
+/// aligned with the candidate list (the projection writes each value at
+/// its input's position, which is what keeps the shared permutation —
+/// §IV-A item 2).
+pub fn gather(
+    env: &Env,
+    arr: &DeviceArray,
+    cands: &Candidates,
+    label: &str,
+    ledger: &mut CostLedger,
+) -> Vec<u64> {
+    let out: Vec<u64> = cands.oids.iter().map(|&o| arr.get(o as usize)).collect();
+    if cands.dense {
+        // Dense candidates read the array front to back: perfectly
+        // coalesced, so charge the sequential stream rate.
+        env.charge_kernel(
+            label,
+            arr.packed_bytes() + out_bytes(arr.width(), out.len()),
+            cands.len() as u64,
+            ledger,
+        );
+    } else {
+        let touched = cands.len() as u64 * element_access_bytes(arr.width())
+            + out_bytes(arr.width(), out.len());
+        env.charge_kernel_scattered(label, touched, cands.len() as u64, ledger);
+    }
+    out
+}
+
+/// Fetch `values[link[oid]]` for every candidate: a foreign-key join with
+/// a device-resident key column (`link`), e.g. `part[lineitem.partkey]`.
+pub fn gather_indirect(
+    env: &Env,
+    values: &DeviceArray,
+    link: &DeviceArray,
+    cands: &Candidates,
+    label: &str,
+    ledger: &mut CostLedger,
+) -> Vec<u64> {
+    let out: Vec<u64> = cands
+        .oids
+        .iter()
+        .map(|&o| values.get(link.get(o as usize) as usize))
+        .collect();
+    let touched = cands.len() as u64
+        * (element_access_bytes(link.width()) + element_access_bytes(values.width()))
+        + out_bytes(values.width(), out.len());
+    env.charge_kernel_scattered(label, touched, 2 * cands.len() as u64, ledger);
+    out
+}
+
+/// The foreign-key codes themselves (`link[oid]` per candidate), for plans
+/// that project several columns of the joined table.
+pub fn gather_keys(
+    env: &Env,
+    link: &DeviceArray,
+    cands: &Candidates,
+    label: &str,
+    ledger: &mut CostLedger,
+) -> Vec<u64> {
+    gather(env, link, cands, label, ledger)
+}
+
+fn out_bytes(width_bits: u32, n: usize) -> u64 {
+    (n as u64 * width_bits as u64).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwd_storage::BitPackedVec;
+
+    fn arr(env: &Env, width: u32, vals: &[u64]) -> DeviceArray {
+        let mut l = CostLedger::new();
+        DeviceArray::upload(&env.device, BitPackedVec::from_slice(width, vals), "t", &mut l)
+            .unwrap()
+    }
+
+    fn cands(oids: Vec<u32>) -> Candidates {
+        let n = oids.len();
+        let mut c = Candidates {
+            oids,
+            approx: vec![0; n],
+            sorted: false,
+            dense: false,
+        };
+        c.refresh_flags();
+        c
+    }
+
+    #[test]
+    fn gather_aligns_with_candidates() {
+        let env = Env::paper_default();
+        let a = arr(&env, 16, &(0..1000u64).map(|i| i * 3).collect::<Vec<_>>());
+        let c = cands(vec![5, 2, 999, 0]);
+        let mut ledger = CostLedger::new();
+        let out = gather(&env, &a, &c, "proj", &mut ledger);
+        assert_eq!(out, vec![15, 6, 2997, 0]);
+        assert!(ledger.breakdown().device > 0.0);
+    }
+
+    #[test]
+    fn gather_indirect_follows_fk() {
+        let env = Env::paper_default();
+        // part.p_type codes: 4 parts.
+        let ptype = arr(&env, 8, &[10, 20, 30, 40]);
+        // lineitem.partkey: 6 lineitems referencing parts.
+        let partkey = arr(&env, 2, &[3, 0, 1, 1, 2, 0]);
+        let c = cands(vec![0, 4, 5]);
+        let mut ledger = CostLedger::new();
+        let out = gather_indirect(&env, &ptype, &partkey, &c, "fkjoin", &mut ledger);
+        assert_eq!(out, vec![40, 30, 10]);
+    }
+
+    #[test]
+    fn indirect_costs_more_than_direct() {
+        let env = Env::paper_default();
+        let vals = arr(&env, 32, &(0..10_000u64).collect::<Vec<_>>());
+        let link = arr(&env, 14, &(0..10_000u64).map(|i| i % 10_000).collect::<Vec<_>>());
+        let c = cands((0..5000u32).collect());
+        let mut l_direct = CostLedger::new();
+        let mut l_indirect = CostLedger::new();
+        let _ = gather(&env, &vals, &c, "d", &mut l_direct);
+        let _ = gather_indirect(&env, &vals, &link, &c, "i", &mut l_indirect);
+        assert!(l_indirect.breakdown().device > l_direct.breakdown().device);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let env = Env::paper_default();
+        let a = arr(&env, 8, &[1, 2, 3]);
+        let mut ledger = CostLedger::new();
+        assert!(gather(&env, &a, &Candidates::empty(), "p", &mut ledger).is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Hash-grouping kernel with a write-conflict contention model.
+//!
+//! The approximate grouping (§IV-E) assigns group ids by hashing approximate
+//! key values into a shared table. On a real GPU, concurrent inserts into
+//! the same cell serialize through atomics — the fewer distinct groups, the
+//! more threads collide on the same cells. The paper observes exactly this:
+//! "the performance improves with the number of groups due to fewer write
+//! conflicts on the grouping table" (Fig 8f). The cost model charges a
+//! contention term proportional to `1 + (warp_size - 1) / groups` conflicts
+//! per tuple.
+
+use crate::array::DeviceArray;
+use crate::candidates::Candidates;
+use bwd_device::{Component, CostLedger, Env};
+use bwd_types::FxHashMap;
+
+/// Simulated warp width for the contention model.
+const WARP: f64 = 32.0;
+
+/// The result of a grouping kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupResult {
+    /// Group id per input position (aligned with the candidate list, or
+    /// with the full column when grouping everything).
+    pub group_ids: Vec<u32>,
+    /// Distinct key value (stored domain) per group id.
+    pub group_keys: Vec<u64>,
+}
+
+impl GroupResult {
+    /// Number of distinct groups.
+    pub fn n_groups(&self) -> usize {
+        self.group_keys.len()
+    }
+}
+
+/// Group the key values of `cands` (or the whole array when `cands` is
+/// `None`) by their approximate value. Group ids are assigned in first-seen
+/// order — positionally aligned with the input, as MonetDB represents
+/// groupings (§IV-E).
+pub fn hash_group(
+    env: &Env,
+    keys: &DeviceArray,
+    cands: Option<&Candidates>,
+    ledger: &mut CostLedger,
+) -> GroupResult {
+    let mut table: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut group_ids = Vec::with_capacity(cands.map_or(keys.len(), Candidates::len));
+    let mut group_keys = Vec::new();
+
+    let mut assign = |v: u64| {
+        let next = group_keys.len() as u32;
+        let id = *table.entry(v).or_insert_with(|| {
+            group_keys.push(v);
+            next
+        });
+        group_ids.push(id);
+    };
+
+    let n = match cands {
+        Some(c) => {
+            for &oid in &c.oids {
+                assign(keys.get(oid as usize));
+            }
+            c.len()
+        }
+        None => {
+            for v in keys.data().iter() {
+                assign(v);
+            }
+            keys.len()
+        }
+    };
+
+    charge_group_cost(env, keys, n as u64, group_keys.len() as u64, ledger);
+
+    GroupResult {
+        group_ids,
+        group_keys,
+    }
+}
+
+/// The result of a multi-column grouping kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiGroupResult {
+    /// Group id per candidate position.
+    pub group_ids: Vec<u32>,
+    /// Per group, the stored key value of each key column (outer index =
+    /// group id, inner = key column).
+    pub group_keys: Vec<Vec<u64>>,
+}
+
+impl MultiGroupResult {
+    /// Number of distinct groups.
+    pub fn n_groups(&self) -> usize {
+        self.group_keys.len()
+    }
+}
+
+/// Group candidates by a *composite* key over several device-resident
+/// columns (TPC-H Q1 groups by `(l_returnflag, l_linestatus)`). One
+/// scattered gather per key column feeds the same contention-modelled hash
+/// table as [`hash_group`].
+pub fn hash_group_multi(
+    env: &Env,
+    keys: &[&DeviceArray],
+    cands: &Candidates,
+    ledger: &mut CostLedger,
+) -> MultiGroupResult {
+    assert!(!keys.is_empty(), "grouping requires at least one key column");
+    let mut table: FxHashMap<Vec<u64>, u32> = FxHashMap::default();
+    let mut group_ids = Vec::with_capacity(cands.len());
+    let mut group_keys: Vec<Vec<u64>> = Vec::new();
+    for &oid in &cands.oids {
+        let key: Vec<u64> = keys.iter().map(|k| k.get(oid as usize)).collect();
+        let next = group_keys.len() as u32;
+        let id = *table.entry(key.clone()).or_insert_with(|| {
+            group_keys.push(key);
+            next
+        });
+        group_ids.push(id);
+    }
+    // One gather stream per key column + the shared contention model.
+    let gather_bytes: u64 = keys
+        .iter()
+        .map(|k| cands.len() as u64 * (k.width() as u64).div_ceil(8).max(4))
+        .sum();
+    let spec = env.device.spec();
+    let conflicts = 1.0 + (WARP - 1.0) / group_keys.len().max(1) as f64;
+    let t = spec.kernel_launch_overhead
+        + spec.scattered_seconds(gather_bytes + cands.len() as u64 * 4)
+        + cands.len() as f64 * conflicts * spec.atomic_conflict_cost;
+    ledger.charge(Component::Device, "group.approx.hash-multi", t, gather_bytes);
+    MultiGroupResult {
+        group_ids,
+        group_keys,
+    }
+}
+
+fn charge_group_cost(
+    env: &Env,
+    keys: &DeviceArray,
+    tuples: u64,
+    groups: u64,
+    ledger: &mut CostLedger,
+) {
+    let spec = env.device.spec();
+    // Streaming the keys + writing one group id per tuple.
+    let io_bytes = keys.packed_bytes() + tuples * 4;
+    let base = spec.kernel_launch_overhead
+        + spec
+            .stream_seconds(io_bytes)
+            .max(spec.compute_seconds(2 * tuples));
+    // Contention: with g groups, the expected number of intra-warp
+    // collisions per insert grows like (WARP - 1) / g.
+    let conflicts_per_tuple = 1.0 + (WARP - 1.0) / groups.max(1) as f64;
+    let contention = tuples as f64 * conflicts_per_tuple * spec.atomic_conflict_cost;
+    ledger.charge(
+        Component::Device,
+        "group.approx.hash",
+        base + contention,
+        io_bytes,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwd_device::Env;
+    use bwd_storage::BitPackedVec;
+
+    fn arr(env: &Env, width: u32, vals: &[u64]) -> DeviceArray {
+        let mut l = CostLedger::new();
+        DeviceArray::upload(&env.device, BitPackedVec::from_slice(width, vals), "k", &mut l)
+            .unwrap()
+    }
+
+    #[test]
+    fn groups_assigned_in_first_seen_order() {
+        let env = Env::paper_default();
+        let keys = arr(&env, 4, &[7, 3, 7, 1, 3, 7]);
+        let mut ledger = CostLedger::new();
+        let g = hash_group(&env, &keys, None, &mut ledger);
+        assert_eq!(g.group_ids, vec![0, 1, 0, 2, 1, 0]);
+        assert_eq!(g.group_keys, vec![7, 3, 1]);
+        assert_eq!(g.n_groups(), 3);
+    }
+
+    #[test]
+    fn grouping_over_candidates() {
+        let env = Env::paper_default();
+        let keys = arr(&env, 4, &[5, 6, 5, 6, 7]);
+        let c = Candidates {
+            oids: vec![4, 0, 2],
+            approx: vec![0; 3],
+            sorted: false,
+            dense: false,
+        };
+        let mut ledger = CostLedger::new();
+        let g = hash_group(&env, &keys, Some(&c), &mut ledger);
+        assert_eq!(g.group_ids, vec![0, 1, 1]);
+        assert_eq!(g.group_keys, vec![7, 5]);
+    }
+
+    #[test]
+    fn fewer_groups_cost_more_per_tuple() {
+        let env = Env::paper_default();
+        let n = 200_000u64;
+        let few: Vec<u64> = (0..n).map(|i| i % 4).collect();
+        let many: Vec<u64> = (0..n).map(|i| i % 1024).collect();
+        let a_few = arr(&env, 10, &few);
+        let a_many = arr(&env, 10, &many);
+        let mut l_few = CostLedger::new();
+        let mut l_many = CostLedger::new();
+        let _ = hash_group(&env, &a_few, None, &mut l_few);
+        let _ = hash_group(&env, &a_many, None, &mut l_many);
+        assert!(
+            l_few.breakdown().device > l_many.breakdown().device,
+            "write conflicts must make low-cardinality grouping slower: {} vs {}",
+            l_few.breakdown().device,
+            l_many.breakdown().device
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let env = Env::paper_default();
+        let keys = arr(&env, 4, &[]);
+        let mut ledger = CostLedger::new();
+        let g = hash_group(&env, &keys, None, &mut ledger);
+        assert!(g.group_ids.is_empty());
+        assert_eq!(g.n_groups(), 0);
+    }
+
+    #[test]
+    fn multi_column_grouping() {
+        let env = Env::paper_default();
+        // (flag, status) pairs: (0,0) (0,1) (1,0) (0,0) ...
+        let flag = arr(&env, 1, &[0, 0, 1, 0, 1]);
+        let status = arr(&env, 1, &[0, 1, 0, 0, 0]);
+        let cands = Candidates {
+            oids: (0..5).collect(),
+            approx: vec![0; 5],
+            sorted: true,
+            dense: true,
+        };
+        let mut ledger = CostLedger::new();
+        let g = hash_group_multi(&env, &[&flag, &status], &cands, &mut ledger);
+        assert_eq!(g.n_groups(), 3);
+        assert_eq!(g.group_ids, vec![0, 1, 2, 0, 2]);
+        assert_eq!(g.group_keys[0], vec![0, 0]);
+        assert_eq!(g.group_keys[1], vec![0, 1]);
+        assert_eq!(g.group_keys[2], vec![1, 0]);
+        assert!(ledger.breakdown().device > 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Simulated massively-parallel device kernels.
+//!
+//! These are the "OpenCL operators" of the paper's implementation (§V-C):
+//! the data-intensive halves of the approximation operators. Each kernel
+//! performs its *real* computation (results are bit-exact) and charges
+//! calibrated simulated time to the [`bwd_device::CostLedger`], modelling
+//! the GTX 680's bandwidth, launch overhead, scattered-access penalty and
+//! atomic write-conflict contention.
+//!
+//! Kernel inventory:
+//!
+//! * [`scan`] — relaxed range selections over packed approximations, with
+//!   the block-scrambled output order of a parallel selection;
+//! * [`gather`] — positional lookups (projections) and FK-indexed lookups
+//!   (pre-indexed equi-joins share this code path, §IV-D);
+//! * [`group`] — hash grouping with the write-conflict contention model
+//!   behind Figure 8f;
+//! * [`reduce`] — exact sums/products for fully-resident columns and
+//!   candidate-set producing min/max reductions (Figure 6);
+//! * [`join`] — massively parallel nested-loop theta joins.
+
+pub mod array;
+pub mod candidates;
+pub mod gather;
+pub mod group;
+pub mod join;
+pub mod reduce;
+pub mod scan;
+
+pub use array::DeviceArray;
+pub use candidates::Candidates;
+pub use group::{GroupResult, MultiGroupResult};
+pub use join::Theta;
+pub use scan::ScanOptions;

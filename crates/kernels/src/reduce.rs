@@ -1,0 +1,289 @@
+//! Reduction (aggregation) kernels.
+//!
+//! Device-side aggregation comes in two flavours (§IV-F):
+//!
+//! * **exact** reductions over fully device-resident columns — when every
+//!   significant bit is on the device, sums and products need no
+//!   refinement at all, so the device computes the final answer;
+//! * **candidate-producing** reductions for `min`/`max` over decomposed
+//!   columns — the approximation alone cannot decide the winner, so the
+//!   kernel returns every tuple whose granule could contain the true
+//!   extremum (Figure 6 semantics), and the host refines.
+//!
+//! Value mapping: kernels operate on stored-domain `u64`s; callers pass a
+//! mapper (`stored -> i64 payload`) so the arithmetic happens on logical
+//! payloads. The mapper is a generic parameter and inlines into the loop.
+
+use crate::array::DeviceArray;
+use crate::candidates::Candidates;
+use crate::group::GroupResult;
+use crate::scan::element_access_bytes;
+use bwd_device::{Component, CostLedger, Env};
+
+/// Exact sum of `map(arr[oid])` over the candidates.
+pub fn sum_mapped<F: Fn(u64) -> i64>(
+    env: &Env,
+    arr: &DeviceArray,
+    cands: &Candidates,
+    map: F,
+    label: &str,
+    ledger: &mut CostLedger,
+) -> i128 {
+    let mut acc: i128 = 0;
+    for &oid in &cands.oids {
+        acc += map(arr.get(oid as usize)) as i128;
+    }
+    let touched = cands.len() as u64 * element_access_bytes(arr.width());
+    env.charge_kernel_scattered(label, touched, cands.len() as u64, ledger);
+    acc
+}
+
+/// Exact sum of `map_a(a[oid]) * map_b(b[oid])` over the candidates — the
+/// shape of TPC-H Q6's `sum(l_extendedprice * l_discount)` when both
+/// columns are fully device-resident.
+#[allow(clippy::too_many_arguments)]
+pub fn sum_product<FA: Fn(u64) -> i64, FB: Fn(u64) -> i64>(
+    env: &Env,
+    a: &DeviceArray,
+    b: &DeviceArray,
+    cands: &Candidates,
+    map_a: FA,
+    map_b: FB,
+    label: &str,
+    ledger: &mut CostLedger,
+) -> i128 {
+    let mut acc: i128 = 0;
+    for &oid in &cands.oids {
+        let x = map_a(a.get(oid as usize)) as i128;
+        let y = map_b(b.get(oid as usize)) as i128;
+        acc += x * y;
+    }
+    let touched = cands.len() as u64
+        * (element_access_bytes(a.width()) + element_access_bytes(b.width()));
+    env.charge_kernel_scattered(label, touched, 2 * cands.len() as u64, ledger);
+    acc
+}
+
+/// Per-group exact aggregation of `map(values[oid])` (sum) and counts,
+/// using a previously computed grouping. Returns `(sums, counts)` indexed
+/// by group id. Charges the same contention model as grouping: scattered
+/// accumulator updates conflict when few groups exist.
+pub fn grouped_sum_mapped<F: Fn(u64) -> i64>(
+    env: &Env,
+    values: &DeviceArray,
+    cands: &Candidates,
+    groups: &GroupResult,
+    map: F,
+    label: &str,
+    ledger: &mut CostLedger,
+) -> (Vec<i128>, Vec<u64>) {
+    assert_eq!(
+        cands.len(),
+        groups.group_ids.len(),
+        "grouping must be positionally aligned with candidates"
+    );
+    let n_groups = groups.n_groups();
+    let mut sums = vec![0i128; n_groups];
+    let mut counts = vec![0u64; n_groups];
+    for (&oid, &g) in cands.oids.iter().zip(&groups.group_ids) {
+        sums[g as usize] += map(values.get(oid as usize)) as i128;
+        counts[g as usize] += 1;
+    }
+    let spec = env.device.spec();
+    let touched = cands.len() as u64 * element_access_bytes(values.width());
+    let conflicts = 1.0 + 31.0 / n_groups.max(1) as f64;
+    let t = spec.kernel_launch_overhead
+        + spec.scattered_seconds(touched)
+        + cands.len() as f64 * conflicts * spec.atomic_conflict_cost;
+    ledger.charge(Component::Device, label, t, touched);
+    (sums, counts)
+}
+
+/// Minimum and maximum stored value over the candidates (a parallel
+/// tree reduction: bandwidth-bound, negligible output).
+pub fn min_max_stored(
+    env: &Env,
+    arr: &DeviceArray,
+    cands: &Candidates,
+    label: &str,
+    ledger: &mut CostLedger,
+) -> Option<(u64, u64)> {
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for &oid in &cands.oids {
+        let v = arr.get(oid as usize);
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let touched = cands.len() as u64 * element_access_bytes(arr.width());
+    env.charge_kernel_scattered(label, touched, cands.len() as u64, ledger);
+    if cands.is_empty() {
+        None
+    } else {
+        Some((lo, hi))
+    }
+}
+
+/// Collect every candidate whose stored value is `<= threshold` (for a
+/// minimum; the caller computes the threshold from the approximate minimum
+/// plus the propagated error bound so the true winner provably survives —
+/// the Figure 6 construction). Preserves candidate order.
+pub fn filter_le(
+    env: &Env,
+    arr: &DeviceArray,
+    cands: &Candidates,
+    threshold: u64,
+    label: &str,
+    ledger: &mut CostLedger,
+) -> Candidates {
+    filter_by(env, arr, cands, |v| v <= threshold, label, ledger)
+}
+
+/// Collect every candidate whose stored value is `>= threshold` (maximum
+/// dual of [`filter_le`]).
+pub fn filter_ge(
+    env: &Env,
+    arr: &DeviceArray,
+    cands: &Candidates,
+    threshold: u64,
+    label: &str,
+    ledger: &mut CostLedger,
+) -> Candidates {
+    filter_by(env, arr, cands, |v| v >= threshold, label, ledger)
+}
+
+fn filter_by<P: Fn(u64) -> bool>(
+    env: &Env,
+    arr: &DeviceArray,
+    cands: &Candidates,
+    pred: P,
+    label: &str,
+    ledger: &mut CostLedger,
+) -> Candidates {
+    let mut oids = Vec::new();
+    let mut approx = Vec::new();
+    for &oid in &cands.oids {
+        let v = arr.get(oid as usize);
+        if pred(v) {
+            oids.push(oid);
+            approx.push(v);
+        }
+    }
+    let touched = cands.len() as u64 * element_access_bytes(arr.width());
+    env.charge_kernel_scattered(label, touched, cands.len() as u64, ledger);
+    let mut c = Candidates {
+        oids,
+        approx,
+        sorted: false,
+        dense: false,
+    };
+    c.refresh_flags();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwd_device::Env;
+    use bwd_storage::BitPackedVec;
+
+    fn arr(env: &Env, width: u32, vals: &[u64]) -> DeviceArray {
+        let mut l = CostLedger::new();
+        DeviceArray::upload(&env.device, BitPackedVec::from_slice(width, vals), "v", &mut l)
+            .unwrap()
+    }
+
+    fn all_cands(n: usize) -> Candidates {
+        Candidates {
+            oids: (0..n as u32).collect(),
+            approx: vec![0; n],
+            sorted: true,
+            dense: true,
+        }
+    }
+
+    #[test]
+    fn sum_mapped_exact() {
+        let env = Env::paper_default();
+        let a = arr(&env, 8, &[1, 2, 3, 4, 5]);
+        let mut l = CostLedger::new();
+        let s = sum_mapped(&env, &a, &all_cands(5), |v| v as i64 * 10, "sum", &mut l);
+        assert_eq!(s, 150);
+        assert!(l.breakdown().device > 0.0);
+    }
+
+    #[test]
+    fn sum_product_matches_scalar_loop() {
+        let env = Env::paper_default();
+        let price = arr(&env, 16, &[100, 200, 300]);
+        let disc = arr(&env, 4, &[1, 2, 3]);
+        let mut l = CostLedger::new();
+        let s = sum_product(
+            &env,
+            &price,
+            &disc,
+            &all_cands(3),
+            |v| v as i64,
+            |v| v as i64,
+            "q6",
+            &mut l,
+        );
+        assert_eq!(s, 100 + 200 * 2 + 300 * 3);
+    }
+
+    #[test]
+    fn grouped_sums_and_counts() {
+        let env = Env::paper_default();
+        let vals = arr(&env, 8, &[10, 20, 30, 40]);
+        let cands = all_cands(4);
+        let groups = GroupResult {
+            group_ids: vec![0, 1, 0, 1],
+            group_keys: vec![7, 8],
+        };
+        let mut l = CostLedger::new();
+        let (sums, counts) =
+            grouped_sum_mapped(&env, &vals, &cands, &groups, |v| v as i64, "g", &mut l);
+        assert_eq!(sums, vec![40, 60]);
+        assert_eq!(counts, vec![2, 2]);
+    }
+
+    #[test]
+    fn min_max_and_threshold_filters() {
+        let env = Env::paper_default();
+        let a = arr(&env, 8, &[9, 3, 7, 3, 12]);
+        let cands = all_cands(5);
+        let mut l = CostLedger::new();
+        let (lo, hi) = min_max_stored(&env, &a, &cands, "mm", &mut l).unwrap();
+        assert_eq!((lo, hi), (3, 12));
+        let c = filter_le(&env, &a, &cands, 3, "min-cands", &mut l);
+        assert_eq!(c.oids, vec![1, 3]);
+        assert_eq!(c.approx, vec![3, 3]);
+        let c = filter_ge(&env, &a, &cands, 9, "max-cands", &mut l);
+        assert_eq!(c.oids, vec![0, 4]);
+    }
+
+    #[test]
+    fn empty_candidate_reductions() {
+        let env = Env::paper_default();
+        let a = arr(&env, 8, &[1, 2, 3]);
+        let mut l = CostLedger::new();
+        assert_eq!(
+            sum_mapped(&env, &a, &Candidates::empty(), |v| v as i64, "s", &mut l),
+            0
+        );
+        assert_eq!(min_max_stored(&env, &a, &Candidates::empty(), "m", &mut l), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positionally aligned")]
+    fn grouped_sum_rejects_misaligned_grouping() {
+        let env = Env::paper_default();
+        let vals = arr(&env, 8, &[1, 2]);
+        let groups = GroupResult {
+            group_ids: vec![0],
+            group_keys: vec![0],
+        };
+        let mut l = CostLedger::new();
+        let _ = grouped_sum_mapped(&env, &vals, &all_cands(2), &groups, |v| v as i64, "g", &mut l);
+    }
+}

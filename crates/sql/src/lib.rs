@@ -1,0 +1,27 @@
+//! SQL front-end for the `waste-not` engine.
+//!
+//! Covers exactly the surface the paper's evaluation needs (Table I, the
+//! TPC-H subset, the microbenchmarks, and the `bwdecompose` decomposition
+//! statement of §V-A): single- and two-table SELECT with conjunctive range
+//! and prefix-LIKE predicates, grouped aggregation, fixed-point arithmetic
+//! including `CASE WHEN`, and date interval literals.
+//!
+//! ```
+//! use bwd_sql::{parse, bind, BoundStatement};
+//! use bwd_engine::{Catalog, Table};
+//! use bwd_storage::Column;
+//!
+//! let mut catalog = Catalog::new();
+//! catalog
+//!     .add_table(Table::new("t", vec![("a".into(), Column::from_i32(vec![1, 2, 3]))]).unwrap())
+//!     .unwrap();
+//! let stmt = parse("select count(*) from t where a >= 2").unwrap();
+//! let BoundStatement::Query(plan) = bind(&stmt, &catalog).unwrap() else { unreachable!() };
+//! ```
+
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use binder::{bind, BoundStatement};
+pub use parser::{parse, Expr, Query, SelectItem, Statement};

@@ -1,0 +1,176 @@
+//! Binary Association Tables — MonetDB's universal intermediate.
+//!
+//! A BAT pairs a *head* of tuple ids with a *tail* of values (§V-C). When
+//! the head is dense (equi-distant, sorted oids) it is not materialized —
+//! it is represented by a base oid only. Operators inspect head properties
+//! to pick fast paths: the translucent join of §IV-A degenerates into an
+//! *invisible* (positional) join exactly when the probing head is sorted
+//! and dense.
+
+use bwd_types::Oid;
+
+/// The head (tuple-id side) of a BAT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Head {
+    /// Dense, sorted oids `base..base + len` — not materialized.
+    Dense {
+        /// First oid of the range.
+        base: Oid,
+    },
+    /// Explicitly materialized oids (any order, must be unique).
+    Materialized(Vec<Oid>),
+}
+
+/// A binary association table mapping oids to `T` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bat<T> {
+    head: Head,
+    tail: Vec<T>,
+}
+
+impl<T> Bat<T> {
+    /// A BAT with a dense head starting at `base`.
+    pub fn dense(base: Oid, tail: Vec<T>) -> Self {
+        Bat {
+            head: Head::Dense { base },
+            tail,
+        }
+    }
+
+    /// A BAT with explicit head oids.
+    ///
+    /// # Panics
+    /// Panics if head and tail lengths differ.
+    pub fn materialized(oids: Vec<Oid>, tail: Vec<T>) -> Self {
+        assert_eq!(oids.len(), tail.len(), "head/tail length mismatch");
+        Bat {
+            head: Head::Materialized(oids),
+            tail,
+        }
+    }
+
+    /// Number of associations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Whether the BAT is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tail.is_empty()
+    }
+
+    /// The head descriptor.
+    #[inline]
+    pub fn head(&self) -> &Head {
+        &self.head
+    }
+
+    /// The tail values.
+    #[inline]
+    pub fn tail(&self) -> &[T] {
+        &self.tail
+    }
+
+    /// Mutable tail access (bulk operators write in place).
+    #[inline]
+    pub fn tail_mut(&mut self) -> &mut Vec<T> {
+        &mut self.tail
+    }
+
+    /// Consume into `(head, tail)`.
+    pub fn into_parts(self) -> (Head, Vec<T>) {
+        (self.head, self.tail)
+    }
+
+    /// Oid of association `i`.
+    #[inline]
+    pub fn oid(&self, i: usize) -> Oid {
+        match &self.head {
+            Head::Dense { base } => base + i as Oid,
+            Head::Materialized(oids) => oids[i],
+        }
+    }
+
+    /// Tail value of association `i`.
+    #[inline]
+    pub fn value(&self, i: usize) -> &T {
+        &self.tail[i]
+    }
+
+    /// Whether the head is dense (and therefore sorted) — the condition
+    /// under which a join against this head is an invisible join.
+    pub fn head_is_dense(&self) -> bool {
+        matches!(self.head, Head::Dense { .. })
+    }
+
+    /// Whether head oids are sorted ascending (dense heads trivially are).
+    pub fn head_is_sorted(&self) -> bool {
+        match &self.head {
+            Head::Dense { .. } => true,
+            Head::Materialized(oids) => oids.windows(2).all(|w| w[0] <= w[1]),
+        }
+    }
+
+    /// Materialized head oids (allocates for dense heads).
+    pub fn head_oids(&self) -> Vec<Oid> {
+        match &self.head {
+            Head::Dense { base } => (0..self.tail.len() as Oid).map(|i| base + i).collect(),
+            Head::Materialized(oids) => oids.clone(),
+        }
+    }
+
+    /// Iterate `(oid, &value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, &T)> + '_ {
+        (0..self.len()).map(move |i| (self.oid(i), &self.tail[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_head_infers_oids() {
+        let b = Bat::dense(10, vec!["a", "b", "c"]);
+        assert_eq!(b.oid(0), 10);
+        assert_eq!(b.oid(2), 12);
+        assert!(b.head_is_dense());
+        assert!(b.head_is_sorted());
+        assert_eq!(b.head_oids(), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn materialized_head() {
+        let b = Bat::materialized(vec![5, 2, 9], vec![50, 20, 90]);
+        assert_eq!(b.oid(1), 2);
+        assert_eq!(*b.value(1), 20);
+        assert!(!b.head_is_dense());
+        assert!(!b.head_is_sorted());
+        let sorted = Bat::materialized(vec![1, 3, 7], vec![0, 0, 0]);
+        assert!(sorted.head_is_sorted());
+        assert!(!sorted.head_is_dense());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Bat::materialized(vec![1, 2], vec![10]);
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let b = Bat::materialized(vec![4, 1], vec![40, 10]);
+        let pairs: Vec<(Oid, i32)> = b.iter().map(|(o, &v)| (o, v)).collect();
+        assert_eq!(pairs, vec![(4, 40), (1, 10)]);
+    }
+
+    #[test]
+    fn empty_bat() {
+        let b: Bat<i64> = Bat::dense(0, vec![]);
+        assert!(b.is_empty());
+        assert!(b.head_is_sorted());
+        assert_eq!(b.head_oids(), Vec::<Oid>::new());
+    }
+}

@@ -1,0 +1,297 @@
+//! Fixed-width bit-packed integer vectors.
+//!
+//! The approximation and residual partitions of a decomposed column store
+//! `width`-bit payloads back to back in a `u64` word array ("stored
+//! bit-packed", §VI-D1 of the paper). This is what makes narrow TPC-H
+//! attributes (4–12 bits) cheap enough to keep entirely device-resident.
+//!
+//! Elements may straddle word boundaries; accessors handle the two-word
+//! case branchlessly enough for scan loops, and [`BitPackedVec::iter`]
+//! maintains a running bit cursor instead of recomputing offsets.
+
+use bwd_types::bits::low_mask;
+
+/// An immutable-width, append-only vector of `width`-bit unsigned values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPackedVec {
+    words: Vec<u64>,
+    width: u32,
+    len: usize,
+}
+
+impl BitPackedVec {
+    /// An empty vector of `width`-bit elements (`width` in `0..=64`).
+    ///
+    /// A width of 0 is legal and stores nothing: every element reads back
+    /// as 0. This happens when a column's domain collapses to a single
+    /// value after prefix compression.
+    pub fn new(width: u32) -> Self {
+        assert!(width <= 64, "element width {width} exceeds 64 bits");
+        BitPackedVec {
+            words: Vec::new(),
+            width,
+            len: 0,
+        }
+    }
+
+    /// An empty vector with room for `n` elements pre-allocated.
+    pub fn with_capacity(width: u32, n: usize) -> Self {
+        assert!(width <= 64, "element width {width} exceeds 64 bits");
+        let words = (n as u64 * width as u64).div_ceil(64) as usize;
+        BitPackedVec {
+            words: Vec::with_capacity(words),
+            width,
+            len: 0,
+        }
+    }
+
+    /// Pack a slice of already-narrow values.
+    ///
+    /// # Panics
+    /// Panics (debug) if any value needs more than `width` bits.
+    pub fn from_slice(width: u32, vals: &[u64]) -> Self {
+        let mut v = Self::with_capacity(width, vals.len());
+        for &x in vals {
+            v.push(x);
+        }
+        v
+    }
+
+    /// Bits per element.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exact payload size in bytes (what decomposition accounting and the
+    /// device allocator charge for this data).
+    #[inline]
+    pub fn packed_bytes(&self) -> u64 {
+        (self.len as u64 * self.width as u64).div_ceil(8)
+    }
+
+    /// Append a value.
+    ///
+    /// # Panics
+    /// Debug-panics if `v` does not fit in `width` bits (callers always
+    /// produce masked payloads; a wide value indicates a logic error).
+    #[inline]
+    pub fn push(&mut self, v: u64) {
+        debug_assert!(
+            self.width == 64 || v <= low_mask(self.width),
+            "value {v:#x} exceeds {} bits",
+            self.width
+        );
+        if self.width == 0 {
+            self.len += 1;
+            return;
+        }
+        let bit = self.len as u64 * self.width as u64;
+        let word = (bit / 64) as usize;
+        let shift = (bit % 64) as u32;
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= v << shift;
+        let spill = shift as u64 + self.width as u64;
+        if spill > 64 {
+            self.words.push(v >> (64 - shift));
+        }
+        self.len += 1;
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        if self.width == 0 {
+            return 0;
+        }
+        let bit = i as u64 * self.width as u64;
+        let word = (bit / 64) as usize;
+        let shift = (bit % 64) as u32;
+        // SAFETY-free fast path: `word` is in range because i < len.
+        let lo = self.words[word] >> shift;
+        let consumed = 64 - shift;
+        let v = if consumed >= self.width {
+            lo
+        } else {
+            lo | (self.words[word + 1] << consumed)
+        };
+        v & low_mask(self.width)
+    }
+
+    /// Iterate over all elements with a running bit cursor (faster than
+    /// repeated [`BitPackedVec::get`] in scan loops).
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            vec: self,
+            idx: 0,
+            bit: 0,
+        }
+    }
+
+    /// Decode everything into a `u64` vector (diagnostics, refinement
+    /// pre-materialization, tests).
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+
+    /// Heap footprint of the backing store in bytes (allocated capacity).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.words.capacity() * std::mem::size_of::<u64>()) as u64
+    }
+}
+
+/// Iterator over a [`BitPackedVec`].
+pub struct Iter<'a> {
+    vec: &'a BitPackedVec,
+    idx: usize,
+    bit: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        if self.idx >= self.vec.len {
+            return None;
+        }
+        self.idx += 1;
+        let width = self.vec.width;
+        if width == 0 {
+            return Some(0);
+        }
+        let word = (self.bit / 64) as usize;
+        let shift = (self.bit % 64) as u32;
+        self.bit += width as u64;
+        let lo = self.vec.words[word] >> shift;
+        let consumed = 64 - shift;
+        let v = if consumed >= width {
+            lo
+        } else {
+            lo | (self.vec.words[word + 1] << consumed)
+        };
+        Some(v & low_mask(width))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.len - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a BitPackedVec {
+    type Item = u64;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_get_roundtrip_widths() {
+        for width in [1u32, 3, 7, 8, 12, 13, 19, 24, 31, 32, 33, 47, 63, 64] {
+            let mask = low_mask(width);
+            let vals: Vec<u64> = (0..200u64)
+                .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & mask)
+                .collect();
+            let packed = BitPackedVec::from_slice(width, &vals);
+            assert_eq!(packed.len(), vals.len());
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(packed.get(i), v, "width={width} i={i}");
+            }
+            assert_eq!(packed.to_vec(), vals, "width={width}");
+        }
+    }
+
+    #[test]
+    fn zero_width_stores_nothing() {
+        let mut v = BitPackedVec::new(0);
+        for _ in 0..100 {
+            v.push(0);
+        }
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.packed_bytes(), 0);
+        assert_eq!(v.get(50), 0);
+        assert_eq!(v.iter().count(), 100);
+    }
+
+    #[test]
+    fn packed_bytes_is_exact() {
+        let v = BitPackedVec::from_slice(13, &[1, 2, 3]); // 39 bits -> 5 bytes
+        assert_eq!(v.packed_bytes(), 5);
+        let v = BitPackedVec::from_slice(8, &vec![0xAB; 1000]);
+        assert_eq!(v.packed_bytes(), 1000);
+        let v = BitPackedVec::new(24);
+        assert_eq!(v.packed_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let v = BitPackedVec::from_slice(8, &[1]);
+        v.get(1);
+    }
+
+    #[test]
+    fn word_boundary_straddle() {
+        // 60-bit elements guarantee straddles on every second element.
+        let vals: Vec<u64> = (0..50).map(|i| (i * 0x0FFF_FFFF_FFFF_FFF) & low_mask(60)).collect();
+        let packed = BitPackedVec::from_slice(60, &vals);
+        assert_eq!(packed.to_vec(), vals);
+    }
+
+    #[test]
+    fn iterator_matches_get_and_is_exact_size() {
+        let vals: Vec<u64> = (0..777).map(|i| i % 8192).collect();
+        let packed = BitPackedVec::from_slice(13, &vals);
+        let it = packed.iter();
+        assert_eq!(it.len(), 777);
+        for (i, v) in packed.iter().enumerate() {
+            assert_eq!(v, packed.get(i));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(width in 0u32..=64, raw in proptest::collection::vec(any::<u64>(), 0..300)) {
+            let mask = low_mask(width);
+            let vals: Vec<u64> = raw.iter().map(|v| v & mask).collect();
+            let packed = BitPackedVec::from_slice(width, &vals);
+            prop_assert_eq!(packed.len(), vals.len());
+            prop_assert_eq!(packed.to_vec(), vals);
+        }
+
+        #[test]
+        fn prop_packed_bytes_formula(width in 0u32..=64, n in 0usize..200) {
+            let vals = vec![0u64; n];
+            let packed = BitPackedVec::from_slice(width, &vals);
+            prop_assert_eq!(packed.packed_bytes(), (n as u64 * width as u64).div_ceil(8));
+        }
+    }
+}

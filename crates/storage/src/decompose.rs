@@ -1,0 +1,652 @@
+//! Bitwise decomposition & distribution (BWD) of a column.
+//!
+//! This implements the storage model of §II-A / Figure 2: a column's
+//! encoded values are split at bit granularity into a *major* partition
+//! (the approximation, destined for fast device memory) and a *minor*
+//! partition (the residual, staying in host memory). The approximation is
+//! prefix-compressed: a per-column *frame* (the minimum encoded value — the
+//! "base for the prefix compression" the paper stores in its BAT metadata)
+//! is factored out, and remaining shared leading bits are removed via
+//! [`PrefixBase`]. Both partitions are bit-packed.
+//!
+//! The number of device-resident bits follows the paper's `bwdecompose(A,
+//! 24)` convention: it counts major bits of the column's *physical* width,
+//! so a 32-bit attribute decomposed with `device_bits = 24` keeps
+//! `resbits = 8` minor bits on the host.
+//!
+//! The struct is split in two: [`DecompositionMeta`] carries the pure
+//! translation logic (predicate relaxation targets, granule error bounds,
+//! reconstruction), while [`DecomposedColumn`] couples it with the two
+//! packed partitions. Execution layers move the approximation partition
+//! into device memory and keep only the metadata + residual on the host —
+//! see `DecomposedColumn::into_parts`.
+
+use crate::bitpack::BitPackedVec;
+use crate::encoding::{decode, encode, physical_bits};
+use crate::prefix::{OutOfRange, PrefixBase, PrefixGranularity};
+use bwd_types::bits::low_mask;
+use bwd_types::{BwdError, DataType, Result};
+
+/// How a column is to be decomposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecompositionSpec {
+    /// Major bits kept on the device, counted against the physical width
+    /// (`bwdecompose(col, device_bits)`). Values `>= physical_bits` keep
+    /// the whole column device-resident (residual width 0).
+    pub device_bits: u32,
+    /// Subtract the column minimum before splitting (frame-of-reference).
+    /// This is what lets cross-zero domains (e.g. longitudes) compress.
+    pub frame_of_reference: bool,
+    /// Granularity of the leading-bit compression on the approximation.
+    pub granularity: PrefixGranularity,
+}
+
+impl DecompositionSpec {
+    /// The common case: `device_bits` major bits, full compression.
+    pub fn with_device_bits(device_bits: u32) -> Self {
+        DecompositionSpec {
+            device_bits,
+            frame_of_reference: true,
+            granularity: PrefixGranularity::Bit,
+        }
+    }
+
+    /// Keep the entire column device-resident (no residual).
+    pub fn all_device() -> Self {
+        Self::with_device_bits(64)
+    }
+
+    /// Disable all compression (ablation baseline).
+    pub fn uncompressed(device_bits: u32) -> Self {
+        DecompositionSpec {
+            device_bits,
+            frame_of_reference: false,
+            granularity: PrefixGranularity::None,
+        }
+    }
+}
+
+/// The translation metadata of a decomposed column: everything needed to
+/// map between payloads, encoded values, stored approximations and
+/// residuals — without owning the data partitions themselves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecompositionMeta {
+    dtype: DataType,
+    physical_bits: u32,
+    resbits: u32,
+    /// Subtracted from every encoded value before splitting.
+    frame: u64,
+    /// Largest normalized (frame-subtracted) value present.
+    max_norm: u64,
+    /// Leading-bit compression of the major partition.
+    prefix: PrefixBase,
+}
+
+impl DecompositionMeta {
+    /// Logical type of the column.
+    #[inline]
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Physical width in bits of the column's plain representation.
+    #[inline]
+    pub fn physical_bits(&self) -> u32 {
+        self.physical_bits
+    }
+
+    /// Residual width in bits (0 means fully device-resident).
+    #[inline]
+    pub fn resbits(&self) -> u32 {
+        self.resbits
+    }
+
+    /// Width in bits of a stored approximation element.
+    #[inline]
+    pub fn stored_width(&self) -> u32 {
+        self.prefix.stored_width()
+    }
+
+    /// Whether every significant bit is on the device (no refinement
+    /// needed to reconstruct exact values).
+    #[inline]
+    pub fn fully_device_resident(&self) -> bool {
+        self.resbits == 0
+    }
+
+    /// Exact payload from a (stored approximation, residual) pair —
+    /// Algorithm 2's bitwise concatenation `appr +bw res`.
+    #[inline]
+    pub fn payload_from_parts(&self, stored: u64, res: u64) -> i64 {
+        let norm = (self.prefix.decompress(stored) << self.resbits) | res;
+        decode(norm + self.frame, self.dtype)
+    }
+
+    /// The inclusive *encoded* interval a stored approximation covers
+    /// (every row with this approximation has its encoded value inside).
+    #[inline]
+    pub fn granule_encoded(&self, stored: u64) -> (u64, u64) {
+        let base_norm = self.prefix.decompress(stored) << self.resbits;
+        // Clamp to the column's actual maximum: the granule may extend past
+        // it, but no stored value does, and an unclamped bound could leave
+        // the type's encoded domain (and wrap on decode).
+        let hi_norm = (base_norm | low_mask(self.resbits)).min(self.max_norm);
+        (base_norm + self.frame, hi_norm + self.frame)
+    }
+
+    /// The inclusive *payload* interval a stored approximation covers —
+    /// the per-tuple error bound the A&R operators propagate (§IV-F/G).
+    #[inline]
+    pub fn granule_payload(&self, stored: u64) -> (i64, i64) {
+        let (lo, hi) = self.granule_encoded(stored);
+        (decode(lo, self.dtype), decode(hi, self.dtype))
+    }
+
+    /// Encode a payload constant into the column's encoded domain.
+    #[inline]
+    pub fn encode_payload(&self, payload: i64) -> u64 {
+        encode(payload, self.dtype)
+    }
+
+    /// Translate an inclusive *encoded* range `[enc_lo, enc_hi]` into
+    /// inclusive bounds over the stored approximation domain.
+    ///
+    /// Scanning the approximation with the returned bounds yields a
+    /// provable superset of the rows whose exact encoded value falls in the
+    /// range — this realizes the predicate relaxation `f(x)` of §IV-B.
+    /// `None` means the range cannot contain any stored value (the
+    /// approximate selection is empty without touching data).
+    pub fn stored_bounds(&self, enc_lo: u64, enc_hi: u64) -> Option<(u64, u64)> {
+        if enc_hi < enc_lo || enc_hi < self.frame {
+            return None;
+        }
+        let norm_lo = enc_lo.saturating_sub(self.frame);
+        if norm_lo > self.max_norm {
+            return None;
+        }
+        let norm_hi = (enc_hi - self.frame).min(self.max_norm);
+        let maj_lo = norm_lo >> self.resbits;
+        let maj_hi = norm_hi >> self.resbits;
+        let lo = match self.prefix.project(maj_lo) {
+            Ok(a) => a,
+            Err(OutOfRange::Below) => 0,
+            Err(OutOfRange::Above) => return None,
+        };
+        let hi = match self.prefix.project(maj_hi) {
+            Ok(a) => a,
+            Err(OutOfRange::Above) => low_mask(self.stored_width()),
+            Err(OutOfRange::Below) => return None,
+        };
+        Some((lo, hi))
+    }
+
+    /// Like [`DecompositionMeta::stored_bounds`] but over payloads.
+    pub fn stored_bounds_payload(&self, lo: i64, hi: i64) -> Option<(u64, u64)> {
+        self.stored_bounds(self.encode_payload(lo), self.encode_payload(hi))
+    }
+
+    /// Worst-case number of payload values that share one approximation
+    /// granule (`2^resbits`): the resolution of the approximation, used by
+    /// the optimizer's selectivity reasoning and reported in diagnostics.
+    #[inline]
+    pub fn granule_size(&self) -> u64 {
+        1u64 << self.resbits.min(63)
+    }
+}
+
+/// A bitwise-decomposed column: device-destined approximation plus
+/// host-resident residual, with the metadata to reconstruct exact values
+/// and to translate predicates into the stored approximation domain.
+#[derive(Debug, Clone)]
+pub struct DecomposedColumn {
+    meta: DecompositionMeta,
+    /// Stored approximations, `meta.stored_width()` bits each.
+    approx: BitPackedVec,
+    /// Stored residuals, `meta.resbits()` bits each.
+    residual: BitPackedVec,
+    len: usize,
+}
+
+impl DecomposedColumn {
+    /// Decompose `payloads` of logical type `dtype` according to `spec`.
+    pub fn decompose(payloads: &[i64], dtype: DataType, spec: &DecompositionSpec) -> Result<Self> {
+        let w = physical_bits(dtype);
+        let device_bits = spec.device_bits.min(w);
+        let resbits = w - device_bits;
+
+        // Pass 1: the encoded min/max determine frame and major prefix
+        // (the shared high-bit prefix of a set equals that of its extrema).
+        let mut min_enc = u64::MAX;
+        let mut max_enc = 0u64;
+        for &p in payloads {
+            let e = encode(p, dtype);
+            min_enc = min_enc.min(e);
+            max_enc = max_enc.max(e);
+        }
+        if payloads.is_empty() {
+            min_enc = 0;
+            max_enc = 0;
+        }
+        let frame = if spec.frame_of_reference { min_enc } else { 0 };
+        let max_norm = max_enc - frame;
+
+        let major_width = w - resbits;
+        let extrema_majors = [(min_enc - frame) >> resbits, max_norm >> resbits];
+        let prefix = PrefixBase::analyze(&extrema_majors, major_width, spec.granularity);
+        let meta = DecompositionMeta {
+            dtype,
+            physical_bits: w,
+            resbits,
+            frame,
+            max_norm,
+            prefix,
+        };
+
+        // Pass 2: split and pack.
+        let mut approx = BitPackedVec::with_capacity(prefix.stored_width(), payloads.len());
+        let mut residual = BitPackedVec::with_capacity(resbits, payloads.len());
+        let res_mask = low_mask(resbits);
+        for &p in payloads {
+            let norm = encode(p, dtype) - frame;
+            approx.push(prefix.compress(norm >> resbits));
+            residual.push(norm & res_mask);
+        }
+
+        Ok(DecomposedColumn {
+            meta,
+            approx,
+            residual,
+            len: payloads.len(),
+        })
+    }
+
+    /// The translation metadata.
+    #[inline]
+    pub fn meta(&self) -> &DecompositionMeta {
+        &self.meta
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the column holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Logical type of the column.
+    #[inline]
+    pub fn dtype(&self) -> DataType {
+        self.meta.dtype
+    }
+
+    /// Residual width in bits (0 means fully device-resident).
+    #[inline]
+    pub fn resbits(&self) -> u32 {
+        self.meta.resbits
+    }
+
+    /// Physical width in bits of the column's plain representation.
+    #[inline]
+    pub fn physical_bits(&self) -> u32 {
+        self.meta.physical_bits
+    }
+
+    /// Width in bits of a stored approximation element.
+    #[inline]
+    pub fn stored_width(&self) -> u32 {
+        self.meta.stored_width()
+    }
+
+    /// Whether every significant bit is on the device.
+    #[inline]
+    pub fn fully_device_resident(&self) -> bool {
+        self.meta.fully_device_resident()
+    }
+
+    /// The bit-packed approximation partition (device-destined).
+    #[inline]
+    pub fn approx(&self) -> &BitPackedVec {
+        &self.approx
+    }
+
+    /// The bit-packed residual partition (host-resident).
+    #[inline]
+    pub fn residual(&self) -> &BitPackedVec {
+        &self.residual
+    }
+
+    /// Bytes the approximation occupies on the device.
+    #[inline]
+    pub fn device_bytes(&self) -> u64 {
+        self.approx.packed_bytes()
+    }
+
+    /// Bytes the residual occupies on the host.
+    #[inline]
+    pub fn host_bytes(&self) -> u64 {
+        self.residual.packed_bytes()
+    }
+
+    /// Stored approximation of row `i`.
+    #[inline]
+    pub fn stored_of_row(&self, i: usize) -> u64 {
+        self.approx.get(i)
+    }
+
+    /// Residual payload of row `i`.
+    #[inline]
+    pub fn residual_of_row(&self, i: usize) -> u64 {
+        self.residual.get(i)
+    }
+
+    /// Exact payload of row `i`.
+    #[inline]
+    pub fn reconstruct_payload(&self, i: usize) -> i64 {
+        self.meta
+            .payload_from_parts(self.approx.get(i), self.residual.get(i))
+    }
+
+    /// Exact payload from a (stored approximation, residual) pair.
+    #[inline]
+    pub fn payload_from_parts(&self, stored: u64, res: u64) -> i64 {
+        self.meta.payload_from_parts(stored, res)
+    }
+
+    /// See [`DecompositionMeta::granule_encoded`].
+    #[inline]
+    pub fn granule_encoded(&self, stored: u64) -> (u64, u64) {
+        self.meta.granule_encoded(stored)
+    }
+
+    /// See [`DecompositionMeta::granule_payload`].
+    #[inline]
+    pub fn granule_payload(&self, stored: u64) -> (i64, i64) {
+        self.meta.granule_payload(stored)
+    }
+
+    /// See [`DecompositionMeta::encode_payload`].
+    #[inline]
+    pub fn encode_payload(&self, payload: i64) -> u64 {
+        self.meta.encode_payload(payload)
+    }
+
+    /// See [`DecompositionMeta::stored_bounds`].
+    pub fn stored_bounds(&self, enc_lo: u64, enc_hi: u64) -> Option<(u64, u64)> {
+        self.meta.stored_bounds(enc_lo, enc_hi)
+    }
+
+    /// See [`DecompositionMeta::stored_bounds_payload`].
+    pub fn stored_bounds_payload(&self, lo: i64, hi: i64) -> Option<(u64, u64)> {
+        self.meta.stored_bounds_payload(lo, hi)
+    }
+
+    /// See [`DecompositionMeta::granule_size`].
+    #[inline]
+    pub fn granule_size(&self) -> u64 {
+        self.meta.granule_size()
+    }
+
+    /// Split into `(meta, approximation, residual)` — the execution layer
+    /// moves the approximation into device memory and keeps the rest.
+    pub fn into_parts(self) -> (DecompositionMeta, BitPackedVec, BitPackedVec) {
+        (self.meta, self.approx, self.residual)
+    }
+
+    /// Validate a spec against a type without decomposing (catalog checks).
+    pub fn validate_spec(dtype: DataType, spec: &DecompositionSpec) -> Result<()> {
+        if spec.device_bits == 0 && physical_bits(dtype) > 0 {
+            // All-residual columns are legal in the model but pointless:
+            // the approximation would carry zero information, so every
+            // operator would degenerate to a full CPU scan.
+            return Err(BwdError::InvalidArgument(
+                "device_bits = 0 stores no approximation; use at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ints(vals: &[i64], device_bits: u32) -> DecomposedColumn {
+        DecomposedColumn::decompose(
+            vals,
+            DataType::Int32,
+            &DecompositionSpec::with_device_bits(device_bits),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reconstructs_exact_values() {
+        let vals: Vec<i64> = (0..1000).map(|i| (i * 7919) % 100_000).collect();
+        for device_bits in [1, 8, 16, 24, 31, 32] {
+            let d = ints(&vals, device_bits);
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(d.reconstruct_payload(i), v, "device_bits={device_bits} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_convention_24_8() {
+        // bwdecompose(A, 24) on a 32-bit attribute: 24 device bits, 8 residual.
+        let vals: Vec<i64> = (0..100).collect();
+        let d = ints(&vals, 24);
+        assert_eq!(d.resbits(), 8);
+        assert!(!d.fully_device_resident());
+        // 0..99 normalized: max_norm = 99, majors all 0 -> stored width 0.
+        assert_eq!(d.stored_width(), 0);
+        assert_eq!(d.device_bytes(), 0);
+        assert_eq!(d.host_bytes(), 100); // 8 bits * 100 rows
+    }
+
+    #[test]
+    fn fully_device_resident_small_domain() {
+        // TPC-H l_quantity: values 1..=50 need 6 bits; kept whole on device.
+        let vals: Vec<i64> = (0..500).map(|i| 1 + (i % 50)).collect();
+        let d = ints(&vals, 32);
+        assert!(d.fully_device_resident());
+        assert_eq!(d.stored_width(), 6);
+        assert_eq!(d.host_bytes(), 0);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(d.reconstruct_payload(i), v);
+        }
+    }
+
+    #[test]
+    fn cross_zero_domain_compresses_via_frame() {
+        // Longitudes scaled by 1e5: -12.62427 .. 29.64975 (paper §VI-C).
+        let mut vals: Vec<i64> = vec![-1_262_427, 0, 1_500_000, 2_964_975];
+        vals.extend((0..1000).map(|i| -1_262_427 + i * 4227));
+        let dtype = DataType::Decimal {
+            precision: 8,
+            scale: 5,
+        };
+        let d = DecomposedColumn::decompose(
+            &vals,
+            dtype,
+            &DecompositionSpec::with_device_bits(24),
+        )
+        .unwrap();
+        assert_eq!(d.resbits(), 8);
+        // Range 4227402 needs 23 bits; major part 23-8 = 15 bits.
+        assert_eq!(d.stored_width(), 15);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(d.reconstruct_payload(i), v);
+        }
+        // Device volume: 15 bits/row vs 32 plain -> >50% smaller.
+        assert!(d.device_bytes() * 2 < vals.len() as u64 * 4);
+    }
+
+    #[test]
+    fn without_frame_of_reference_cross_zero_does_not_compress() {
+        let vals: Vec<i64> = vec![-1_262_427, 2_964_975];
+        let d = DecomposedColumn::decompose(
+            &vals,
+            DataType::Int32,
+            &DecompositionSpec {
+                device_bits: 24,
+                frame_of_reference: false,
+                granularity: PrefixGranularity::Bit,
+            },
+        )
+        .unwrap();
+        // Sign-flipped values straddle 0x8000_0000: no shared prefix.
+        assert_eq!(d.stored_width(), 24);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(d.reconstruct_payload(i), v);
+        }
+    }
+
+    #[test]
+    fn granule_bounds_contain_exact_value() {
+        let vals: Vec<i64> = (0..2000).map(|i| i * 13 % 9999).collect();
+        let d = ints(&vals, 24);
+        for (i, &v) in vals.iter().enumerate() {
+            let (lo, hi) = d.granule_payload(d.stored_of_row(i));
+            assert!(lo <= v && v <= hi, "granule [{lo},{hi}] must contain {v}");
+            assert!(hi - lo < d.granule_size() as i64);
+        }
+    }
+
+    #[test]
+    fn stored_bounds_yield_superset() {
+        let vals: Vec<i64> = (0..5000).map(|i| (i * 31) % 50_000).collect();
+        let d = ints(&vals, 22); // 10 residual bits -> granule 1024
+        let (plo, phi) = (10_000i64, 20_000i64);
+        let (slo, shi) = d.stored_bounds_payload(plo, phi).unwrap();
+        for (i, &v) in vals.iter().enumerate() {
+            let s = d.stored_of_row(i);
+            if v >= plo && v <= phi {
+                assert!(s >= slo && s <= shi, "row {i} value {v} must be a candidate");
+            }
+        }
+    }
+
+    #[test]
+    fn stored_bounds_empty_outside_domain() {
+        let vals: Vec<i64> = (100..200).collect();
+        let d = ints(&vals, 28);
+        assert_eq!(d.stored_bounds_payload(300, 400), None);
+        assert_eq!(d.stored_bounds_payload(0, 50), None);
+        assert_eq!(d.stored_bounds_payload(50, 20), None); // inverted
+        assert!(d.stored_bounds_payload(150, 160).is_some());
+    }
+
+    #[test]
+    fn stored_bounds_clamp_partial_overlap() {
+        let vals: Vec<i64> = (100..200).collect();
+        let d = ints(&vals, 28);
+        // Range reaching below / above the domain clamps to full coverage.
+        let full = d.stored_bounds_payload(0, 1000).unwrap();
+        let all_stored: Vec<u64> = (0..d.len()).map(|i| d.stored_of_row(i)).collect();
+        let max_stored = *all_stored.iter().max().unwrap();
+        let min_stored = *all_stored.iter().min().unwrap();
+        assert!(full.0 <= min_stored && full.1 >= max_stored);
+    }
+
+    #[test]
+    fn empty_column() {
+        let d = ints(&[], 24);
+        assert!(d.is_empty());
+        assert_eq!(d.device_bytes(), 0);
+        assert_eq!(d.stored_bounds_payload(0, 10), None);
+    }
+
+    #[test]
+    fn validate_spec_rejects_zero_device_bits() {
+        assert!(DecomposedColumn::validate_spec(
+            DataType::Int32,
+            &DecompositionSpec::with_device_bits(0)
+        )
+        .is_err());
+        assert!(DecomposedColumn::validate_spec(
+            DataType::Int32,
+            &DecompositionSpec::with_device_bits(24)
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn int64_decomposition() {
+        let vals: Vec<i64> = vec![-5_000_000_000, 0, 7_000_000_000];
+        let d = DecomposedColumn::decompose(
+            &vals,
+            DataType::Int64,
+            &DecompositionSpec::with_device_bits(40),
+        )
+        .unwrap();
+        assert_eq!(d.resbits(), 24);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(d.reconstruct_payload(i), v);
+        }
+    }
+
+    #[test]
+    fn into_parts_preserves_translation() {
+        let vals: Vec<i64> = (0..100).map(|i| i * 37 % 1000).collect();
+        let d = ints(&vals, 26);
+        let expect: Vec<i64> = (0..100).map(|i| d.reconstruct_payload(i)).collect();
+        let (meta, approx, residual) = d.into_parts();
+        for i in 0..100 {
+            assert_eq!(
+                meta.payload_from_parts(approx.get(i), residual.get(i)),
+                expect[i]
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reconstruct_roundtrip(
+            vals in proptest::collection::vec(-1_000_000i64..1_000_000, 1..300),
+            device_bits in 1u32..=32,
+        ) {
+            let d = ints(&vals, device_bits);
+            for (i, &v) in vals.iter().enumerate() {
+                prop_assert_eq!(d.reconstruct_payload(i), v);
+            }
+        }
+
+        #[test]
+        fn prop_stored_bounds_superset(
+            vals in proptest::collection::vec(-10_000i64..10_000, 1..200),
+            device_bits in 20u32..=32,
+            lo in -12_000i64..12_000,
+            len in 0i64..8_000,
+        ) {
+            let d = ints(&vals, device_bits);
+            let hi = lo + len;
+            let bounds = d.stored_bounds_payload(lo, hi);
+            for (i, &v) in vals.iter().enumerate() {
+                if v >= lo && v <= hi {
+                    let (slo, shi) = bounds.expect("range with matches must have bounds");
+                    let s = d.stored_of_row(i);
+                    prop_assert!(s >= slo && s <= shi);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_granule_contains_value(
+            vals in proptest::collection::vec(any::<i32>(), 1..200),
+            device_bits in 1u32..=32,
+        ) {
+            let vals: Vec<i64> = vals.into_iter().map(|v| v as i64).collect();
+            let d = ints(&vals, device_bits);
+            for (i, &v) in vals.iter().enumerate() {
+                let (lo, hi) = d.granule_payload(d.stored_of_row(i));
+                prop_assert!(lo <= v && v <= hi);
+            }
+        }
+    }
+}

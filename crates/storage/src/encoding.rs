@@ -1,0 +1,148 @@
+//! Order-preserving payload encodings.
+//!
+//! Every column stores its logical values as primitive `i64` *payloads*
+//! (ints as themselves, dates as day counts, decimals as scaled integers,
+//! strings as ordered-dictionary codes). Decomposition, however, operates
+//! on *unsigned* bit patterns: these functions map payloads to an unsigned
+//! domain of the column's physical width such that payload order equals
+//! unsigned integer order. Range predicates therefore commute with
+//! encoding — the property the A&R predicate relaxation (§IV-B) relies on.
+
+use bwd_types::{BwdError, DataType, Result};
+
+/// Physical width in bits of a column's stored representation.
+#[inline]
+pub fn physical_bits(dtype: DataType) -> u32 {
+    (dtype.plain_width() * 8) as u32
+}
+
+/// Encode a payload into the order-preserving unsigned domain of the
+/// column's physical width (sign bit flipped; 32-bit types occupy the low
+/// 32 bits of the returned `u64`).
+#[inline]
+pub fn encode(payload: i64, dtype: DataType) -> u64 {
+    match physical_bits(dtype) {
+        32 => {
+            debug_assert!(
+                i32::try_from(payload).is_ok(),
+                "payload {payload} exceeds the 32-bit physical width of {dtype}"
+            );
+            ((payload as i32 as u32) ^ 0x8000_0000) as u64
+        }
+        _ => (payload as u64) ^ (1u64 << 63),
+    }
+}
+
+/// Fallible variant of [`encode`] for untrusted inputs (query constants).
+#[inline]
+pub fn try_encode(payload: i64, dtype: DataType) -> Result<u64> {
+    if physical_bits(dtype) == 32 && i32::try_from(payload).is_err() {
+        return Err(BwdError::InvalidArgument(format!(
+            "payload {payload} exceeds the 32-bit physical width of {dtype}"
+        )));
+    }
+    Ok(encode(payload, dtype))
+}
+
+/// Inverse of [`encode`].
+#[inline]
+pub fn decode(enc: u64, dtype: DataType) -> i64 {
+    match physical_bits(dtype) {
+        32 => ((enc as u32) ^ 0x8000_0000) as i32 as i64,
+        _ => (enc ^ (1u64 << 63)) as i64,
+    }
+}
+
+/// Clamp an arbitrary `i64` constant into the encodable payload range of
+/// the type, returning the encoded value plus whether clamping occurred.
+///
+/// Used when a query constant (e.g. an `i64` literal) is compared against a
+/// 32-bit column: the comparison stays correct if the constant saturates.
+#[inline]
+pub fn encode_saturating(payload: i64, dtype: DataType) -> u64 {
+    if physical_bits(dtype) == 32 {
+        let clamped = payload.clamp(i32::MIN as i64, i32::MAX as i64);
+        encode(clamped, dtype)
+    } else {
+        encode(payload, dtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(physical_bits(DataType::Int32), 32);
+        assert_eq!(physical_bits(DataType::Int64), 64);
+        assert_eq!(physical_bits(DataType::Date), 32);
+        assert_eq!(physical_bits(DataType::Str), 32);
+        assert_eq!(
+            physical_bits(DataType::Decimal {
+                precision: 8,
+                scale: 5
+            }),
+            32
+        );
+        assert_eq!(physical_bits(DataType::decimal(2)), 64); // precision 18
+    }
+
+    #[test]
+    fn roundtrip_32() {
+        for v in [i32::MIN as i64, -1_262_427, -1, 0, 1, 2_964_975, i32::MAX as i64] {
+            let e = encode(v, DataType::Int32);
+            assert!(e <= u32::MAX as u64, "32-bit encoding must stay in 32 bits");
+            assert_eq!(decode(e, DataType::Int32), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_64() {
+        for v in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert_eq!(decode(encode(v, DataType::Int64), DataType::Int64), v);
+        }
+    }
+
+    #[test]
+    fn try_encode_rejects_wide_payloads() {
+        assert!(try_encode(i64::MAX, DataType::Int32).is_err());
+        assert!(try_encode(42, DataType::Int32).is_ok());
+        assert!(try_encode(i64::MAX, DataType::Int64).is_ok());
+    }
+
+    #[test]
+    fn encode_saturating_clamps() {
+        assert_eq!(
+            encode_saturating(i64::MAX, DataType::Int32),
+            encode(i32::MAX as i64, DataType::Int32)
+        );
+        assert_eq!(
+            encode_saturating(i64::MIN, DataType::Int32),
+            encode(i32::MIN as i64, DataType::Int32)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_order_preserving_32(a in i32::MIN as i64..=i32::MAX as i64,
+                                    b in i32::MIN as i64..=i32::MAX as i64) {
+            let (ea, eb) = (encode(a, DataType::Int32), encode(b, DataType::Int32));
+            prop_assert_eq!(a.cmp(&b), ea.cmp(&eb));
+        }
+
+        #[test]
+        fn prop_order_preserving_64(a: i64, b: i64) {
+            let (ea, eb) = (encode(a, DataType::Int64), encode(b, DataType::Int64));
+            prop_assert_eq!(a.cmp(&b), ea.cmp(&eb));
+        }
+
+        #[test]
+        fn prop_roundtrip(v: i64) {
+            prop_assert_eq!(decode(encode(v, DataType::Int64), DataType::Int64), v);
+            let v32 = v as i32 as i64;
+            prop_assert_eq!(decode(encode(v32, DataType::Date), DataType::Date), v32);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Bitwise-distributed columnar storage (the BWD model of Pirk et al.).
+//!
+//! This crate is the storage substrate of the `waste-not` engine:
+//!
+//! * [`bitpack`] — fixed-width bit-packed vectors, the physical format of
+//!   both decomposition partitions;
+//! * [`encoding`] — order-preserving payload↔unsigned encodings;
+//! * [`prefix`] — shared-leading-bit compression with a factored base;
+//! * [`decompose`] — the bitwise split of a column into a device-destined
+//!   approximation and a host-resident residual;
+//! * [`column`] — full-resolution persistent columns and ordered string
+//!   dictionaries;
+//! * [`bat`] — Binary Association Tables, the MonetDB-style intermediate.
+
+pub mod bat;
+pub mod bitpack;
+pub mod column;
+pub mod decompose;
+pub mod encoding;
+pub mod prefix;
+
+pub use bat::{Bat, Head};
+pub use bitpack::BitPackedVec;
+pub use column::{Column, ColumnData, Dictionary};
+pub use decompose::{DecomposedColumn, DecompositionMeta, DecompositionSpec};
+pub use prefix::{OutOfRange, PrefixBase, PrefixGranularity};

@@ -1,0 +1,191 @@
+//! A minimal proleptic-Gregorian calendar date, stored as days since
+//! 1970-01-01.
+//!
+//! TPC-H predicates compare and offset dates (`l_shipdate >= date
+//! '1994-01-01'`, `+ interval '1' year`); storing days-since-epoch keeps the
+//! encoding order-preserving so date range predicates survive bitwise
+//! decomposition unchanged. The civil-calendar conversion follows the
+//! classic Howard Hinnant `days_from_civil` algorithm.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A calendar date as a signed day count since the Unix epoch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Date(pub i32);
+
+impl Date {
+    /// Construct from a civil `(year, month, day)` triple.
+    ///
+    /// # Panics
+    /// Panics if `month` or `day` are out of range (this is a programming
+    /// error in generators/tests; the SQL layer validates user input and
+    /// returns an error instead).
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Self {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!((1..=31).contains(&day), "day out of range: {day}");
+        Date(days_from_civil(year, month, day))
+    }
+
+    /// Parse `"YYYY-MM-DD"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut parts = s.splitn(3, '-');
+        let y: i32 = parts.next()?.parse().ok()?;
+        let m: u32 = parts.next()?.parse().ok()?;
+        let d: u32 = parts.next()?.parse().ok()?;
+        if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+            return None;
+        }
+        Some(Date(days_from_civil(y, m, d)))
+    }
+
+    /// The `(year, month, day)` triple of this date.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.0)
+    }
+
+    /// Days since the Unix epoch (can be negative for pre-1970 dates).
+    #[inline]
+    pub fn days(self) -> i32 {
+        self.0
+    }
+
+    /// This date shifted by `n` calendar days.
+    #[inline]
+    pub fn add_days(self, n: i32) -> Self {
+        Date(self.0 + n)
+    }
+
+    /// This date shifted by `n` calendar months (day-of-month clamped to the
+    /// target month's length, as SQL interval arithmetic does).
+    pub fn add_months(self, n: i32) -> Self {
+        let (y, m, d) = self.ymd();
+        let zero_based = y as i64 * 12 + (m as i64 - 1) + n as i64;
+        let ny = zero_based.div_euclid(12) as i32;
+        let nm = zero_based.rem_euclid(12) as u32 + 1;
+        let nd = d.min(days_in_month(ny, nm));
+        Date::from_ymd(ny, nm, nd)
+    }
+
+    /// This date shifted by `n` calendar years.
+    pub fn add_years(self, n: i32) -> Self {
+        self.add_months(n * 12)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+impl fmt::Debug for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Date({self})")
+    }
+}
+
+fn is_leap(y: i32) -> bool {
+    y % 4 == 0 && (y % 100 != 0 || y % 400 == 0)
+}
+
+fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("invalid month {m}"),
+    }
+}
+
+/// Days since 1970-01-01 for the civil date `(y, m, d)`.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = y as i64 - if m <= 2 { 1 } else { 0 };
+    let era = y.div_euclid(400);
+    let yoe = y - era * 400; // [0, 399]
+    let mp = ((m as i64) + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + (d as i64) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era * 146_097 + doe - 719_468) as i32
+}
+
+/// Civil `(y, m, d)` for a day count since 1970-01-01.
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + if m <= 2 { 1 } else { 0 }) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).days(), 0);
+        assert_eq!(Date(0).ymd(), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // TPC-H date range endpoints.
+        assert_eq!(Date::from_ymd(1992, 1, 1).days(), 8035);
+        assert_eq!(Date::from_ymd(1998, 12, 31).days(), 10_591);
+        // The classic 2526-day shipdate domain (1992-01-02 ..= 1998-12-01 + 121 days span).
+        let lo = Date::from_ymd(1992, 1, 2);
+        let hi = Date::from_ymd(1998, 12, 1);
+        assert_eq!(hi.days() - lo.days() + 1, 2526);
+    }
+
+    #[test]
+    fn roundtrip_every_day_of_two_leap_cycles() {
+        let start = Date::from_ymd(1996, 1, 1).days();
+        let end = Date::from_ymd(2004, 12, 31).days();
+        for d in start..=end {
+            let (y, m, dd) = Date(d).ymd();
+            assert_eq!(Date::from_ymd(y, m, dd).days(), d);
+        }
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let d = Date::parse("1994-01-01").unwrap();
+        assert_eq!(d.to_string(), "1994-01-01");
+        assert_eq!(Date::parse("1994-13-01"), None);
+        assert_eq!(Date::parse("1994-02-30"), None);
+        assert_eq!(Date::parse("not-a-date"), None);
+        assert_eq!(Date::parse("1994"), None);
+    }
+
+    #[test]
+    fn interval_arithmetic() {
+        let d = Date::parse("1995-09-01").unwrap();
+        assert_eq!(d.add_months(1).to_string(), "1995-10-01"); // TPC-H Q14 window
+        assert_eq!(d.add_years(1).to_string(), "1996-09-01");
+        let eom = Date::parse("1996-01-31").unwrap();
+        assert_eq!(eom.add_months(1).to_string(), "1996-02-29"); // clamped, leap year
+        assert_eq!(eom.add_months(-2).to_string(), "1995-11-30");
+    }
+
+    #[test]
+    fn ordering_matches_day_counts() {
+        let a = Date::parse("1994-01-01").unwrap();
+        let b = Date::parse("1995-01-01").unwrap();
+        assert!(a < b);
+        assert_eq!(b.days() - a.days(), 365);
+    }
+}

@@ -1,0 +1,127 @@
+//! A fast, non-cryptographic hasher for the engine's internal hash tables.
+//!
+//! The default SipHash of `std::collections::HashMap` is a measurable cost
+//! in hash-join/grouping hot loops over integer keys. This is the well-known
+//! "Fx" multiply-and-rotate construction (as used by rustc); implemented
+//! in-tree (~40 lines) rather than pulling in a crate outside the approved
+//! dependency set. HashDoS resistance is irrelevant for an embedded
+//! analytical engine hashing its own dense keys.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher over 64-bit words.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the fast hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hash a single `u64` directly (used by open-addressing tables that bypass
+/// the `Hasher` machinery entirely).
+#[inline]
+pub fn hash_u64(v: u64) -> u64 {
+    v.wrapping_mul(SEED).rotate_left(23).wrapping_mul(SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&999], 1998);
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide() {
+        use std::collections::HashSet;
+        let hashes: HashSet<u64> = (0..100_000u64).map(hash_u64).collect();
+        assert_eq!(hashes.len(), 100_000, "hash_u64 collided on dense keys");
+    }
+
+    #[test]
+    fn write_handles_unaligned_tails() {
+        use std::hash::Hasher;
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 4]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        s.insert("lineitem");
+        assert!(s.contains("lineitem"));
+        assert!(!s.contains("part"));
+    }
+}

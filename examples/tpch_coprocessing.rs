@@ -1,0 +1,92 @@
+//! TPC-H Q1 / Q6 / Q14 (§VI-D) on the co-processing engine: all-GPU,
+//! space-constrained and classic configurations, including Q14's promo
+//! revenue ratio.
+//!
+//! ```text
+//! cargo run --release --example tpch_coprocessing [-- scale_factor]
+//! ```
+
+use waste_not::data::{gen_lineitem, gen_part, TpchConfig};
+use waste_not::engine::{Database, ExecMode};
+use waste_not::sql::{bind, parse, BoundStatement};
+use waste_not::{Result, Value};
+
+const Q1: &str = "select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, \
+    sum(l_extendedprice) as sum_base_price, \
+    sum(l_extendedprice * (1 - l_discount)) as sum_disc_price, \
+    sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge, \
+    avg(l_quantity) as avg_qty, avg(l_extendedprice) as avg_price, \
+    avg(l_discount) as avg_disc, count(*) as count_order \
+    from lineitem where l_shipdate <= date '1998-12-01' - interval '90' day \
+    group by l_returnflag, l_linestatus";
+
+const Q6: &str = "select sum(l_extendedprice * l_discount) as revenue from lineitem \
+    where l_shipdate >= date '1994-01-01' \
+    and l_shipdate < date '1994-01-01' + interval '1' year \
+    and l_discount between 0.05 and 0.07 and l_quantity < 24";
+
+const Q14: &str = "select \
+    sum(case when p_type like 'PROMO%' then l_extendedprice * (1 - l_discount) else 0 end) as promo, \
+    sum(l_extendedprice * (1 - l_discount)) as total \
+    from lineitem, part where l_partkey = p_partkey \
+    and l_shipdate >= date '1995-09-01' \
+    and l_shipdate < date '1995-09-01' + interval '1' month";
+
+fn main() -> Result<()> {
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.05);
+    println!("loading TPC-H subset at SF {sf}...");
+    let cfg = TpchConfig::scale(sf);
+    let mut db = Database::new();
+    db.create_table("lineitem", gen_lineitem(&cfg).into_columns())?;
+    db.create_table("part", gen_part(&cfg).into_columns())?;
+    db.declare_fk("lineitem", "l_partkey", "part", "p_partkey")?;
+
+    for (name, sql) in [("Q1", Q1), ("Q6", Q6), ("Q14", Q14)] {
+        let stmt = parse(sql)?;
+        let BoundStatement::Query(logical) = bind(&stmt, db.catalog())? else {
+            unreachable!()
+        };
+        let plan = db.bind(&logical, &Default::default())?;
+
+        // All-GPU: every referenced column bit-packed and device-resident.
+        db.auto_bind(&plan)?;
+        let ar = db.run_bound(&plan, ExecMode::ApproxRefine)?;
+        // Space-constrained: l_shipdate decomposed 24/8 (§VI-D1).
+        db.bwdecompose("lineitem", "l_shipdate", 24)?;
+        let space = db.run_bound(&plan, ExecMode::ApproxRefine)?;
+        db.bwdecompose_spec(
+            "lineitem",
+            "l_shipdate",
+            &waste_not::storage::DecompositionSpec::all_device(),
+        )?;
+        let classic = db.run_bound(&plan, ExecMode::Classic)?;
+        assert_eq!(ar.rows, classic.rows, "{name} must be exact");
+        assert_eq!(space.rows, classic.rows, "{name} must be exact");
+
+        println!("\n=== {name} ===");
+        println!("  A&R (all-GPU):      {}", ar.breakdown);
+        println!("  A&R (space-constr): {}", space.breakdown);
+        println!("  classic:            {}", classic.breakdown);
+        println!(
+            "  speedup: {:.1}x (all-GPU), {:.1}x (space-constrained)",
+            classic.breakdown.total() / ar.breakdown.total(),
+            classic.breakdown.total() / space.breakdown.total(),
+        );
+        if name == "Q14" {
+            // The paper's Q14 metric: 100 * promo / total.
+            let (promo, total) = (ar.rows[0][0].as_f64().unwrap(), ar.rows[0][1].as_f64().unwrap());
+            println!("  promo_revenue = {:.2}%", 100.0 * promo / total);
+        } else if name == "Q1" {
+            for row in &ar.rows {
+                let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+                println!("  {}", cells.join(" | "));
+            }
+        } else {
+            println!("  revenue = {}", ar.rows[0][0]);
+        }
+    }
+    Ok(())
+}

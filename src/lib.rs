@@ -1,0 +1,184 @@
+//! `waste-not` — Approximate & Refine co-processing of bitwise-distributed
+//! relational data.
+//!
+//! A from-scratch Rust reproduction of *Pirk, Manegold, Kersten: "Waste
+//! Not... Efficient Co-Processing of Relational Data", ICDE 2014*. The
+//! workspace implements the complete system: bitwise-decomposed columnar
+//! storage, a simulated GPU-class co-processor with a calibrated cost
+//! model, the A&R operator pairs (relaxed selections, translucent joins,
+//! candidate-set extrema, destructive-distributivity-aware aggregation), a
+//! MonetDB-style engine with classic and A&R pipelines, a SQL front-end,
+//! and the full evaluation harness.
+//!
+//! This crate is the facade: it re-exports the public API of every layer
+//! and adds [`Db`], a convenience wrapper that executes SQL end to end.
+//!
+//! ```
+//! use waste_not::{Db, ExecMode};
+//! use waste_not::storage::Column;
+//!
+//! let mut db = Db::new();
+//! db.create_table("r", vec![("a".into(), Column::from_i32((0..1000).collect()))])
+//!     .unwrap();
+//! // Decompose: 24 device-resident bits, 8 residual bits on the host.
+//! db.sql("select bwdecompose(a, 24) from r").unwrap();
+//! let out = db.sql("select count(*) from r where a between 100 and 199").unwrap();
+//! assert_eq!(out.rows()[0][0].to_string(), "100");
+//! ```
+
+pub use bwd_core as core;
+pub use bwd_data as data;
+pub use bwd_device as device;
+pub use bwd_engine as engine;
+pub use bwd_kernels as kernels;
+pub use bwd_sql as sql;
+pub use bwd_storage as storage;
+pub use bwd_types as types;
+
+pub use bwd_device::{Breakdown, Env};
+pub use bwd_engine::{ArExecOptions, Database, DecompositionReport, ExecMode, QueryResult};
+pub use bwd_types::{BwdError, Result, Value};
+
+use bwd_sql::{bind, parse, BoundStatement};
+
+/// What a SQL statement produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlOutput {
+    /// A query result.
+    Rows(QueryResult),
+    /// A `bwdecompose` report.
+    Decomposed(DecompositionReport),
+}
+
+impl SqlOutput {
+    /// The result rows (empty for decomposition statements).
+    pub fn rows(&self) -> &[Vec<Value>] {
+        match self {
+            SqlOutput::Rows(r) => &r.rows,
+            SqlOutput::Decomposed(_) => &[],
+        }
+    }
+
+    /// The query result, if this was a query.
+    pub fn query(&self) -> Option<&QueryResult> {
+        match self {
+            SqlOutput::Rows(r) => Some(r),
+            SqlOutput::Decomposed(_) => None,
+        }
+    }
+}
+
+/// An embedded `waste-not` database with SQL convenience.
+///
+/// Derefs to the underlying [`Database`] for programmatic access
+/// (`create_table`, `declare_fk`, `bwdecompose`, plan-level execution).
+pub struct Db {
+    inner: Database,
+}
+
+impl Db {
+    /// A database on the paper's default simulated platform (GTX 680-class
+    /// device, dual-Xeon-class host, 3.95 GB/s PCI-E).
+    pub fn new() -> Self {
+        Db {
+            inner: Database::new(),
+        }
+    }
+
+    /// A database on a custom platform.
+    pub fn with_env(env: Env) -> Self {
+        Db {
+            inner: Database::with_env(env),
+        }
+    }
+
+    /// Execute one SQL statement with Approximate & Refine processing.
+    pub fn sql(&mut self, statement: &str) -> Result<SqlOutput> {
+        self.sql_mode(statement, ExecMode::ApproxRefine)
+    }
+
+    /// Execute one SQL statement with an explicit execution mode
+    /// ([`ExecMode::Classic`] is the CPU-only MonetDB-style baseline).
+    pub fn sql_mode(&mut self, statement: &str, mode: ExecMode) -> Result<SqlOutput> {
+        let stmt = parse(statement)?;
+        match bind(&stmt, self.inner.catalog())? {
+            BoundStatement::Decompose {
+                table,
+                column,
+                device_bits,
+            } => Ok(SqlOutput::Decomposed(self.inner.bwdecompose(
+                &table,
+                &column,
+                device_bits,
+            )?)),
+            BoundStatement::Query(plan) => Ok(SqlOutput::Rows(self.inner.run(&plan, mode)?)),
+        }
+    }
+}
+
+impl Default for Db {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for Db {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.inner
+    }
+}
+
+impl std::ops::DerefMut for Db {
+    fn deref_mut(&mut self) -> &mut Database {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwd_storage::Column;
+
+    #[test]
+    fn sql_end_to_end_both_modes_agree() {
+        let mut db = Db::new();
+        db.create_table(
+            "r",
+            vec![
+                ("a".into(), Column::from_i32((0..5000).collect())),
+                (
+                    "b".into(),
+                    Column::from_i32((0..5000).map(|i| i % 7).collect()),
+                ),
+            ],
+        )
+        .unwrap();
+        let q = "select b, count(*) as n, sum(a) as s from r where a < 3500 group by b";
+        let ar = self_rows(db.sql(q).unwrap());
+        let classic = self_rows(db.sql_mode(q, ExecMode::Classic).unwrap());
+        assert_eq!(ar, classic);
+        assert_eq!(ar.len(), 7);
+    }
+
+    fn self_rows(out: SqlOutput) -> Vec<Vec<Value>> {
+        match out {
+            SqlOutput::Rows(r) => r.rows,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decompose_statement_reports() {
+        let mut db = Db::new();
+        db.create_table("r", vec![("a".into(), Column::from_i32((0..4096).collect()))])
+            .unwrap();
+        let out = db.sql("select bwdecompose(a, 24) from r").unwrap();
+        let SqlOutput::Decomposed(rep) = out else {
+            panic!()
+        };
+        assert_eq!(rep.resbits, 8);
+        assert!(db.is_bound("r", "a"));
+    }
+}

@@ -1,0 +1,149 @@
+//! TPC-H subset integration: the evaluation queries (§VI-D) through the
+//! full SQL → bind → rewrite → execute stack, in every configuration.
+
+use waste_not::data::{gen_lineitem, gen_part, TpchConfig};
+use waste_not::engine::{Database, ExecMode};
+use waste_not::sql::{bind, parse, BoundStatement};
+use waste_not::storage::DecompositionSpec;
+use waste_not::Value;
+
+const SF: f64 = 0.01;
+
+fn tpch() -> Database {
+    let cfg = TpchConfig::scale(SF);
+    let mut db = Database::new();
+    db.create_table("lineitem", gen_lineitem(&cfg).into_columns())
+        .unwrap();
+    db.create_table("part", gen_part(&cfg).into_columns()).unwrap();
+    db.declare_fk("lineitem", "l_partkey", "part", "p_partkey")
+        .unwrap();
+    db
+}
+
+fn run_both(db: &mut Database, sql: &str) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+    let stmt = parse(sql).unwrap();
+    let BoundStatement::Query(plan) = bind(&stmt, db.catalog()).unwrap() else {
+        panic!("not a query")
+    };
+    let classic = db.run(&plan, ExecMode::Classic).unwrap();
+    let ar = db.run(&plan, ExecMode::ApproxRefine).unwrap();
+    (classic.rows, ar.rows)
+}
+
+#[test]
+fn q6_equivalence_and_reference_value() {
+    let mut db = tpch();
+    let (classic, ar) = run_both(
+        &mut db,
+        "select sum(l_extendedprice * l_discount) as revenue from lineitem \
+         where l_shipdate >= date '1994-01-01' \
+         and l_shipdate < date '1994-01-01' + interval '1' year \
+         and l_discount between 0.05 and 0.07 and l_quantity < 24",
+    );
+    assert_eq!(classic, ar);
+    // Reference from a straight scalar evaluation over the generator.
+    let cfg = TpchConfig::scale(SF);
+    let li = gen_lineitem(&cfg);
+    let d94 = bwd_types::Date::parse("1994-01-01").unwrap().days() as i64;
+    let d95 = bwd_types::Date::parse("1995-01-01").unwrap().days() as i64;
+    let mut expect: i128 = 0;
+    for i in 0..li.l_quantity.len() {
+        let ship = li.l_shipdate.payload(i);
+        let disc = li.l_discount.payload(i);
+        let qty = li.l_quantity.payload(i);
+        if ship >= d94 && ship < d95 && (5..=7).contains(&disc) && qty < 24 {
+            expect += (li.l_extendedprice.payload(i) * disc) as i128;
+        }
+    }
+    match &ar[0][0] {
+        Value::Decimal { unscaled, scale } => {
+            assert_eq!(*scale, 4);
+            assert_eq!(*unscaled as i128, expect);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn q1_equivalence_across_decompositions() {
+    let mut db = tpch();
+    let q1 = "select l_returnflag, l_linestatus, sum(l_quantity) as sq, \
+              sum(l_extendedprice * (1 - l_discount)) as sd, \
+              avg(l_discount) as ad, count(*) as n \
+              from lineitem \
+              where l_shipdate <= date '1998-12-01' - interval '90' day \
+              group by l_returnflag, l_linestatus";
+    let (classic, ar_resident) = run_both(&mut db, q1);
+    assert_eq!(classic, ar_resident);
+    // Space-constrained: decomposed shipdate must not change results.
+    db.bwdecompose("lineitem", "l_shipdate", 24).unwrap();
+    let (_, ar_space) = run_both(&mut db, q1);
+    assert_eq!(classic, ar_space);
+    // 3-4 (returnflag, linestatus) combinations exist.
+    assert!(classic.len() >= 3 && classic.len() <= 4, "{}", classic.len());
+}
+
+#[test]
+fn q14_join_and_case_equivalence() {
+    let mut db = tpch();
+    let q14 = "select \
+        sum(case when p_type like 'PROMO%' then l_extendedprice * (1 - l_discount) else 0 end) as promo, \
+        sum(l_extendedprice * (1 - l_discount)) as total \
+        from lineitem, part where l_partkey = p_partkey \
+        and l_shipdate >= date '1995-09-01' \
+        and l_shipdate < date '1995-09-01' + interval '1' month";
+    let (classic, ar) = run_both(&mut db, q14);
+    assert_eq!(classic, ar);
+    // Promo revenue is a strict positive fraction of total (~1/5 of types
+    // are PROMO).
+    let promo = ar[0][0].as_f64().unwrap();
+    let total = ar[0][1].as_f64().unwrap();
+    assert!(promo > 0.0 && promo < total, "promo {promo} total {total}");
+    let ratio = promo / total;
+    assert!(ratio > 0.05 && ratio < 0.45, "ratio {ratio}");
+}
+
+#[test]
+fn q14_with_decomposed_dimension_column() {
+    let mut db = tpch();
+    // Decompose the dimension attribute too: the FK refine path must
+    // reconstruct through the dimension residual.
+    db.bwdecompose("part", "p_type", 4).unwrap();
+    let q = "select count(*) from lineitem, part \
+             where l_partkey = p_partkey and p_type like 'PROMO%'";
+    let (classic, ar) = run_both(&mut db, q);
+    assert_eq!(classic, ar);
+}
+
+#[test]
+fn dimension_predicate_in_where_clause() {
+    let mut db = tpch();
+    let q = "select count(*), sum(l_quantity) from lineitem, part \
+             where l_partkey = p_partkey and p_type like 'ECONOMY%' \
+             and l_quantity < 10";
+    let (classic, ar) = run_both(&mut db, q);
+    assert_eq!(classic, ar);
+}
+
+#[test]
+fn space_constrained_uses_less_device_memory() {
+    let mut db = tpch();
+    let stmt = parse("select count(*) from lineitem where l_shipdate >= date '1997-01-01'")
+        .unwrap();
+    let BoundStatement::Query(p) = bind(&stmt, db.catalog()).unwrap() else {
+        panic!()
+    };
+    let plan = db.bind(&p, &Default::default()).unwrap();
+    db.auto_bind(&plan).unwrap();
+    let resident_bytes = db.env().device.memory().used();
+    db.bwdecompose_spec("lineitem", "l_shipdate", &DecompositionSpec::with_device_bits(24))
+        .unwrap();
+    let constrained_bytes = db.env().device.memory().used();
+    assert!(
+        constrained_bytes < resident_bytes,
+        "decomposition must shrink the device footprint: {constrained_bytes} vs {resident_bytes}"
+    );
+    let r = db.run_bound(&plan, ExecMode::ApproxRefine).unwrap();
+    let c = db.run_bound(&plan, ExecMode::Classic).unwrap();
+    assert_eq!(r.rows, c.rows);
+}
