@@ -66,14 +66,8 @@ fn bench_select_ar(c: &mut Criterion) {
                 |b, range| {
                     b.iter(|| {
                         let mut ledger = CostLedger::new();
-                        let r = select_ar(
-                            &env,
-                            &col,
-                            range,
-                            &ScanOptions::default(),
-                            &mut ledger,
-                        )
-                        .unwrap();
+                        let r = select_ar(&env, &col, range, &ScanOptions::default(), &mut ledger)
+                            .unwrap();
                         black_box(r.len())
                     })
                 },
@@ -129,8 +123,7 @@ fn bench_prefix_compression(c: &mut Criterion) {
     ] {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let d =
-                    DecomposedColumn::decompose(&payloads, DataType::Int32, &spec).unwrap();
+                let d = DecomposedColumn::decompose(&payloads, DataType::Int32, &spec).unwrap();
                 black_box(d.device_bytes())
             })
         });

@@ -1,0 +1,124 @@
+//! Wall-clock throughput of the `bwd-sched` worker pool: what the real
+//! Rust code costs to push mixed query batches through the scheduler
+//! (the `figures` binary reports *simulated* platform time instead).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use bwd_core::plan::{AggExpr, AggFunc, ArPlan, LogicalPlan, Predicate};
+use bwd_engine::{Database, ExecMode};
+use bwd_sched::{SchedConfig, Scheduler};
+use bwd_storage::Column;
+use bwd_types::Value;
+
+const N: i32 = 1 << 20;
+
+fn setup() -> (Arc<Database>, ArPlan) {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        vec![
+            (
+                "a".into(),
+                Column::from_i32((0..N).map(|i| i % 10_000).collect()),
+            ),
+            (
+                "b".into(),
+                Column::from_i32((0..N).map(|i| (i * 7) % 100).collect()),
+            ),
+        ],
+    )
+    .unwrap();
+    let plan = LogicalPlan::scan("t")
+        .filter(Predicate::Between {
+            column: "a".into(),
+            lo: Value::Int(100),
+            hi: Value::Int(999),
+        })
+        .aggregate(
+            vec!["b".into()],
+            vec![AggExpr {
+                func: AggFunc::Count,
+                arg: None,
+                alias: "n".into(),
+            }],
+        );
+    let ar = db.bind(&plan, &Default::default()).unwrap();
+    db.auto_bind(&ar).unwrap();
+    (Arc::new(db), ar)
+}
+
+/// A mixed classic + A&R batch across worker-pool sizes.
+fn bench_mixed_batch(c: &mut Criterion) {
+    let (db, plan) = setup();
+    let mut g = c.benchmark_group("sched_mixed_batch16");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let sched = Scheduler::new(
+            Arc::clone(&db),
+            SchedConfig {
+                workers,
+                ..SchedConfig::default()
+            },
+        );
+        let session = sched.session();
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                let tickets: Vec<_> = (0..16)
+                    .map(|i| {
+                        let mode = if i % 2 == 0 {
+                            ExecMode::Classic
+                        } else {
+                            ExecMode::ApproxRefine
+                        };
+                        session.submit(plan.clone(), mode)
+                    })
+                    .collect();
+                for t in tickets {
+                    black_box(t.wait().unwrap().survivors);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Submission overhead: queue round trip for a trivial query.
+fn bench_submit_latency(c: &mut Criterion) {
+    let (db, _) = setup();
+    let plan = {
+        let logical = LogicalPlan::scan("t")
+            .filter(Predicate::Between {
+                column: "a".into(),
+                lo: Value::Int(0),
+                hi: Value::Int(0),
+            })
+            .aggregate(
+                vec![],
+                vec![AggExpr {
+                    func: AggFunc::Count,
+                    arg: None,
+                    alias: "n".into(),
+                }],
+            );
+        db.bind(&logical, &Default::default()).unwrap()
+    };
+    let sched = Scheduler::with_defaults(Arc::clone(&db));
+    let session = sched.session();
+    let mut g = c.benchmark_group("sched_submit");
+    g.sample_size(30);
+    g.bench_function("ar_roundtrip", |b| {
+        b.iter(|| {
+            black_box(
+                session
+                    .query(&plan, ExecMode::ApproxRefine)
+                    .unwrap()
+                    .survivors,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mixed_batch, bench_submit_latency);
+criterion_main!(benches);

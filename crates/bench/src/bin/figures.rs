@@ -70,8 +70,8 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.ids.is_empty() || args.ids.iter().any(|i| i == "all") {
         args.ids = [
-            "fig1", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "tab1", "fig9",
-            "fig10a", "fig10b", "fig10c", "fig11",
+            "fig1", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "tab1", "fig9", "fig10a",
+            "fig10b", "fig10c", "fig11",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -97,8 +97,18 @@ fn main() -> ExitCode {
             "fig8a" => Ok(vec![micro::fig8_selection(&env, args.micro_n, 32, "fig8a")]),
             "fig8b" => Ok(vec![micro::fig8_selection(&env, args.micro_n, 24, "fig8b")]),
             "fig8c" => Ok(vec![micro::fig8c_bits_sweep(&env, args.micro_n)]),
-            "fig8d" => Ok(vec![micro::fig8_projection(&env, args.micro_n, 32, "fig8d")]),
-            "fig8e" => Ok(vec![micro::fig8_projection(&env, args.micro_n, 24, "fig8e")]),
+            "fig8d" => Ok(vec![micro::fig8_projection(
+                &env,
+                args.micro_n,
+                32,
+                "fig8d",
+            )]),
+            "fig8e" => Ok(vec![micro::fig8_projection(
+                &env,
+                args.micro_n,
+                24,
+                "fig8e",
+            )]),
             "fig8f" => Ok(vec![micro::fig8f_grouping(&env, args.micro_n)]),
             "tab1" => tab1(args.scale.spatial_fixes).map(|f| vec![f]),
             "fig9" => evaluation::fig9_spatial(args.scale.spatial_fixes)
@@ -151,8 +161,10 @@ fn main() -> ExitCode {
 fn tab1(fixes: usize) -> Result<Figure, String> {
     use bwd_engine::ExecMode;
     let mut db = evaluation::spatial_db(fixes).map_err(|e| e.to_string())?;
-    db.bwdecompose("trips", "lon", 24).map_err(|e| e.to_string())?;
-    db.bwdecompose("trips", "lat", 24).map_err(|e| e.to_string())?;
+    db.bwdecompose("trips", "lon", 24)
+        .map_err(|e| e.to_string())?;
+    db.bwdecompose("trips", "lat", 24)
+        .map_err(|e| e.to_string())?;
     let classic = evaluation::run_sql(&mut db, evaluation::SPATIAL_QUERY, ExecMode::Classic)
         .map_err(|e| e.to_string())?;
     let ar = evaluation::run_sql(&mut db, evaluation::SPATIAL_QUERY, ExecMode::ApproxRefine)
@@ -176,6 +188,9 @@ fn tab1(fixes: usize) -> Result<Figure, String> {
     );
     fig.push("query (classic pipe)", vec![classic.breakdown.total()]);
     fig.push("query (bwd pipe / A&R)", vec![ar.breakdown.total()]);
-    fig.note(format!("count = {} (identical in both pipes)", ar.rows[0][0]));
+    fig.note(format!(
+        "count = {} (identical in both pipes)",
+        ar.rows[0][0]
+    ));
     Ok(fig)
 }

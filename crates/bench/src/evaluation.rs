@@ -6,7 +6,8 @@ use crate::report::Figure;
 use bwd_core::plan::ArPlan;
 use bwd_data::{gen_lineitem, gen_part, gen_trips, SpatialConfig, TpchConfig};
 use bwd_device::{DeviceSpec, Env, GIB};
-use bwd_engine::{run_throughput, Database, ExecMode, QueryResult};
+use bwd_engine::{Database, ExecMode, QueryResult};
+use bwd_sched::run_throughput;
 use bwd_sql::{bind, parse, BoundStatement};
 use bwd_types::Result;
 
@@ -81,7 +82,7 @@ pub const Q14: &str = "select \
 /// fit.
 pub fn spatial_db(fixes: usize) -> Result<Database> {
     let coord_bytes = fixes as u64 * 8;
-    let capacity = ((coord_bytes as f64 / 1.1) as u64).min(2 * GIB).max(1 << 20);
+    let capacity = ((coord_bytes as f64 / 1.1) as u64).clamp(1 << 20, 2 * GIB);
     let env = Env::with_device(DeviceSpec::gtx680().with_capacity(capacity));
     let mut db = Database::with_env(env);
     let trips = gen_trips(&SpatialConfig::fixes(fixes));
@@ -175,10 +176,16 @@ pub fn fig9_spatial(fixes: usize) -> Result<Figure> {
         lon_rep.device_bytes,
         lat_rep.device_bytes,
         input_bytes,
-        100 - 100 * (lon_rep.device_bytes + lat_rep.device_bytes + lon_rep.host_bytes + lat_rep.host_bytes)
+        100 - 100
+            * (lon_rep.device_bytes
+                + lat_rep.device_bytes
+                + lon_rep.host_bytes
+                + lat_rep.host_bytes)
             / input_bytes.max(1),
     ));
-    fig.note("paper (250M fixes): A&R 0.134 s | MonetDB 0.529 s | Stream 0.453 s; ~80% of A&R on GPU");
+    fig.note(
+        "paper (250M fixes): A&R 0.134 s | MonetDB 0.529 s | Stream 0.453 s; ~80% of A&R on GPU",
+    );
     Ok(fig)
 }
 
@@ -193,7 +200,13 @@ pub fn tpch_db(sf: f64) -> Result<Database> {
 }
 
 /// Fig 10a/b/c: one TPC-H query in four configurations.
-pub fn fig10_query(db: &mut Database, id: &str, title: &str, sql: &str, paper: &str) -> Result<Figure> {
+pub fn fig10_query(
+    db: &mut Database,
+    id: &str,
+    title: &str,
+    sql: &str,
+    paper: &str,
+) -> Result<Figure> {
     let plan = bind_sql(db, sql)?;
 
     // All-GPU: every referenced column fully device-resident.
@@ -212,8 +225,14 @@ pub fn fig10_query(db: &mut Database, id: &str, title: &str, sql: &str, paper: &
     )?;
 
     let classic = db.run_bound(&plan, ExecMode::Classic)?;
-    assert_eq!(ar.rows, classic.rows, "{id}: A&R (all-GPU) must equal classic");
-    assert_eq!(ar_space.rows, classic.rows, "{id}: A&R (space) must equal classic");
+    assert_eq!(
+        ar.rows, classic.rows,
+        "{id}: A&R (all-GPU) must equal classic"
+    );
+    assert_eq!(
+        ar_space.rows, classic.rows,
+        "{id}: A&R (space) must equal classic"
+    );
 
     // Streaming baseline: the referenced input columns cross PCI-E.
     let mut input_bytes = 0u64;
@@ -249,7 +268,11 @@ pub fn fig10_query(db: &mut Database, id: &str, title: &str, sql: &str, paper: &
         vec![0.0, classic.breakdown.host, 0.0, classic.breakdown.total()],
     );
     fig.push("Stream(Hyp)", vec![f64::NAN, f64::NAN, stream, stream]);
-    fig.note(format!("rows: {}; survivors: {}", ar.rows.len(), ar.survivors));
+    fig.note(format!(
+        "rows: {}; survivors: {}",
+        ar.rows.len(),
+        ar.survivors
+    ));
     fig.note(format!("paper (SF-10): {paper}"));
     Ok(fig)
 }
@@ -292,7 +315,7 @@ pub fn fig11(sf: f64) -> Result<Figure> {
     // which produces the CPU-interference the paper measures (16.2 ->
     // 12.6 q/s) while the stream itself stays device-bound.
     db.bwdecompose("lineitem", "l_shipdate", 28)?;
-    let report = run_throughput(&mut db, &plan, &[1, 2, 4, 8, 16, 32])?;
+    let report = run_throughput(std::sync::Arc::new(db), &plan, &[1, 2, 4, 8, 16, 32])?;
 
     let mut fig = Figure::new(
         "fig11",

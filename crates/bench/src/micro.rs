@@ -58,7 +58,7 @@ fn classic_project_seconds(env: &Env, k: usize) -> f64 {
 /// `device_bits = 32` reproduces 8a (GPU-resident), `24` reproduces 8b
 /// (distributed, 8 bits on the CPU).
 pub fn fig8_selection(env: &Env, n: usize, device_bits: u32, id: &str) -> Figure {
-    let payloads = micro::unique_shuffled(n, 0xF16_8A);
+    let payloads = micro::unique_shuffled(n, 0x000F_168A);
     let col = bind_ints(env, &payloads, device_bits);
     let stream = env.pcie.stream_hypothetical(n as u64 * 4);
 
@@ -80,7 +80,13 @@ pub fn fig8_selection(env: &Env, n: usize, device_bits: u32, id: &str) -> Figure
         let bound = micro::selectivity_bound(n, sel);
         let range = RangePred::at_most(bound - 1);
         let mut approx_ledger = CostLedger::new();
-        let cands = select_approx(&env.clone(), &col, &range, &ScanOptions::default(), &mut approx_ledger);
+        let cands = select_approx(
+            &env.clone(),
+            &col,
+            &range,
+            &ScanOptions::default(),
+            &mut approx_ledger,
+        );
         let approx_t = approx_ledger.breakdown().total();
 
         let mut ledger = approx_ledger.clone();
@@ -106,7 +112,7 @@ pub fn fig8_selection(env: &Env, n: usize, device_bits: u32, id: &str) -> Figure
 /// Fig 8c: selection time vs number of GPU-resident bits, at three
 /// selectivities (5%, .05%, .01%).
 pub fn fig8c_bits_sweep(env: &Env, n: usize) -> Figure {
-    let payloads = micro::unique_shuffled(n, 0xF16_8C);
+    let payloads = micro::unique_shuffled(n, 0x000F_168C);
     let sels = [0.05, 0.0005, 0.0001];
     let stream = env.pcie.stream_hypothetical(n as u64 * 4);
 
@@ -152,8 +158,8 @@ pub fn fig8c_bits_sweep(env: &Env, n: usize) -> Figure {
 /// survivors of a selection, selectivity sweep. `device_bits = 32` for 8d,
 /// `24` for 8e.
 pub fn fig8_projection(env: &Env, n: usize, device_bits: u32, id: &str) -> Figure {
-    let sel_payloads = micro::unique_shuffled(n, 0xF16_8D);
-    let val_payloads = micro::unique_shuffled(n, 0xF16_8E);
+    let sel_payloads = micro::unique_shuffled(n, 0x000F_168D);
+    let val_payloads = micro::unique_shuffled(n, 0x000F_168E);
     let sel_col = bind_ints(env, &sel_payloads, 32);
     let val_col = bind_ints(env, &val_payloads, device_bits);
     let stream = env.pcie.stream_hypothetical(n as u64 * 4);
@@ -220,7 +226,7 @@ pub fn fig8f_grouping(env: &Env, n: usize) -> Figure {
     );
 
     for groups in [10u64, 32, 100, 316, 1000] {
-        let payloads = micro::grouping_keys(n, groups, 0xF16_8F);
+        let payloads = micro::grouping_keys(n, groups, 0x000F_168F);
         let col = bind_ints(env, &payloads, 32);
 
         let mut ledger = CostLedger::new();
@@ -237,12 +243,7 @@ pub fn fig8f_grouping(env: &Env, n: usize) -> Figure {
         // Hash grouping costs several dependent operations per tuple
         // (hash, probe, insert, group-id write) — ~10 ns/tuple on the
         // paper's hardware.
-        env.charge_host_scan(
-            "classic.group",
-            n as u64 * 8,
-            5 * n as u64,
-            &mut classic,
-        );
+        env.charge_host_scan("classic.group", n as u64 * 8, 5 * n as u64, &mut classic);
         fig.push(
             groups.to_string(),
             vec![classic.breakdown().total(), ar_t, approx_t, stream],
@@ -322,7 +323,10 @@ mod tests {
         // the paper's claim holds from moderate selectivities up (its N is
         // 100 M, where the fixed costs vanish).
         for ((x, r), _) in f.rows.iter().zip(SELECTIVITY_SWEEP).skip(2) {
-            assert!(r[1] <= r[0] * 1.2, "A&R projection competitive at {x}: {r:?}");
+            assert!(
+                r[1] <= r[0] * 1.2,
+                "A&R projection competitive at {x}: {r:?}"
+            );
         }
     }
 }

@@ -1,0 +1,210 @@
+//! A minimal, dependency-free wall-clock bench harness exposing the subset
+//! of the `criterion` API this workspace uses (the build environment has
+//! no access to a crates registry).
+//!
+//! Statistics are intentionally simple: per benchmark it warms up, then
+//! times batches of iterations until a time budget is spent and reports
+//! the mean, min and max per-iteration time. No plots, no persistence —
+//! enough to compare implementations and spot order-of-magnitude shifts.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point (one per bench binary).
+pub struct Criterion {
+    /// Target measuring time per benchmark.
+    measure_budget: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_budget: Duration::from_millis(400),
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup { c: self, name }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = id.to_string();
+        let mut b = Bencher {
+            budget: self.measure_budget,
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        report(&label, b.result);
+    }
+}
+
+/// A named benchmark group (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples (kept for API compatibility; the
+    /// shim's budget dominates in practice).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            budget: self.c.measure_budget,
+            samples: self.c.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        report(&label, b.result);
+    }
+
+    /// Benchmark a closure that receives `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            budget: self.c.measure_budget,
+            samples: self.c.sample_size,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&label, b.result);
+    }
+
+    /// End the group (no-op; reports stream as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Passed to the benchmarked closure; call [`Bencher::iter`].
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    result: Option<Stats>,
+}
+
+#[derive(Clone, Copy)]
+struct Stats {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, warm-up included.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: 3 iterations or 50 ms, whichever comes first.
+        let warm_start = Instant::now();
+        for _ in 0..3 {
+            black_box(routine());
+            if warm_start.elapsed() > Duration::from_millis(50) {
+                break;
+            }
+        }
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let started = Instant::now();
+        while iters < self.samples as u64 || started.elapsed() < self.budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            min = min.min(dt);
+            max = max.max(dt);
+            total += dt;
+            iters += 1;
+            if started.elapsed() >= self.budget && iters >= self.samples as u64 {
+                break;
+            }
+            if iters >= 10_000 {
+                break;
+            }
+        }
+        self.result = Some(Stats {
+            mean: total / iters.max(1) as u32,
+            min,
+            max,
+            iters,
+        });
+    }
+}
+
+fn report(label: &str, stats: Option<Stats>) {
+    match stats {
+        Some(s) => println!(
+            "{label:<48} mean {:>12?}  min {:>12?}  max {:>12?}  ({} iters)",
+            s.mean, s.min, s.max, s.iters
+        ),
+        None => println!("{label:<48} (no measurement)"),
+    }
+}
+
+/// Define a bench group function calling each target with a [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -182,12 +182,7 @@ fn pow_clamped(base: i64, exp: u32) -> i64 {
 /// terms `a_ap·b_re` and `b_ap·a_re` need both parts on one device.
 /// Returns the unavoidable reconstruction error of the "approximations
 /// only" estimate, used by tests and the DESIGN.md discussion.
-pub fn destructive_distributivity_gap(
-    a_ap: i64,
-    a_re: i64,
-    b_ap: i64,
-    b_re: i64,
-) -> i64 {
+pub fn destructive_distributivity_gap(a_ap: i64, a_re: i64, b_ap: i64, b_re: i64) -> i64 {
     let exact = (a_ap + a_re) * (b_ap + b_re);
     let approx_only = a_ap * b_ap + a_re * b_re; // terms computable per-device
     exact - approx_only // = a_ap*b_re + b_ap*a_re, the cross terms
@@ -233,10 +228,7 @@ mod tests {
 
     #[test]
     fn sqrt_and_pow() {
-        assert_eq!(
-            Interval::new(4, 17).sqrt().unwrap(),
-            Interval::new(2, 4)
-        );
+        assert_eq!(Interval::new(4, 17).sqrt().unwrap(), Interval::new(2, 4));
         assert!(Interval::new(-1, 4).sqrt().is_err());
         assert_eq!(Interval::new(2, 3).pow(2), Interval::new(4, 9));
         assert_eq!(Interval::new(-3, 2).pow(2), Interval::new(0, 9));

@@ -131,12 +131,22 @@ pub fn extremum_approx(
     match (threshold, which) {
         // No certain survivor: every candidate may win.
         (None, _) => with_vals,
-        (Some(t), Extremum::Min) => {
-            filter_le(env, val_col.approx(), &with_vals, t, "agg.min.filter", ledger)
-        }
-        (Some(t), Extremum::Max) => {
-            filter_ge(env, val_col.approx(), &with_vals, t, "agg.max.filter", ledger)
-        }
+        (Some(t), Extremum::Min) => filter_le(
+            env,
+            val_col.approx(),
+            &with_vals,
+            t,
+            "agg.min.filter",
+            ledger,
+        ),
+        (Some(t), Extremum::Max) => filter_ge(
+            env,
+            val_col.approx(),
+            &with_vals,
+            t,
+            "agg.max.filter",
+            ledger,
+        ),
     }
 }
 
@@ -237,8 +247,14 @@ mod tests {
         let a = bind(&env, &a_vals, 26);
         let b = bind(&env, &b_vals, 26);
         let survivors: Vec<Oid> = (0..500).collect();
-        let a_stored: Vec<u64> = survivors.iter().map(|&o| a.approx().get(o as usize)).collect();
-        let b_stored: Vec<u64> = survivors.iter().map(|&o| b.approx().get(o as usize)).collect();
+        let a_stored: Vec<u64> = survivors
+            .iter()
+            .map(|&o| a.approx().get(o as usize))
+            .collect();
+        let b_stored: Vec<u64> = survivors
+            .iter()
+            .map(|&o| b.approx().get(o as usize))
+            .collect();
         let mut ledger = CostLedger::new();
         let s = sum_product_exact_host(&env, &a, &a_stored, &b, &b_stored, &survivors, &mut ledger);
         let expect: i128 = a_vals
@@ -270,7 +286,10 @@ mod tests {
         let mut ledger = CostLedger::new();
         let cands = select_approx(&env, &x, &range, &ScanOptions::default(), &mut ledger);
         // The false positive is among the candidates.
-        assert!(cands.oids.contains(&1), "x=5 must be a candidate of x>6 relaxed");
+        assert!(
+            cands.oids.contains(&1),
+            "x=5 must be a candidate of x>6 relaxed"
+        );
 
         let x_meta = *x.meta();
         let cands_approx = cands.approx.clone();
@@ -302,9 +321,15 @@ mod tests {
             dense: true,
         };
         let mut ledger = CostLedger::new();
-        let max_cands =
-            extremum_approx(&env, &col, &cands, &|_| true, Extremum::Max, &mut ledger);
-        let m = extremum_refine(&env, &col, &max_cands, &|_| true, Extremum::Max, &mut ledger);
+        let max_cands = extremum_approx(&env, &col, &cands, &|_| true, Extremum::Max, &mut ledger);
+        let m = extremum_refine(
+            &env,
+            &col,
+            &max_cands,
+            &|_| true,
+            Extremum::Max,
+            &mut ledger,
+        );
         assert_eq!(m, Some(17));
 
         let empty = extremum_approx(
@@ -335,7 +360,11 @@ mod tests {
         };
         let mut ledger = CostLedger::new();
         let c = extremum_approx(&env, &col, &cands, &|_| false, Extremum::Min, &mut ledger);
-        assert_eq!(c.len(), 3, "without certainty the full candidate set is kept");
+        assert_eq!(
+            c.len(),
+            3,
+            "without certainty the full candidate set is kept"
+        );
     }
 
     #[test]

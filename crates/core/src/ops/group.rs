@@ -67,11 +67,7 @@ pub fn group_refine(
         "approximate grouping must align with its candidate list"
     );
     if charge_download {
-        env.charge_download(
-            "group.refine.download",
-            cands.len() as u64 * 4,
-            ledger,
-        );
+        env.charge_download("group.refine.download", cands.len() as u64 * 4, ledger);
     }
 
     let dense_base = cands.dense.then_some(0);
@@ -195,8 +191,7 @@ mod tests {
         let g = group_approx(&env, &col, &cands, &mut ledger);
         assert_eq!(g.n_groups(), 7);
         let survivors: Vec<Oid> = cands.oids.clone();
-        let refined =
-            group_refine(&env, &col, &cands, &g, &survivors, true, &mut ledger).unwrap();
+        let refined = group_refine(&env, &col, &cands, &g, &survivors, true, &mut ledger).unwrap();
         let (ref_ids, ref_keys) = reference(&vals, &survivors);
         assert_eq!(refined.group_ids, ref_ids);
         assert_eq!(refined.group_payloads, ref_keys);
@@ -215,8 +210,7 @@ mod tests {
         let g = group_approx(&env, &col, &cands, &mut ledger);
         assert!(g.n_groups() < 64, "approximate groups must be coarser");
         let survivors: Vec<Oid> = cands.oids.clone();
-        let refined =
-            group_refine(&env, &col, &cands, &g, &survivors, true, &mut ledger).unwrap();
+        let refined = group_refine(&env, &col, &cands, &g, &survivors, true, &mut ledger).unwrap();
         assert_eq!(refined.n_groups(), 64);
         // Group payloads must be the exact key values.
         for (i, &o) in survivors.iter().enumerate() {
@@ -235,8 +229,7 @@ mod tests {
         let g = group_approx(&env, &col, &cands, &mut ledger);
         // Only oids 1, 3, 4 survive a (hypothetical) earlier refinement.
         let survivors = vec![1, 3, 4];
-        let refined =
-            group_refine(&env, &col, &cands, &g, &survivors, false, &mut ledger).unwrap();
+        let refined = group_refine(&env, &col, &cands, &g, &survivors, false, &mut ledger).unwrap();
         let (ref_ids, ref_keys) = reference(&vals, &survivors);
         assert_eq!(refined.group_ids, ref_ids);
         assert_eq!(refined.group_payloads, ref_keys);

@@ -56,9 +56,9 @@ impl FkIndex {
         }
         let mut host = Vec::with_capacity(fact_keys.len());
         for &k in fact_keys {
-            let row = table.get(&k).ok_or_else(|| {
-                BwdError::Exec(format!("foreign key {k} has no dimension match"))
-            })?;
+            let row = table
+                .get(&k)
+                .ok_or_else(|| BwdError::Exec(format!("foreign key {k} has no dimension match")))?;
             host.push(*row);
         }
         // CPU hash build + probe cost.
@@ -143,19 +143,24 @@ pub fn fk_project_refine(
     ledger: &mut CostLedger,
 ) -> Result<Vec<i64>> {
     if charge_download {
-        let bytes =
-            (approx_vals.len() as u64 * dim_col.meta().stored_width() as u64).div_ceil(8);
+        let bytes = (approx_vals.len() as u64 * dim_col.meta().stored_width() as u64).div_ceil(8);
         env.charge_download("join.fk.refine.download", bytes, ledger);
     }
     let mut out = Vec::with_capacity(survivors.len());
-    translucent_join_with(cand_oids, approx_vals, cand_dense, survivors, |bi, stored| {
-        let dim_row = fk.dim_row(survivors[bi]);
-        out.push(
-            dim_col
-                .meta()
-                .payload_from_parts(stored, dim_col.residual_of(dim_row)),
-        );
-    })?;
+    translucent_join_with(
+        cand_oids,
+        approx_vals,
+        cand_dense,
+        survivors,
+        |bi, stored| {
+            let dim_row = fk.dim_row(survivors[bi]);
+            out.push(
+                dim_col
+                    .meta()
+                    .payload_from_parts(stored, dim_col.residual_of(dim_row)),
+            );
+        },
+    )?;
     if dim_col.meta().fully_device_resident() {
         env.charge_host_scan(
             "join.fk.refine.decode",
@@ -185,8 +190,18 @@ pub fn theta_join_approx(
     ledger: &mut CostLedger,
 ) -> Vec<(Oid, Oid)> {
     // Pre-decode granule payload intervals once per side.
-    let a_iv: Vec<(i64, i64)> = a.approx().data().iter().map(|s| a.meta().granule_payload(s)).collect();
-    let b_iv: Vec<(i64, i64)> = b.approx().data().iter().map(|s| b.meta().granule_payload(s)).collect();
+    let a_iv: Vec<(i64, i64)> = a
+        .approx()
+        .data()
+        .iter()
+        .map(|s| a.meta().granule_payload(s))
+        .collect();
+    let b_iv: Vec<(i64, i64)> = b
+        .approx()
+        .data()
+        .iter()
+        .map(|s| b.meta().granule_payload(s))
+        .collect();
     let mut out = Vec::new();
     for (i, &(alo, ahi)) in a_iv.iter().enumerate() {
         for (j, &(blo, bhi)) in b_iv.iter().enumerate() {
@@ -325,7 +340,15 @@ mod tests {
         let approx = fk_project_approx(&env, &fk, &dim_col, &c, &mut ledger);
         let survivors = vec![5, 33];
         let out = fk_project_refine(
-            &env, &fk, &dim_col, &c.oids, None, &approx, &survivors, true, &mut ledger,
+            &env,
+            &fk,
+            &dim_col,
+            &c.oids,
+            None,
+            &approx,
+            &survivors,
+            true,
+            &mut ledger,
         )
         .unwrap();
         let expect: Vec<i64> = survivors

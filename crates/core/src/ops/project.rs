@@ -49,14 +49,19 @@ pub fn project_refine(
     ledger: &mut CostLedger,
 ) -> Result<Vec<i64>> {
     if charge_download {
-        let bytes =
-            (approx_vals.len() as u64 * col.meta().stored_width() as u64).div_ceil(8);
+        let bytes = (approx_vals.len() as u64 * col.meta().stored_width() as u64).div_ceil(8);
         env.charge_download("project.refine.download", bytes, ledger);
     }
     let mut out = Vec::with_capacity(survivors.len());
-    translucent_join_with(cand_oids, approx_vals, cand_dense, survivors, |bi, stored| {
-        out.push(col.reconstruct_with(survivors[bi], stored));
-    })?;
+    translucent_join_with(
+        cand_oids,
+        approx_vals,
+        cand_dense,
+        survivors,
+        |bi, stored| {
+            out.push(col.reconstruct_with(survivors[bi], stored));
+        },
+    )?;
     let merge_bytes = cand_oids.len() as u64 * 4;
     if col.meta().fully_device_resident() {
         // No residual exists: the "refinement" is the translucent merge

@@ -229,7 +229,11 @@ mod tests {
                 select_ar(&env, &col, &range, &ScanOptions::default(), &mut ledger).unwrap();
             let mut got = refined.oids.clone();
             got.sort_unstable();
-            assert_eq!(got, exact_select(&vals, &range), "device_bits={device_bits}");
+            assert_eq!(
+                got,
+                exact_select(&vals, &range),
+                "device_bits={device_bits}"
+            );
             for (&oid, &p) in refined.oids.iter().zip(&refined.payloads) {
                 assert_eq!(p, vals[oid as usize]);
             }
@@ -299,9 +303,16 @@ mod tests {
         // A's survivors.
         let refined_a =
             select_refine(&env, &col_a, &ca, Some(&cb.oids), &ra, true, &mut ledger).unwrap();
-        let refined_b =
-            select_refine(&env, &col_b, &cb, Some(&refined_a.oids), &rb, true, &mut ledger)
-                .unwrap();
+        let refined_b = select_refine(
+            &env,
+            &col_b,
+            &cb,
+            Some(&refined_a.oids),
+            &rb,
+            true,
+            &mut ledger,
+        )
+        .unwrap();
 
         let mut got = refined_b.oids.clone();
         got.sort_unstable();

@@ -65,9 +65,9 @@ impl ScalarExpr {
         match self {
             ScalarExpr::Column(_) | ScalarExpr::Literal(_) => 0,
             ScalarExpr::Binary { lhs, rhs, .. } => 1 + lhs.op_count() + rhs.op_count(),
-            ScalarExpr::Case { then, otherwise, .. } => {
-                1 + then.op_count() + otherwise.op_count()
-            }
+            ScalarExpr::Case {
+                then, otherwise, ..
+            } => 1 + then.op_count() + otherwise.op_count(),
         }
     }
 

@@ -64,6 +64,7 @@ pub fn rewrite(
     let mut project = Vec::new();
 
     // Walk the linear plan spine bottom-up.
+    #[allow(clippy::too_many_arguments)]
     fn walk(
         node: &LogicalPlan,
         resolver: &dyn PlanResolver,
@@ -79,10 +80,12 @@ pub fn rewrite(
                 *table = Some(t.clone());
             }
             LogicalPlan::Filter { input, predicate } => {
-                walk(input, resolver, table, selections, fk_join, group_by, aggs, project)?;
-                let t = table.as_deref().ok_or_else(|| {
-                    BwdError::Plan("filter without a scanned table".into())
-                })?;
+                walk(
+                    input, resolver, table, selections, fk_join, group_by, aggs, project,
+                )?;
+                let t = table
+                    .as_deref()
+                    .ok_or_else(|| BwdError::Plan("filter without a scanned table".into()))?;
                 for conj in predicate.conjuncts() {
                     selections.push(bind_selection(conj, t, fk_join.as_ref(), resolver)?);
                 }
@@ -92,7 +95,9 @@ pub fn rewrite(
                 fact_key,
                 dim_table,
             } => {
-                walk(input, resolver, table, selections, fk_join, group_by, aggs, project)?;
+                walk(
+                    input, resolver, table, selections, fk_join, group_by, aggs, project,
+                )?;
                 if fk_join.is_some() {
                     return Err(BwdError::Unsupported(
                         "multiple foreign-key joins in one plan".into(),
@@ -108,7 +113,9 @@ pub fn rewrite(
                 group_by: g,
                 aggs: a,
             } => {
-                walk(input, resolver, table, selections, fk_join, group_by, aggs, project)?;
+                walk(
+                    input, resolver, table, selections, fk_join, group_by, aggs, project,
+                )?;
                 if !aggs.is_empty() {
                     return Err(BwdError::Unsupported("nested aggregation".into()));
                 }
@@ -116,7 +123,9 @@ pub fn rewrite(
                 *aggs = a.clone();
             }
             LogicalPlan::Project { input, exprs } => {
-                walk(input, resolver, table, selections, fk_join, group_by, aggs, project)?;
+                walk(
+                    input, resolver, table, selections, fk_join, group_by, aggs, project,
+                )?;
                 *project = exprs.clone();
             }
         }
@@ -178,8 +187,7 @@ fn bind_selection(
             let (t, c) = split(column);
             ensure_known_table(&t, fact_table, fk)?;
             let payload = resolver.payload_of(&t, &c, value)?;
-            let range = RangePred::from_cmp(*op, payload)
-                .unwrap_or(RangePred::between(1, 0)); // unsatisfiable marker
+            let range = RangePred::from_cmp(*op, payload).unwrap_or(RangePred::between(1, 0)); // unsatisfiable marker
             BoundSelection {
                 column: column.clone(),
                 range,
@@ -294,10 +302,7 @@ mod tests {
         assert_eq!(ar.selections[0].column, "b");
         assert_eq!(ar.selections[0].range, RangePred::between(0, 5));
         assert_eq!(ar.selections[1].column, "a");
-        assert_eq!(
-            ar.selections[1].range,
-RangePred::at_least(11)
-        );
+        assert_eq!(ar.selections[1].range, RangePred::at_least(11));
         assert!(ar.pushdown);
     }
 

@@ -166,17 +166,11 @@ pub enum GranuleMatch {
 }
 
 /// Classify a stored approximation against a precise payload range.
-pub fn classify_granule(
-    meta: &DecompositionMeta,
-    stored: u64,
-    range: &RangePred,
-) -> GranuleMatch {
+pub fn classify_granule(meta: &DecompositionMeta, stored: u64, range: &RangePred) -> GranuleMatch {
     let (glo, ghi) = meta.granule_payload(stored);
     let inside_lo = range.lo.is_none_or(|l| glo >= l);
     let inside_hi = range.hi.is_none_or(|h| ghi <= h);
-    let clear_of_exclusion = range
-        .exclude
-        .is_none_or(|x| x < glo || x > ghi);
+    let clear_of_exclusion = range.exclude.is_none_or(|x| x < glo || x > ghi);
     if inside_lo && inside_hi && clear_of_exclusion {
         GranuleMatch::Certain
     } else {
@@ -244,7 +238,10 @@ mod tests {
 
     #[test]
     fn from_cmp_normalizes() {
-        assert_eq!(RangePred::from_cmp(CmpOp::Eq, 5), Some(RangePred::between(5, 5)));
+        assert_eq!(
+            RangePred::from_cmp(CmpOp::Eq, 5),
+            Some(RangePred::between(5, 5))
+        );
         assert_eq!(
             RangePred::from_cmp(CmpOp::Lt, 5),
             Some(RangePred::at_most(4))
@@ -319,7 +316,7 @@ mod tests {
         let vals: Vec<i64> = (0..256).collect();
         let col = column(&vals, 28); // granule 16
         let range = RangePred::between(16, 47); // exactly granules 1 and 2
-        // Row 20 sits in granule [16,31] ⊆ [16,47]: certain.
+                                                // Row 20 sits in granule [16,31] ⊆ [16,47]: certain.
         assert_eq!(
             classify_granule(col.meta(), col.stored_of_row(20), &range),
             GranuleMatch::Certain

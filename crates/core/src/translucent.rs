@@ -124,11 +124,7 @@ pub fn translucent_join_with<T: Copy>(
 /// Hash-join fallback over the same input shape, used only by the
 /// `translucent_vs_hash` ablation: build on A, probe with B. Requires
 /// conditions 1–2 but *not* the shared permutation.
-pub fn hash_join_baseline<T: Copy>(
-    a_ids: &[Oid],
-    a_vals: &[T],
-    b_ids: &[Oid],
-) -> Result<Vec<T>> {
+pub fn hash_join_baseline<T: Copy>(a_ids: &[Oid], a_vals: &[T], b_ids: &[Oid]) -> Result<Vec<T>> {
     let mut table: bwd_types::FxHashMap<Oid, T> = bwd_types::FxHashMap::default();
     table.reserve(a_ids.len());
     for (&id, &v) in a_ids.iter().zip(a_vals) {
@@ -204,9 +200,8 @@ mod tests {
         let a_vals = [70, 20, 90, 40];
         let b_ids = [2, 4];
         let mut seen = Vec::new();
-        let path =
-            translucent_join_with(&a_ids, &a_vals, None, &b_ids, |bi, v| seen.push((bi, v)))
-                .unwrap();
+        let path = translucent_join_with(&a_ids, &a_vals, None, &b_ids, |bi, v| seen.push((bi, v)))
+            .unwrap();
         assert_eq!(path, JoinPath::Translucent);
         assert_eq!(seen, vec![(0, 20), (1, 40)]);
     }

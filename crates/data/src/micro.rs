@@ -54,7 +54,11 @@ mod tests {
         assert_ne!(v, (0..10_000).collect::<Vec<i64>>(), "must be shuffled");
         let mut sorted = v.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, (0..10_000).collect::<Vec<i64>>(), "must be unique 0..n");
+        assert_eq!(
+            sorted,
+            (0..10_000).collect::<Vec<i64>>(),
+            "must be unique 0..n"
+        );
     }
 
     #[test]

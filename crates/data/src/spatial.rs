@@ -30,18 +30,18 @@ pub const LAT_MAX: i64 = 7_013_643;
 /// weight decays with index (Zipf-ish), giving the skewed density real
 /// traces show.
 const CITIES: [(i64, i64); 12] = [
-    (236_950, 4_885_660),    // Paris-ish
-    (1_340_000, 5_252_000),  // Berlin-ish
-    (-370_000, 5_150_000),   // London-ish
-    (490_000, 5_237_000),    // Amsterdam-ish
-    (1_640_000, 4_808_000),  // Vienna-ish
-    (912_000, 4_567_000),    // Milan-ish
-    (-566_000, 4_040_000),   // Madrid-ish
-    (2_102_000, 5_223_000),  // Warsaw-ish
-    (1_247_000, 4_183_000),  // Rome-ish
-    (1_805_000, 5_932_000),  // Stockholm-ish
-    (-912_000, 3_858_000),   // Lisbon-ish
-    (2_801_000, 4_102_000),  // Istanbul-ish
+    (236_950, 4_885_660),   // Paris-ish
+    (1_340_000, 5_252_000), // Berlin-ish
+    (-370_000, 5_150_000),  // London-ish
+    (490_000, 5_237_000),   // Amsterdam-ish
+    (1_640_000, 4_808_000), // Vienna-ish
+    (912_000, 4_567_000),   // Milan-ish
+    (-566_000, 4_040_000),  // Madrid-ish
+    (2_102_000, 5_223_000), // Warsaw-ish
+    (1_247_000, 4_183_000), // Rome-ish
+    (1_805_000, 5_932_000), // Stockholm-ish
+    (-912_000, 3_858_000),  // Lisbon-ish
+    (2_801_000, 4_102_000), // Istanbul-ish
 ];
 
 /// Generator configuration.
@@ -207,7 +207,10 @@ mod tests {
             fixes_per_trip: 50,
             seed: 9,
         };
-        assert_eq!(gen_trips(&cfg).lon.payloads(), gen_trips(&cfg).lon.payloads());
+        assert_eq!(
+            gen_trips(&cfg).lon.payloads(),
+            gen_trips(&cfg).lon.payloads()
+        );
     }
 
     #[test]

@@ -39,12 +39,7 @@ impl Device {
     /// `bytes` into it. This is how persistent approximations arrive on
     /// the device at decomposition time (a one-time cost the paper pays
     /// outside query execution — charge it to a separate ledger).
-    pub fn upload(
-        &self,
-        bytes: u64,
-        label: &str,
-        ledger: &mut CostLedger,
-    ) -> Result<DeviceBuffer> {
+    pub fn upload(&self, bytes: u64, label: &str, ledger: &mut CostLedger) -> Result<DeviceBuffer> {
         let buf = self.memory.alloc(bytes)?;
         let link = PcieSpec::default();
         ledger.charge(Component::Pcie, label, link.transfer_seconds(bytes), bytes);
@@ -98,16 +93,12 @@ impl Env {
 
     /// Charge a device kernel: launch overhead + sequential traffic +
     /// compute term (the roofline maximum of the latter two).
-    pub fn charge_kernel(
-        &self,
-        label: &str,
-        seq_bytes: u64,
-        ops: u64,
-        ledger: &mut CostLedger,
-    ) {
+    pub fn charge_kernel(&self, label: &str, seq_bytes: u64, ops: u64, ledger: &mut CostLedger) {
         let spec = self.device.spec();
         let t = spec.kernel_launch_overhead
-            + spec.stream_seconds(seq_bytes).max(spec.compute_seconds(ops));
+            + spec
+                .stream_seconds(seq_bytes)
+                .max(spec.compute_seconds(ops));
         ledger.charge(Component::Device, label, t, seq_bytes);
     }
 

@@ -6,11 +6,10 @@
 //! event trace is what `EXPERIMENTS.md` cites when explaining where time
 //! went.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A hardware component of the simulated platform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Component {
     /// The co-processor ("GPU" in the paper's charts).
     Device,
@@ -31,7 +30,7 @@ impl fmt::Display for Component {
 }
 
 /// Simulated seconds spent per component.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Breakdown {
     /// Co-processor busy time.
     pub device: f64,
@@ -81,7 +80,7 @@ impl fmt::Display for Breakdown {
 }
 
 /// One charged cost event (operator-level trace).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostEvent {
     /// The component charged.
     pub component: Component,
@@ -95,7 +94,7 @@ pub struct CostEvent {
 
 /// Bytes moved/touched per component (always tracked; Figure 11's
 /// bandwidth-interference model needs the host traffic of a query).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TrafficBytes {
     /// Device-memory traffic.
     pub device: u64,
@@ -189,9 +188,85 @@ impl CostLedger {
     }
 }
 
+/// A thread-safe, cloneable cost ledger for concurrent query streams.
+///
+/// Worker threads keep charging their private [`CostLedger`] during a
+/// query (no contention on the hot path) and fold the outcome into the
+/// stream's shared ledger once per query — via [`SharedLedger::merge`]
+/// when the full per-operator ledger is at hand, or via per-component
+/// [`SharedLedger::charge`] calls when only the query's totals survive
+/// (the scheduler's stream accounting does the latter, since a
+/// [`crate::Breakdown`] + [`TrafficBytes`] is what a query result
+/// carries).
+#[derive(Debug, Clone, Default)]
+pub struct SharedLedger {
+    inner: std::sync::Arc<std::sync::Mutex<CostLedger>>,
+}
+
+impl SharedLedger {
+    /// An empty shared ledger without event tracing.
+    pub fn new() -> Self {
+        SharedLedger::default()
+    }
+
+    /// Charge `seconds` to `component` (takes `&self`; safe from any thread).
+    pub fn charge(&self, component: Component, label: &str, seconds: f64, bytes: u64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .charge(component, label, seconds, bytes);
+    }
+
+    /// Fold a per-query ledger's totals into this stream.
+    pub fn merge(&self, other: &CostLedger) {
+        self.inner.lock().unwrap().merge(other);
+    }
+
+    /// The accumulated per-component totals.
+    pub fn breakdown(&self) -> Breakdown {
+        self.inner.lock().unwrap().breakdown()
+    }
+
+    /// The accumulated per-component traffic.
+    pub fn traffic(&self) -> TrafficBytes {
+        self.inner.lock().unwrap().traffic()
+    }
+
+    /// A point-in-time copy of the whole ledger.
+    pub fn snapshot(&self) -> CostLedger {
+        self.inner.lock().unwrap().clone()
+    }
+
+    /// Reset all accumulated state.
+    pub fn reset(&self) {
+        self.inner.lock().unwrap().reset();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_ledger_charge_merge_snapshot_reset() {
+        let shared = SharedLedger::new();
+        shared.charge(Component::Host, "stream.query", 0.5, 10);
+        let mut per_query = CostLedger::new();
+        per_query.charge(Component::Device, "scan", 0.25, 4);
+        shared.merge(&per_query);
+        assert_eq!(shared.breakdown().host, 0.5);
+        assert_eq!(shared.breakdown().device, 0.25);
+        assert_eq!(shared.traffic().host, 10);
+        assert_eq!(shared.traffic().device, 4);
+        // Clones share state; snapshots do not.
+        let clone = shared.clone();
+        let frozen = shared.snapshot();
+        clone.charge(Component::Pcie, "dl", 0.1, 1);
+        assert_eq!(shared.breakdown().pcie, 0.1);
+        assert_eq!(frozen.breakdown().pcie, 0.0);
+        shared.reset();
+        assert_eq!(clone.breakdown().total(), 0.0);
+    }
 
     #[test]
     fn charges_accumulate_per_component() {

@@ -24,6 +24,6 @@ pub mod memory;
 pub mod spec;
 
 pub use device::{Device, Env};
-pub use ledger::{Breakdown, Component, CostEvent, CostLedger, TrafficBytes};
+pub use ledger::{Breakdown, Component, CostEvent, CostLedger, SharedLedger, TrafficBytes};
 pub use memory::{DeviceBuffer, DeviceMemory};
 pub use spec::{CpuSpec, DeviceSpec, PcieSpec, GIB};

@@ -6,34 +6,63 @@
 //! paper's evaluation (a 2 GB card cannot hold the 1.8 GB spatial
 //! coordinate data plus working space, §VI-C2 — so the columns must be
 //! decomposed). Buffers free their reservation on drop.
+//!
+//! [`DeviceMemory`] is `Send + Sync` (interior mutability behind a
+//! `Mutex`) and cheap to clone, so concurrent query sessions share one
+//! memory system. Two allocation disciplines coexist:
+//!
+//! * [`DeviceMemory::alloc`] — fail-fast, for loads and decompositions
+//!   where overflow *should* surface as an OOM error;
+//! * [`DeviceMemory::alloc_blocking`] — admission-controlled: a request
+//!   that does not currently fit *queues* (FIFO by arrival of the wait)
+//!   until running work releases its buffers, which is what lets a
+//!   scheduler run more concurrent co-processor queries than the card
+//!   could hold at once without ever exceeding capacity.
 
 use bwd_types::{BwdError, Result};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 #[derive(Debug, Default)]
-struct MemoryInner {
+struct MemoryState {
     capacity: u64,
     allocated: u64,
     peak: u64,
     live_buffers: u64,
     next_id: u64,
+    /// Tickets of reservations queued in `alloc_blocking`, arrival order.
+    /// Only the front ticket may be granted — strict FIFO, no starvation
+    /// of large requests by later small ones.
+    wait_queue: VecDeque<u64>,
+    next_ticket: u64,
+    /// Total reservations that had to wait at least once (admission stat).
+    total_waits: u64,
+}
+
+#[derive(Debug, Default)]
+struct MemoryInner {
+    state: Mutex<MemoryState>,
+    freed: Condvar,
 }
 
 /// The memory system of one simulated device. Cheap to clone (shared).
 #[derive(Debug, Clone)]
 pub struct DeviceMemory {
-    inner: Arc<Mutex<MemoryInner>>,
+    inner: Arc<MemoryInner>,
 }
 
 impl DeviceMemory {
     /// A memory system with `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
         DeviceMemory {
-            inner: Arc::new(Mutex::new(MemoryInner {
-                capacity,
-                ..MemoryInner::default()
-            })),
+            inner: Arc::new(MemoryInner {
+                state: Mutex::new(MemoryState {
+                    capacity,
+                    ..MemoryState::default()
+                }),
+                freed: Condvar::new(),
+            }),
         }
     }
 
@@ -42,7 +71,7 @@ impl DeviceMemory {
     /// Zero-byte allocations are legal (an empty approximation partition
     /// still yields a valid resident buffer).
     pub fn alloc(&self, bytes: u64) -> Result<DeviceBuffer> {
-        let mut m = self.inner.lock();
+        let mut m = self.inner.state.lock().unwrap();
         let available = m.capacity - m.allocated;
         if bytes > available {
             return Err(BwdError::DeviceOutOfMemory {
@@ -50,41 +79,111 @@ impl DeviceMemory {
                 available,
             });
         }
+        Ok(self.grant(&mut m, bytes))
+    }
+
+    /// Reserve `bytes`, queueing until enough capacity is released.
+    ///
+    /// Returns immediately when the request fits *and* no earlier
+    /// reservation is queued; otherwise it joins a strict FIFO queue —
+    /// only the front request is ever granted, so a large reservation
+    /// cannot be starved by a stream of later small ones. A request
+    /// larger than the *total* capacity can never be satisfied and fails
+    /// with [`BwdError::DeviceOutOfMemory`] instead of deadlocking. With
+    /// a `deadline`, a reservation still queued when it expires fails
+    /// with [`BwdError::AdmissionTimeout`].
+    pub fn alloc_blocking(&self, bytes: u64, deadline: Option<Duration>) -> Result<DeviceBuffer> {
+        let started = Instant::now();
+        let mut m = self.inner.state.lock().unwrap();
+        if bytes > m.capacity {
+            return Err(BwdError::DeviceOutOfMemory {
+                requested: bytes,
+                available: m.capacity,
+            });
+        }
+        // Fast path: nothing queued ahead and the request fits now.
+        if m.wait_queue.is_empty() && bytes <= m.capacity - m.allocated {
+            return Ok(self.grant(&mut m, bytes));
+        }
+        m.next_ticket += 1;
+        let ticket = m.next_ticket;
+        m.wait_queue.push_back(ticket);
+        m.total_waits += 1;
+        loop {
+            if m.wait_queue.front() == Some(&ticket) && bytes <= m.capacity - m.allocated {
+                m.wait_queue.pop_front();
+                let buf = self.grant(&mut m, bytes);
+                drop(m);
+                // The next queued reservation may fit as well.
+                self.inner.freed.notify_all();
+                return Ok(buf);
+            }
+            m = match deadline {
+                Some(limit) => {
+                    let left = limit.saturating_sub(started.elapsed());
+                    if left.is_zero() {
+                        m.wait_queue.retain(|&t| t != ticket);
+                        drop(m);
+                        // Our departure may unblock the next in line.
+                        self.inner.freed.notify_all();
+                        return Err(BwdError::AdmissionTimeout {
+                            requested: bytes,
+                            waited_ms: started.elapsed().as_millis() as u64,
+                        });
+                    }
+                    self.inner.freed.wait_timeout(m, left).unwrap().0
+                }
+                None => self.inner.freed.wait(m).unwrap(),
+            };
+        }
+    }
+
+    fn grant(&self, m: &mut MemoryState, bytes: u64) -> DeviceBuffer {
         m.allocated += bytes;
         m.peak = m.peak.max(m.allocated);
         m.live_buffers += 1;
         m.next_id += 1;
-        Ok(DeviceBuffer {
+        DeviceBuffer {
             id: m.next_id,
             bytes,
             mem: Arc::clone(&self.inner),
-        })
+        }
     }
 
     /// Total capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        self.inner.lock().capacity
+        self.inner.state.lock().unwrap().capacity
     }
 
     /// Bytes currently reserved.
     pub fn used(&self) -> u64 {
-        self.inner.lock().allocated
+        self.inner.state.lock().unwrap().allocated
     }
 
     /// Bytes still available.
     pub fn available(&self) -> u64 {
-        let m = self.inner.lock();
+        let m = self.inner.state.lock().unwrap();
         m.capacity - m.allocated
     }
 
     /// High-water mark of reserved bytes.
     pub fn peak(&self) -> u64 {
-        self.inner.lock().peak
+        self.inner.state.lock().unwrap().peak
     }
 
     /// Number of live buffers.
     pub fn live_buffers(&self) -> u64 {
-        self.inner.lock().live_buffers
+        self.inner.state.lock().unwrap().live_buffers
+    }
+
+    /// Reservations currently queued in [`DeviceMemory::alloc_blocking`].
+    pub fn queued(&self) -> u64 {
+        self.inner.state.lock().unwrap().wait_queue.len() as u64
+    }
+
+    /// Total blocking reservations that ever had to queue.
+    pub fn total_waits(&self) -> u64 {
+        self.inner.state.lock().unwrap().total_waits
     }
 }
 
@@ -93,7 +192,7 @@ impl DeviceMemory {
 pub struct DeviceBuffer {
     id: u64,
     bytes: u64,
-    mem: Arc<Mutex<MemoryInner>>,
+    mem: Arc<MemoryInner>,
 }
 
 impl DeviceBuffer {
@@ -110,15 +209,20 @@ impl DeviceBuffer {
 
 impl Drop for DeviceBuffer {
     fn drop(&mut self) {
-        let mut m = self.mem.lock();
+        let mut m = self.mem.state.lock().unwrap();
         m.allocated -= self.bytes;
         m.live_buffers -= 1;
+        drop(m);
+        // Wake every queued reservation: the largest waiter may not fit,
+        // but a smaller one behind it might.
+        self.mem.freed.notify_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::thread;
 
     #[test]
     fn alloc_free_accounting() {
@@ -168,5 +272,83 @@ mod tests {
         let a = mem.alloc(1).unwrap();
         let b = mem.alloc(1).unwrap();
         assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn blocking_alloc_queues_until_release() {
+        let mem = DeviceMemory::new(100);
+        let held = mem.alloc(80).unwrap();
+        let mem2 = mem.clone();
+        let waiter = thread::spawn(move || {
+            let buf = mem2.alloc_blocking(50, None).unwrap();
+            buf.bytes()
+        });
+        // Give the waiter time to queue, then release.
+        while mem.queued() == 0 {
+            thread::yield_now();
+        }
+        drop(held);
+        assert_eq!(waiter.join().unwrap(), 50);
+        assert_eq!(mem.total_waits(), 1);
+        assert!(mem.peak() <= 100, "admission never exceeds capacity");
+    }
+
+    #[test]
+    fn blocking_alloc_is_fifo_no_queue_jumping() {
+        let mem = DeviceMemory::new(100);
+        let held = mem.alloc(80).unwrap();
+        let order = std::sync::Arc::new(Mutex::new(Vec::new()));
+
+        // A large reservation queues first...
+        let (mem_a, order_a) = (mem.clone(), std::sync::Arc::clone(&order));
+        let a = thread::spawn(move || {
+            let buf = mem_a.alloc_blocking(60, None).unwrap();
+            order_a.lock().unwrap().push('a');
+            drop(buf);
+        });
+        while mem.queued() < 1 {
+            thread::yield_now();
+        }
+        // ...then a small one that *would* fit the 20 free bytes right
+        // now, but must wait its turn behind the large one.
+        let (mem_b, order_b) = (mem.clone(), std::sync::Arc::clone(&order));
+        let b = thread::spawn(move || {
+            let buf = mem_b.alloc_blocking(50, None).unwrap();
+            order_b.lock().unwrap().push('b');
+            drop(buf);
+        });
+        while mem.queued() < 2 {
+            thread::yield_now();
+        }
+        thread::sleep(Duration::from_millis(30));
+        assert!(
+            order.lock().unwrap().is_empty(),
+            "no reservation may jump the FIFO queue"
+        );
+        drop(held);
+        a.join().unwrap();
+        b.join().unwrap();
+        assert_eq!(*order.lock().unwrap(), vec!['a', 'b']);
+        assert!(mem.peak() <= 100);
+    }
+
+    #[test]
+    fn blocking_alloc_rejects_impossible_requests() {
+        let mem = DeviceMemory::new(100);
+        match mem.alloc_blocking(101, None) {
+            Err(BwdError::DeviceOutOfMemory { requested, .. }) => assert_eq!(requested, 101),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocking_alloc_times_out() {
+        let mem = DeviceMemory::new(100);
+        let _held = mem.alloc(80).unwrap();
+        match mem.alloc_blocking(50, Some(Duration::from_millis(20))) {
+            Err(BwdError::AdmissionTimeout { requested, .. }) => assert_eq!(requested, 50),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(mem.queued(), 0, "timed-out waiter must deregister");
     }
 }

@@ -11,13 +11,11 @@
 //! figure is *which component moves how many bytes*, not microarchitectural
 //! detail.
 
-use serde::{Deserialize, Serialize};
-
 /// Bytes per gibibyte.
 pub const GIB: u64 = 1 << 30;
 
 /// Specification of a co-processor ("the GPU").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Human-readable name (diagnostics only).
     pub name: String,
@@ -92,7 +90,7 @@ impl DeviceSpec {
 }
 
 /// Specification of the host CPU complex.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuSpec {
     /// Human-readable name.
     pub name: String,
@@ -167,7 +165,7 @@ impl CpuSpec {
 }
 
 /// Specification of the host↔device interconnect.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PcieSpec {
     /// Sustained DMA bandwidth, bytes/second (measured 3.95 GB/s, §VI-A).
     pub bandwidth: f64,

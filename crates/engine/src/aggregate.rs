@@ -44,9 +44,8 @@ pub fn compute_aggregates(
         .collect::<Result<_>>()?;
 
     let n_groups = grouping.map(|g| g.group_keys.len()).unwrap_or(1);
-    let group_of = |row: usize| -> usize {
-        grouping.map(|g| g.group_ids[row] as usize).unwrap_or(0)
-    };
+    let group_of =
+        |row: usize| -> usize { grouping.map(|g| g.group_ids[row] as usize).unwrap_or(0) };
 
     // Accumulators per (group, aggregate).
     #[derive(Clone, Copy)]
@@ -85,20 +84,18 @@ pub fn compute_aggregates(
         }
     }
 
-    let mut columns: Vec<String> = grouping
-        .map(|g| g.key_names.clone())
-        .unwrap_or_default();
+    let mut columns: Vec<String> = grouping.map(|g| g.key_names.clone()).unwrap_or_default();
     columns.extend(bound.iter().map(|(_, _, alias)| alias.to_string()));
 
     let mut rows: Vec<Vec<Value>> = Vec::with_capacity(n_groups);
-    for g in 0..n_groups {
+    for (g, group_accs) in accs.iter().enumerate().take(n_groups) {
         // Global aggregation over zero rows still yields one row
         // (count = 0); grouped aggregation only has non-empty groups.
         let mut row: Vec<Value> = grouping
             .map(|gr| gr.group_keys[g].clone())
             .unwrap_or_default();
         for (ai, (func, _, _)) in bound.iter().enumerate() {
-            let a = accs[g][ai];
+            let a = group_accs[ai];
             row.push(match func {
                 AggFunc::Count => Value::Int(a.count as i64),
                 AggFunc::Sum => AggValue {
@@ -250,8 +247,7 @@ mod tests {
     #[test]
     fn empty_block_global_count() {
         let b = RowBlock::new(0);
-        let (_, rows) =
-            compute_aggregates(&b, None, &[agg(AggFunc::Count, None, "n")]).unwrap();
+        let (_, rows) = compute_aggregates(&b, None, &[agg(AggFunc::Count, None, "n")]).unwrap();
         assert_eq!(rows[0][0], Value::Int(0));
     }
 
@@ -260,7 +256,10 @@ mod tests {
         let b = block();
         let (cols, rows) = compute_projection(
             &b,
-            &[(E::col("v").binary(bwd_core::plan::BinOp::Mul, E::lit(2i64)), "v2".into())],
+            &[(
+                E::col("v").binary(bwd_core::plan::BinOp::Mul, E::lit(2i64)),
+                "v2".into(),
+            )],
         )
         .unwrap();
         assert_eq!(cols, vec!["v2"]);

@@ -57,7 +57,18 @@ struct ColRef<'a> {
 
 /// Execute the plan with Approximate & Refine processing.
 pub fn run_ar(db: &Database, plan: &ArPlan, opts: &ArExecOptions) -> Result<QueryResult> {
-    let env = db.env();
+    run_ar_in(db, plan, opts, db.env())
+}
+
+/// [`run_ar`] against an explicit environment (same device, possibly a
+/// different host-thread allocation) — the per-session override the
+/// concurrent scheduler uses, since `db.env()` is shared state.
+pub fn run_ar_in(
+    db: &Database,
+    plan: &ArPlan,
+    opts: &ArExecOptions,
+    env: &Env,
+) -> Result<QueryResult> {
     let mut ledger = CostLedger::new();
     let fact = db.catalog().table(&plan.table)?;
     let n = fact.len();
@@ -241,8 +252,13 @@ pub fn run_ar(db: &Database, plan: &ArPlan, opts: &ArExecOptions) -> Result<Quer
     );
 
     let (block, grouping) = if all_resident {
-        build_device_block(env, &needed_cols, fk, &final_cands, &mut ledger)?
-            .with_grouping(env, plan, &group_cols, device_group.as_ref(), &final_cands)?
+        build_device_block(env, &needed_cols, fk, &final_cands, &mut ledger)?.with_grouping(
+            env,
+            plan,
+            &group_cols,
+            device_group.as_ref(),
+            &final_cands,
+        )?
     } else {
         let surv_slice: Vec<Oid> = match &survivors {
             Some(s) => s.clone(),
@@ -301,9 +317,11 @@ pub fn run_ar(db: &Database, plan: &ArPlan, opts: &ArExecOptions) -> Result<Quer
                 env.host_threads,
             );
             let accum = plan.aggs.len().max(1) as f64
-                * env
-                    .cpu
-                    .scan_seconds(block.len() as u64 * 8, block.len() as u64, env.host_threads);
+                * env.cpu.scan_seconds(
+                    block.len() as u64 * 8,
+                    block.len() as u64,
+                    env.host_threads,
+                );
             expr + accum
         }
     };
@@ -323,6 +341,7 @@ pub fn run_ar(db: &Database, plan: &ArPlan, opts: &ArExecOptions) -> Result<Quer
         columns,
         rows,
         breakdown: ledger.breakdown(),
+        traffic: ledger.traffic(),
         survivors: if all_resident {
             final_cands.len()
         } else {
@@ -375,7 +394,11 @@ fn refine_selection(
     ledger: &mut CostLedger,
 ) -> Result<Vec<Oid>> {
     if col.bound.meta().fully_device_resident() {
-        env.charge_download("select.refine.download", approx_out.len() as u64 * 4, ledger);
+        env.charge_download(
+            "select.refine.download",
+            approx_out.len() as u64 * 4,
+            ledger,
+        );
     } else {
         approx_out.download(
             env,
@@ -561,7 +584,13 @@ fn build_host_block(
                 ledger,
             )?
         } else {
-            let approx = gather(env, c.bound.approx(), cands, "project.approx.gather", ledger);
+            let approx = gather(
+                env,
+                c.bound.approx(),
+                cands,
+                "project.approx.gather",
+                ledger,
+            );
             bwd_core::ops::project::project_refine(
                 env,
                 c.bound,

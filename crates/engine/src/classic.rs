@@ -28,6 +28,30 @@ pub fn run_classic(
     fk_host: Option<&[u32]>,
     env: &Env,
 ) -> Result<QueryResult> {
+    run_classic_morsel(catalog, plan, fk_host, env, 1)
+}
+
+/// Don't bother spawning threads below this table size: the selection
+/// chain over a few thousand rows costs less than thread startup.
+const MIN_MORSEL_ROWS: usize = 4096;
+
+/// [`run_classic`] with the selection chain executed morsel-parallel on
+/// `morsels` real OS threads over contiguous row partitions.
+///
+/// Results are **bit-identical** to the serial run: each partition runs
+/// the full selection chain locally (chained filters are partition-local
+/// because a CPU selection preserves row order), and partition outputs are
+/// concatenated in partition order — exactly the serial scan order.
+/// Simulated costs are charged once from the merged per-stage tuple
+/// counts, so the cost model is independent of the real parallelism;
+/// `env.host_threads` keeps modelling the *simulated* thread allocation.
+pub fn run_classic_morsel(
+    catalog: &Catalog,
+    plan: &ArPlan,
+    fk_host: Option<&[u32]>,
+    env: &Env,
+    morsels: usize,
+) -> Result<QueryResult> {
     let mut ledger = CostLedger::new();
     let fact = catalog.table(&plan.table)?;
     let n = fact.len();
@@ -47,64 +71,104 @@ pub fn run_classic(
             Ok((fact.column(name)?, false))
         }
     };
-    let dim_row = |oid: Oid| -> usize {
-        fk_host.map(|f| f[oid as usize] as usize).unwrap_or(0)
-    };
+    let dim_row = |oid: Oid| -> usize { fk_host.map(|f| f[oid as usize] as usize).unwrap_or(0) };
 
     // --- Selection chain (materializing oid lists). ---
-    let mut survivors: Option<Vec<Oid>> = None;
-    for sel in &plan.selections {
-        let (col, is_dim) = resolve(&sel.column)?;
-        if is_dim && fk_host.is_none() {
-            return Err(BwdError::Exec(
-                "dimension predicate without a foreign-key index".into(),
-            ));
-        }
-        let next = match &survivors {
-            None => {
-                // Full scan; a CPU selection preserves order.
-                let mut out = Vec::new();
-                for oid in 0..n as Oid {
-                    let p = if is_dim {
-                        col.payload(dim_row(oid))
-                    } else {
-                        col.payload(oid as usize)
-                    };
-                    if sel.range.test(p) {
-                        out.push(oid);
-                    }
-                }
-                env.charge_host_scan(
-                    "classic.select.scan",
-                    col.plain_bytes() + out.len() as u64 * 4,
-                    n as u64,
-                    &mut ledger,
-                );
-                out
-            }
-            Some(prev) => {
-                let mut out = Vec::new();
-                for &oid in prev {
-                    let p = if is_dim {
-                        col.payload(dim_row(oid))
-                    } else {
-                        col.payload(oid as usize)
-                    };
-                    if sel.range.test(p) {
-                        out.push(oid);
-                    }
-                }
-                env.charge_host_scattered(
-                    "classic.select.fetch",
-                    prev.len() as u64 * col.dtype().plain_width() + out.len() as u64 * 4,
-                    prev.len() as u64,
-                    &mut ledger,
-                );
-                out
-            }
-        };
-        survivors = Some(next);
+    // Pre-resolve once so worker threads share plain `&Column` refs.
+    let sel_cols: Vec<(&Column, bool)> = plan
+        .selections
+        .iter()
+        .map(|sel| resolve(&sel.column))
+        .collect::<Result<_>>()?;
+    if sel_cols.iter().any(|&(_, is_dim)| is_dim) && fk_host.is_none() {
+        return Err(BwdError::Exec(
+            "dimension predicate without a foreign-key index".into(),
+        ));
     }
+
+    // The whole chain for one contiguous row partition. A CPU selection
+    // preserves order, so chained filters stay partition-local and the
+    // concatenation of partition outputs equals the serial scan order.
+    let chain = |start: Oid, end: Oid| -> (Vec<Oid>, Vec<u64>) {
+        let mut counts = Vec::with_capacity(sel_cols.len());
+        let mut surv: Option<Vec<Oid>> = None;
+        for (sel, &(col, is_dim)) in plan.selections.iter().zip(&sel_cols) {
+            let fetch = |oid: Oid| {
+                if is_dim {
+                    col.payload(dim_row(oid))
+                } else {
+                    col.payload(oid as usize)
+                }
+            };
+            let next: Vec<Oid> = match &surv {
+                None => (start..end)
+                    .filter(|&oid| sel.range.test(fetch(oid)))
+                    .collect(),
+                Some(prev) => prev
+                    .iter()
+                    .copied()
+                    .filter(|&oid| sel.range.test(fetch(oid)))
+                    .collect(),
+            };
+            counts.push(next.len() as u64);
+            surv = Some(next);
+        }
+        (surv.unwrap_or_default(), counts)
+    };
+
+    let parts = morsels.clamp(1, n.max(1));
+    let (survivors, stage_counts): (Option<Vec<Oid>>, Vec<u64>) = if plan.selections.is_empty() {
+        (None, Vec::new())
+    } else if parts == 1 || n < MIN_MORSEL_ROWS {
+        let (s, c) = chain(0, n as Oid);
+        (Some(s), c)
+    } else {
+        let step = n.div_ceil(parts);
+        let outputs: Vec<(Vec<Oid>, Vec<u64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..parts)
+                .map(|p| {
+                    let start = (p * step).min(n) as Oid;
+                    let end = ((p + 1) * step).min(n) as Oid;
+                    let chain = &chain;
+                    scope.spawn(move || chain(start, end))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut merged = Vec::new();
+        let mut totals = vec![0u64; plan.selections.len()];
+        for (part_surv, part_counts) in outputs {
+            merged.extend(part_surv);
+            for (t, c) in totals.iter_mut().zip(part_counts) {
+                *t += c;
+            }
+        }
+        (Some(merged), totals)
+    };
+
+    // Charge the chain once from the merged per-stage counts — identical
+    // to the serial charges because they depend only on totals.
+    let mut prev_count = n as u64;
+    for (i, (_, &(col, _))) in plan.selections.iter().zip(&sel_cols).enumerate() {
+        let out = stage_counts[i];
+        if i == 0 {
+            env.charge_host_scan(
+                "classic.select.scan",
+                col.plain_bytes() + out * 4,
+                n as u64,
+                &mut ledger,
+            );
+        } else {
+            env.charge_host_scattered(
+                "classic.select.fetch",
+                prev_count * col.dtype().plain_width() + out * 4,
+                prev_count,
+                &mut ledger,
+            );
+        }
+        prev_count = out;
+    }
+
     let survivors: Vec<Oid> = survivors.unwrap_or_else(|| (0..n as Oid).collect());
     let k = survivors.len();
 
@@ -238,6 +302,7 @@ pub fn run_classic(
         columns,
         rows,
         breakdown: ledger.breakdown(),
+        traffic: ledger.traffic(),
         survivors: k,
         approx: None,
     })
@@ -323,6 +388,64 @@ mod tests {
         for (i, row) in r.rows.iter().enumerate() {
             assert_eq!(row[0], Value::Int(i as i64));
             assert_eq!(row[1], Value::Int(20));
+        }
+    }
+
+    #[test]
+    fn morsel_run_is_bit_identical_to_serial() {
+        // Large enough to clear MIN_MORSEL_ROWS so threads really spawn.
+        let mut cat = Catalog::new();
+        let n = 50_000;
+        cat.add_table(
+            Table::new(
+                "t",
+                vec![
+                    (
+                        "a".into(),
+                        Column::from_i32((0..n).map(|i| (i * 17) % 1000).collect()),
+                    ),
+                    (
+                        "b".into(),
+                        Column::from_i32((0..n).map(|i| i % 5).collect()),
+                    ),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let env = Env::paper_default();
+        let plan = ArPlan {
+            table: "t".into(),
+            selections: vec![
+                BoundSelection {
+                    column: "a".into(),
+                    range: RangePred::between(100, 700),
+                    selectivity_hint: None,
+                },
+                BoundSelection {
+                    column: "b".into(),
+                    range: RangePred::between(1, 3),
+                    selectivity_hint: None,
+                },
+            ],
+            fk_join: None,
+            group_by: vec!["b".into()],
+            aggs: vec![AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(E::col("a")),
+                alias: "s".into(),
+            }],
+            project: vec![],
+            pushdown: true,
+        };
+        let serial = run_classic(&cat, &plan, None, &env).unwrap();
+        for morsels in [2, 3, 8, 64] {
+            let parallel = run_classic_morsel(&cat, &plan, None, &env, morsels).unwrap();
+            assert_eq!(serial.rows, parallel.rows, "morsels={morsels}");
+            assert_eq!(serial.survivors, parallel.survivors);
+            // The simulated cost model is independent of real parallelism.
+            assert_eq!(serial.breakdown, parallel.breakdown);
+            assert_eq!(serial.traffic, parallel.traffic);
         }
     }
 

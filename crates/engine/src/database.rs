@@ -6,9 +6,8 @@
 //! queries run either through the classic pipe (CPU bulk processing) or
 //! the `bwd` pipe (A&R), built from the same logical plan.
 
-use crate::arexec::{run_ar, ArExecOptions};
+use crate::arexec::ArExecOptions;
 use crate::catalog::{Catalog, FkDecl, Table};
-use crate::classic::run_classic;
 use crate::result::QueryResult;
 use bwd_core::ops::join::FkIndex;
 use bwd_core::plan::{rewrite, ArPlan, LogicalPlan, PlanResolver, RewriteOptions};
@@ -137,7 +136,11 @@ impl Database {
         column: &str,
         device_bits: u32,
     ) -> Result<DecompositionReport> {
-        self.bwdecompose_spec(table, column, &DecompositionSpec::with_device_bits(device_bits))
+        self.bwdecompose_spec(
+            table,
+            column,
+            &DecompositionSpec::with_device_bits(device_bits),
+        )
     }
 
     /// Decomposition with an explicit spec (compression ablations).
@@ -230,21 +233,42 @@ impl Database {
 
     /// Execute an already-bound A&R plan.
     pub fn run_bound(&self, plan: &ArPlan, mode: ExecMode) -> Result<QueryResult> {
+        self.run_bound_in(plan, mode, &self.env, 1)
+    }
+
+    /// Execute an already-bound plan against an explicit environment and
+    /// real-thread morsel count.
+    ///
+    /// This is the re-entrant entry point of the concurrent scheduler:
+    /// `&self` only, the environment override carries the per-session
+    /// host-thread allocation (the shared `env()` is not mutated), and
+    /// classic-pipe executions fan the selection chain out over `morsels`
+    /// OS threads (results stay bit-identical to the serial run).
+    pub fn run_bound_in(
+        &self,
+        plan: &ArPlan,
+        mode: ExecMode,
+        env: &Env,
+        morsels: usize,
+    ) -> Result<QueryResult> {
         match mode {
             ExecMode::Classic => {
                 let fk_host = match &plan.fk_join {
                     Some(j) => Some(self.fk_index(&plan.table, &j.fact_key)?),
                     None => None,
                 };
-                run_classic(
+                crate::classic::run_classic_morsel(
                     &self.catalog,
                     plan,
                     fk_host.map(|f| f.host_slice()),
-                    &self.env,
+                    env,
+                    morsels,
                 )
             }
-            ExecMode::ApproxRefine => run_ar(self, plan, &ArExecOptions::default()),
-            ExecMode::ApproxRefineWith(opts) => run_ar(self, plan, &opts),
+            ExecMode::ApproxRefine => {
+                crate::arexec::run_ar_in(self, plan, &ArExecOptions::default(), env)
+            }
+            ExecMode::ApproxRefineWith(opts) => crate::arexec::run_ar_in(self, plan, &opts, env),
         }
     }
 }
@@ -403,7 +427,9 @@ mod tests {
     fn approximate_answer_is_a_superset_count() {
         let mut db = demo_db();
         db.bwdecompose("r", "a", 22).unwrap(); // coarse: granule 1024
-        let ar = db.bind(&count_where_a(100, 499), &Default::default()).unwrap();
+        let ar = db
+            .bind(&count_where_a(100, 499), &Default::default())
+            .unwrap();
         db.auto_bind(&ar).unwrap();
         let r = db
             .run_bound(

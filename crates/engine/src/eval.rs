@@ -275,8 +275,7 @@ fn bind_case_predicate(pred: &Predicate, block: &RowBlock) -> Result<(usize, Ran
             let slot = block.slot_index(column)?;
             let s = block.slot(slot);
             let payload = value_to_payload(value, s.dtype, s.dict.as_deref())?;
-            let range = RangePred::from_cmp(*op, payload)
-                .unwrap_or(RangePred::between(1, 0));
+            let range = RangePred::from_cmp(*op, payload).unwrap_or(RangePred::between(1, 0));
             Ok((slot, range))
         }
         Predicate::Between { column, lo, hi } => {
@@ -307,9 +306,7 @@ fn bind_case_predicate(pred: &Predicate, block: &RowBlock) -> Result<(usize, Ran
 /// Evaluate a bound expression for one row: `(unscaled payload, scale)`.
 pub fn eval(expr: &BoundExpr, block: &RowBlock, row: usize) -> Result<(i128, u8)> {
     match expr {
-        BoundExpr::Col { slot, scale } => {
-            Ok((block.slot(*slot).payloads[row] as i128, *scale))
-        }
+        BoundExpr::Col { slot, scale } => Ok((block.slot(*slot).payloads[row] as i128, *scale)),
         BoundExpr::Lit { payload, scale } => Ok((*payload as i128, *scale)),
         BoundExpr::Bin { op, lhs, rhs } => {
             let (a, sa) = eval(lhs, block, row)?;
@@ -426,8 +423,7 @@ mod tests {
 
     #[test]
     fn case_expression_over_dictionary() {
-        let (dict, codes) =
-            Dictionary::build(&["ECONOMY", "PROMO A", "PROMO B", "STANDARD"]);
+        let (dict, codes) = Dictionary::build(&["ECONOMY", "PROMO A", "PROMO B", "STANDARD"]);
         let mut b = RowBlock::new(4);
         b.push_slot(ColumnSlot {
             name: "p_type".into(),

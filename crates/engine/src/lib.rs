@@ -8,8 +8,11 @@
 //!   **classic pipe** ([`classic`], CPU bulk processing — the baseline) or
 //!   the **bwd pipe** ([`arexec`], Approximate & Refine co-processing);
 //! * [`eval`] / [`aggregate`] — exact scaled-integer expression evaluation
-//!   shared by both pipes, guaranteeing bit-identical results;
-//! * [`throughput`] — the Figure 11 multi-stream experiment.
+//!   shared by both pipes, guaranteeing bit-identical results.
+//!
+//! The Figure 11 multi-stream experiment used to be *modelled* here; it is
+//! now *measured* by `bwd_sched::run_throughput`, which executes both
+//! streams concurrently on the multi-session scheduler.
 
 pub mod aggregate;
 pub mod arexec;
@@ -18,10 +21,9 @@ pub mod classic;
 pub mod database;
 pub mod eval;
 pub mod result;
-pub mod throughput;
 
-pub use arexec::ArExecOptions;
+pub use arexec::{run_ar, run_ar_in, ArExecOptions};
 pub use catalog::{Catalog, FkDecl, Table};
+pub use classic::{run_classic, run_classic_morsel};
 pub use database::{Database, DecompositionReport, ExecMode};
 pub use result::{ApproxAnswer, QueryResult};
-pub use throughput::{run_throughput, ThroughputReport};

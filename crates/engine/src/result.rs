@@ -1,6 +1,6 @@
 //! Query results.
 
-use bwd_device::Breakdown;
+use bwd_device::{Breakdown, TrafficBytes};
 use bwd_types::Value;
 use std::fmt;
 
@@ -25,6 +25,9 @@ pub struct QueryResult {
     pub rows: Vec<Vec<Value>>,
     /// Simulated per-component cost of the execution.
     pub breakdown: Breakdown,
+    /// Bytes moved per component (the multi-stream scheduler uses the
+    /// host traffic to account memory-bandwidth interference).
+    pub traffic: TrafficBytes,
     /// Number of tuples that survived all predicates.
     pub survivors: usize,
     /// The early approximate answer (A&R executions only).
@@ -68,6 +71,7 @@ mod tests {
             columns: vec!["n".into()],
             rows: vec![vec![Value::Int(42)]],
             breakdown: Breakdown::default(),
+            traffic: TrafficBytes::default(),
             survivors: 42,
             approx: None,
         };

@@ -74,7 +74,13 @@ impl Candidates {
     ///
     /// This is *the* data volume that makes A&R beat streaming: only the
     /// (small) candidate set crosses the bus, never the input relation.
-    pub fn download(&self, env: &Env, approx_width_bits: u32, label: &str, ledger: &mut CostLedger) {
+    pub fn download(
+        &self,
+        env: &Env,
+        approx_width_bits: u32,
+        label: &str,
+        ledger: &mut CostLedger,
+    ) {
         let bytes = self.transfer_bytes(approx_width_bits);
         ledger.charge(
             Component::Pcie,

@@ -24,7 +24,7 @@ pub fn gather(
     label: &str,
     ledger: &mut CostLedger,
 ) -> Vec<u64> {
-    let out: Vec<u64> = cands.oids.iter().map(|&o| arr.get(o as usize)).collect();
+    let out = gather_partition(arr, &cands.oids);
     if cands.dense {
         // Dense candidates read the array front to back: perfectly
         // coalesced, so charge the sequential stream rate.
@@ -64,6 +64,16 @@ pub fn gather_indirect(
     out
 }
 
+/// Fetch `arr[oid]` for a slice of candidate oids — the partition-aware
+/// entry point: pure computation, no cost charge, so a scheduler can fan
+/// a large gather out over worker threads (each takes a contiguous
+/// sub-slice of the candidate list) and charge the merged totals once.
+/// Concatenating partition outputs in slice order reproduces
+/// [`gather`]'s positional alignment exactly.
+pub fn gather_partition(arr: &DeviceArray, oids: &[bwd_types::Oid]) -> Vec<u64> {
+    oids.iter().map(|&o| arr.get(o as usize)).collect()
+}
+
 /// The foreign-key codes themselves (`link[oid]` per candidate), for plans
 /// that project several columns of the joined table.
 pub fn gather_keys(
@@ -87,8 +97,13 @@ mod tests {
 
     fn arr(env: &Env, width: u32, vals: &[u64]) -> DeviceArray {
         let mut l = CostLedger::new();
-        DeviceArray::upload(&env.device, BitPackedVec::from_slice(width, vals), "t", &mut l)
-            .unwrap()
+        DeviceArray::upload(
+            &env.device,
+            BitPackedVec::from_slice(width, vals),
+            "t",
+            &mut l,
+        )
+        .unwrap()
     }
 
     fn cands(oids: Vec<u32>) -> Candidates {
@@ -131,7 +146,11 @@ mod tests {
     fn indirect_costs_more_than_direct() {
         let env = Env::paper_default();
         let vals = arr(&env, 32, &(0..10_000u64).collect::<Vec<_>>());
-        let link = arr(&env, 14, &(0..10_000u64).map(|i| i % 10_000).collect::<Vec<_>>());
+        let link = arr(
+            &env,
+            14,
+            &(0..10_000u64).map(|i| i % 10_000).collect::<Vec<_>>(),
+        );
         let c = cands((0..5000u32).collect());
         let mut l_direct = CostLedger::new();
         let mut l_indirect = CostLedger::new();

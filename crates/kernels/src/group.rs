@@ -107,7 +107,10 @@ pub fn hash_group_multi(
     cands: &Candidates,
     ledger: &mut CostLedger,
 ) -> MultiGroupResult {
-    assert!(!keys.is_empty(), "grouping requires at least one key column");
+    assert!(
+        !keys.is_empty(),
+        "grouping requires at least one key column"
+    );
     let mut table: FxHashMap<Vec<u64>, u32> = FxHashMap::default();
     let mut group_ids = Vec::with_capacity(cands.len());
     let mut group_keys: Vec<Vec<u64>> = Vec::new();
@@ -130,7 +133,12 @@ pub fn hash_group_multi(
     let t = spec.kernel_launch_overhead
         + spec.scattered_seconds(gather_bytes + cands.len() as u64 * 4)
         + cands.len() as f64 * conflicts * spec.atomic_conflict_cost;
-    ledger.charge(Component::Device, "group.approx.hash-multi", t, gather_bytes);
+    ledger.charge(
+        Component::Device,
+        "group.approx.hash-multi",
+        t,
+        gather_bytes,
+    );
     MultiGroupResult {
         group_ids,
         group_keys,
@@ -171,8 +179,13 @@ mod tests {
 
     fn arr(env: &Env, width: u32, vals: &[u64]) -> DeviceArray {
         let mut l = CostLedger::new();
-        DeviceArray::upload(&env.device, BitPackedVec::from_slice(width, vals), "k", &mut l)
-            .unwrap()
+        DeviceArray::upload(
+            &env.device,
+            BitPackedVec::from_slice(width, vals),
+            "k",
+            &mut l,
+        )
+        .unwrap()
     }
 
     #[test]

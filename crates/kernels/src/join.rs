@@ -140,8 +140,13 @@ mod tests {
 
     fn arr(env: &Env, width: u32, vals: &[u64]) -> DeviceArray {
         let mut l = CostLedger::new();
-        DeviceArray::upload(&env.device, BitPackedVec::from_slice(width, vals), "j", &mut l)
-            .unwrap()
+        DeviceArray::upload(
+            &env.device,
+            BitPackedVec::from_slice(width, vals),
+            "j",
+            &mut l,
+        )
+        .unwrap()
     }
 
     #[test]

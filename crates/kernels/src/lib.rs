@@ -29,6 +29,7 @@ pub mod scan;
 
 pub use array::DeviceArray;
 pub use candidates::Candidates;
+pub use gather::gather_partition;
 pub use group::{GroupResult, MultiGroupResult};
 pub use join::Theta;
-pub use scan::ScanOptions;
+pub use scan::{select_range_partition, ScanOptions};

@@ -58,8 +58,8 @@ pub fn sum_product<FA: Fn(u64) -> i64, FB: Fn(u64) -> i64>(
         let y = map_b(b.get(oid as usize)) as i128;
         acc += x * y;
     }
-    let touched = cands.len() as u64
-        * (element_access_bytes(a.width()) + element_access_bytes(b.width()));
+    let touched =
+        cands.len() as u64 * (element_access_bytes(a.width()) + element_access_bytes(b.width()));
     env.charge_kernel_scattered(label, touched, 2 * cands.len() as u64, ledger);
     acc
 }
@@ -189,8 +189,13 @@ mod tests {
 
     fn arr(env: &Env, width: u32, vals: &[u64]) -> DeviceArray {
         let mut l = CostLedger::new();
-        DeviceArray::upload(&env.device, BitPackedVec::from_slice(width, vals), "v", &mut l)
-            .unwrap()
+        DeviceArray::upload(
+            &env.device,
+            BitPackedVec::from_slice(width, vals),
+            "v",
+            &mut l,
+        )
+        .unwrap()
     }
 
     fn all_cands(n: usize) -> Candidates {
@@ -271,7 +276,10 @@ mod tests {
             sum_mapped(&env, &a, &Candidates::empty(), |v| v as i64, "s", &mut l),
             0
         );
-        assert_eq!(min_max_stored(&env, &a, &Candidates::empty(), "m", &mut l), None);
+        assert_eq!(
+            min_max_stored(&env, &a, &Candidates::empty(), "m", &mut l),
+            None
+        );
     }
 
     #[test]
@@ -284,6 +292,14 @@ mod tests {
             group_keys: vec![0],
         };
         let mut l = CostLedger::new();
-        let _ = grouped_sum_mapped(&env, &vals, &all_cands(2), &groups, |v| v as i64, "g", &mut l);
+        let _ = grouped_sum_mapped(
+            &env,
+            &vals,
+            &all_cands(2),
+            &groups,
+            |v| v as i64,
+            "g",
+            &mut l,
+        );
     }
 }

@@ -78,12 +78,12 @@ pub fn select_range(
     let mut approx: Vec<u64> = Vec::new();
 
     if nblocks <= 1 || opts.preserve_order {
-        scan_block(arr, 0, n, lo, hi, &mut oids, &mut approx);
+        select_range_partition(arr, 0, n, lo, hi, &mut oids, &mut approx);
     } else {
         for b in block_order(nblocks) {
             let start = b * opts.block_size;
             let end = (start + opts.block_size).min(n);
-            scan_block(arr, start, end, lo, hi, &mut oids, &mut approx);
+            select_range_partition(arr, start, end, lo, hi, &mut oids, &mut approx);
         }
     }
 
@@ -96,7 +96,12 @@ pub fn select_range(
     );
     if opts.preserve_order && nblocks > 1 {
         // The ordering pass: a second sweep over the compacted output.
-        env.charge_kernel("select.approx.order", 2 * out_bytes, oids.len() as u64, ledger);
+        env.charge_kernel(
+            "select.approx.order",
+            2 * out_bytes,
+            oids.len() as u64,
+            ledger,
+        );
     }
 
     let mut c = Candidates {
@@ -109,7 +114,15 @@ pub fn select_range(
     c
 }
 
-fn scan_block(
+/// Scan rows `[start, end)` of the array for stored values in `[lo, hi]`,
+/// appending matches to `oids`/`approx` — the partition-aware entry point.
+///
+/// This is the morsel a concurrent scheduler hands to one worker thread:
+/// it does the pure computation only (no cost charge, no allocation), so
+/// callers can fan partitions out across real threads and charge the
+/// merged totals once. [`select_range`] itself is built from these
+/// partitions (one per simulated thread block).
+pub fn select_range_partition(
     arr: &DeviceArray,
     start: usize,
     end: usize,
@@ -207,8 +220,7 @@ pub fn select_range_indirect(
             scan(start, (start + opts.block_size).min(n));
         }
     }
-    let touched =
-        link.packed_bytes() + n as u64 * element_access_bytes(arr.width());
+    let touched = link.packed_bytes() + n as u64 * element_access_bytes(arr.width());
     env.charge_kernel_scattered("select.approx.scan-indirect", touched, n as u64, ledger);
     let mut c = Candidates {
         oids,

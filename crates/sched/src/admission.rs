@@ -1,0 +1,198 @@
+//! Device-memory admission control.
+//!
+//! The simulated card enforces a *real* 2 GB capacity; persistent
+//! approximations already live there. Before an A&R query runs, the
+//! scheduler reserves the query's worst-case transient working set from
+//! the same [`DeviceMemory`] — so concurrent co-processor queries are
+//! arbitrated by actual byte accounting, not hope. A reservation that
+//! does not currently fit *queues* (the blocking allocation wakes on
+//! every release) instead of erroring; only a request larger than the
+//! whole card fails fast, and a configurable deadline turns pathological
+//! waits into [`bwd_types::BwdError::AdmissionTimeout`].
+
+use bwd_core::plan::ArPlan;
+use bwd_device::{DeviceBuffer, DeviceMemory};
+use bwd_engine::Database;
+use bwd_types::Result;
+use std::time::Duration;
+
+/// Fixed per-query kernel scratch headroom (launch buffers, counters).
+const KERNEL_SCRATCH_BYTES: u64 = 64 << 10;
+
+/// Worst-case device working set of one A&R query, in bytes.
+///
+/// The approximation subplan materializes one candidate list per
+/// selection — at worst one `(oid: u32, approx: u64)` pair per input row —
+/// and the device fast path additionally gathers every aggregation input
+/// column over the candidates. The estimate is deliberately
+/// selectivity-independent: admission must hold even when every predicate
+/// matches everything. Over-reserving only delays a query; it never
+/// breaks one.
+pub fn working_set_estimate(db: &Database, plan: &ArPlan) -> u64 {
+    let rows = db
+        .catalog()
+        .table(&plan.table)
+        .map(|t| t.len() as u64)
+        .unwrap_or(0);
+    let candidate_pair = 4 + 8; // oid + worst-case 64-bit approximation
+    let selections = plan.selections.len() as u64;
+
+    let mut gathered: Vec<String> = plan.group_by.clone();
+    for a in &plan.aggs {
+        if let Some(arg) = &a.arg {
+            arg.collect_columns(&mut gathered);
+        }
+    }
+    for (e, _) in &plan.project {
+        e.collect_columns(&mut gathered);
+    }
+    gathered.sort_unstable();
+    gathered.dedup();
+
+    rows * (selections * candidate_pair + gathered.len() as u64 * 8) + KERNEL_SCRATCH_BYTES
+}
+
+/// Arbitrates the device between concurrent A&R queries.
+///
+/// Cloneable; all clones share the same underlying [`DeviceMemory`], so
+/// reservations made anywhere count against the one card.
+///
+/// The reservation is a *throttle*, not a hard requirement of execution
+/// (the simulated kernels perform no transient device allocations): each
+/// request is clamped to the share of the card not already occupied when
+/// the controller was built — i.e. everything that is not a persistent
+/// column. A query the serial engine can execute is therefore never
+/// rejected or indefinitely starved by admission, however pessimistic the
+/// estimate; the clamp only reduces how much concurrency the reservation
+/// blocks.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    memory: DeviceMemory,
+    deadline: Option<Duration>,
+    /// Largest reservation a single query may hold: the card minus the
+    /// bytes resident at construction (persistent columns never release
+    /// while serving, so waiting for more than this would deadlock).
+    max_request: u64,
+}
+
+impl AdmissionController {
+    /// A controller over `memory`, waiting at most `deadline` per
+    /// reservation (`None` waits indefinitely).
+    ///
+    /// Build it *after* loading: the bytes resident right now are treated
+    /// as permanent, and single-query reservations are capped at what
+    /// remains.
+    pub fn new(memory: DeviceMemory, deadline: Option<Duration>) -> Self {
+        let max_request = memory.capacity().saturating_sub(memory.used());
+        AdmissionController {
+            memory,
+            deadline,
+            max_request,
+        }
+    }
+
+    /// Reserve `bytes` (clamped to [`AdmissionController::max_request`])
+    /// of device memory, queueing FIFO until they fit.
+    ///
+    /// The permit holds a real [`DeviceBuffer`]; dropping it releases the
+    /// reservation and wakes queued requests.
+    pub fn admit(&self, bytes: u64) -> Result<AdmissionPermit> {
+        let buffer = self
+            .memory
+            .alloc_blocking(bytes.min(self.max_request), self.deadline)?;
+        Ok(AdmissionPermit { buffer })
+    }
+
+    /// The largest reservation one query may hold.
+    pub fn max_request(&self) -> u64 {
+        self.max_request
+    }
+
+    /// The device memory this controller arbitrates.
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.memory
+    }
+}
+
+/// An admitted reservation; the query may run while this is alive.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    buffer: DeviceBuffer,
+}
+
+impl AdmissionPermit {
+    /// Reserved bytes.
+    pub fn bytes(&self) -> u64 {
+        self.buffer.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn permits_serialize_on_scarce_memory() {
+        let mem = DeviceMemory::new(100);
+        let ctrl = AdmissionController::new(mem.clone(), None);
+        let first = ctrl.admit(70).unwrap();
+        assert_eq!(mem.used(), 70);
+        let ctrl2 = ctrl.clone();
+        let waiter = thread::spawn(move || ctrl2.admit(50).map(|p| p.bytes()));
+        while mem.queued() == 0 {
+            thread::yield_now();
+        }
+        drop(first);
+        assert_eq!(waiter.join().unwrap().unwrap(), 50);
+        assert!(mem.peak() <= 100);
+    }
+
+    #[test]
+    fn oversized_estimates_clamp_to_the_non_persistent_share() {
+        let mem = DeviceMemory::new(100);
+        let _persistent = mem.alloc(40).unwrap();
+        let ctrl = AdmissionController::new(mem.clone(), None);
+        assert_eq!(ctrl.max_request(), 60);
+        // An estimate far past the card still admits — clamped — instead
+        // of failing a query the serial engine could run.
+        let permit = ctrl.admit(1_000_000).unwrap();
+        assert_eq!(permit.bytes(), 60);
+        assert_eq!(mem.used(), 100);
+    }
+
+    #[test]
+    fn estimate_counts_selections_and_gathers() {
+        use bwd_core::plan::{AggExpr, AggFunc, LogicalPlan, Predicate, ScalarExpr};
+        use bwd_storage::Column;
+        use bwd_types::Value;
+
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            vec![
+                ("a".into(), Column::from_i32((0..1000).collect())),
+                ("b".into(), Column::from_i32((0..1000).collect())),
+            ],
+        )
+        .unwrap();
+        let plan = LogicalPlan::scan("t")
+            .filter(Predicate::Between {
+                column: "a".into(),
+                lo: Value::Int(1),
+                hi: Value::Int(10),
+            })
+            .aggregate(
+                vec![],
+                vec![AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(ScalarExpr::col("b")),
+                    alias: "s".into(),
+                }],
+            );
+        let ar = db.bind(&plan, &Default::default()).unwrap();
+        let est = working_set_estimate(&db, &ar);
+        // 1000 rows * (1 selection * 12 B + 1 gathered column * 8 B) + scratch.
+        assert_eq!(est, 1000 * (12 + 8) + KERNEL_SCRATCH_BYTES);
+    }
+}

@@ -1,0 +1,73 @@
+//! Queue entries and completion tickets.
+
+use bwd_core::plan::ArPlan;
+use bwd_engine::{ExecMode, QueryResult};
+use bwd_types::{BwdError, Result};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Per-submission execution overrides.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Simulated host-thread allocation for this query (Figure 11 sweeps
+    /// this); `None` uses the database environment's setting.
+    pub host_threads: Option<u32>,
+    /// Real-thread morsel count for the classic selection chain; `None`
+    /// mirrors the simulated allocation (capped at the machine's
+    /// parallelism).
+    pub morsels: Option<usize>,
+}
+
+/// One queued query.
+pub(crate) struct Job {
+    pub plan: ArPlan,
+    pub mode: ExecMode,
+    pub opts: SubmitOptions,
+    /// Originating session (diagnostics / future per-session policies).
+    #[allow(dead_code)]
+    pub session: u64,
+    pub reply: mpsc::Sender<Result<QueryResult>>,
+    pub submitted: Instant,
+}
+
+/// The handle a submission returns; resolves to the query's result.
+///
+/// Dropping a ticket abandons the result (the query still runs — or is
+/// discarded on shutdown).
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) rx: mpsc::Receiver<Result<QueryResult>>,
+}
+
+impl Ticket {
+    /// Block until the query completes.
+    ///
+    /// Errors with [`BwdError::Exec`] if the scheduler shut down before
+    /// the query ran.
+    pub fn wait(self) -> Result<QueryResult> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(BwdError::Exec(
+                "scheduler shut down before the query completed".into(),
+            ))
+        })
+    }
+
+    /// Non-blocking poll; `None` while the query is still in flight.
+    pub fn poll(&self) -> Option<Result<QueryResult>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(BwdError::Exec(
+                "scheduler shut down before the query completed".into(),
+            ))),
+        }
+    }
+
+    /// A ticket that is already resolved (used for submissions rejected
+    /// before reaching the queue, e.g. after shutdown).
+    pub(crate) fn resolved(result: Result<QueryResult>) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let _ = tx.send(result);
+        Ticket { rx }
+    }
+}

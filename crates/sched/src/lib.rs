@@ -1,0 +1,64 @@
+//! `bwd-sched` — a concurrent multi-session query scheduler with
+//! device-memory admission control.
+//!
+//! The paper's headline observation (Figure 11, "A Gap in the Memory
+//! Wall") is that a classic CPU query stream and an A&R co-processor
+//! stream combine almost additively: the CPU stream saturates at the
+//! host's memory wall while the device stream works out of its own
+//! memory. This crate turns that observation into an executable
+//! subsystem: many sessions submit queries concurrently, real OS threads
+//! execute them, and the one genuinely scarce resource the simulator
+//! enforces — the 2 GB card and the PCI-E link behind it — is arbitrated
+//! by an admission controller instead of failing ad hoc.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  Session ─┐  submit(plan, mode)            ┌─ worker 0 ── classic pipe (morsel-parallel)
+//!  Session ─┼─▶ QueryQueue (FIFO) ─▶ pool ───┼─ worker 1 ── A&R pipe ──▶ AdmissionController
+//!  Session ─┘      │                         └─ worker N           │
+//!                  ▼                                               ▼
+//!             Ticket (per query)                        DeviceMemory (2 GB, blocking
+//!                                                       reservations, never exceeded)
+//! ```
+//!
+//! * [`Scheduler`] owns the worker pool and the shared [`Database`]
+//!   (via `Arc`; execution is `&self`-re-entrant).
+//! * [`Session`] is the front door: submit bound [`ArPlan`]s or SQL text
+//!   with an [`ExecMode`]; each submission returns a [`Ticket`] that
+//!   resolves to the query's [`QueryResult`].
+//! * [`AdmissionController`] reserves each A&R query's worst-case device
+//!   working set from the card's real [`DeviceMemory`] *before* the query
+//!   runs. A query that does not currently fit **queues** (strict FIFO —
+//!   a large reservation cannot be starved by later small ones) rather
+//!   than erroring, and requests are clamped to the card's non-persistent
+//!   share so a query the serial engine can run is never rejected by
+//!   admission. Concurrent reservations therefore can never exceed
+//!   capacity — `memory().peak()` proves it.
+//! * Classic-pipe queries run their selection chain **morsel-parallel**
+//!   across partitioned columns on real threads
+//!   (`bwd_engine::run_classic_morsel`), bit-identical to serial.
+//! * Per-stream accounting: simulated cost ([`bwd_device::SharedLedger`])
+//!   and wall clock per [`ExecMode`] stream — [`Scheduler::stats`].
+//! * [`run_throughput`] measures the Figure 11 experiment by actually
+//!   running both streams concurrently on the scheduler.
+//!
+//! [`ArPlan`]: bwd_core::plan::ArPlan
+//! [`Database`]: bwd_engine::Database
+//! [`ExecMode`]: bwd_engine::ExecMode
+//! [`QueryResult`]: bwd_engine::QueryResult
+//! [`DeviceMemory`]: bwd_device::DeviceMemory
+
+pub mod admission;
+pub mod job;
+pub mod scheduler;
+pub mod session;
+pub mod stats;
+pub mod throughput;
+
+pub use admission::{working_set_estimate, AdmissionController, AdmissionPermit};
+pub use job::{SubmitOptions, Ticket};
+pub use scheduler::{SchedConfig, Scheduler};
+pub use session::Session;
+pub use stats::{SchedulerStats, StreamSnapshot};
+pub use throughput::{run_throughput, run_throughput_with, ThroughputOptions, ThroughputReport};

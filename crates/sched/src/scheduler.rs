@@ -1,0 +1,314 @@
+//! The worker pool and shared scheduler state.
+
+use crate::admission::{working_set_estimate, AdmissionController};
+use crate::job::Job;
+use crate::session::Session;
+use crate::stats::{SchedulerStats, StreamAccum};
+use bwd_engine::{Database, ExecMode, QueryResult};
+use bwd_types::Result;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Scheduler construction knobs.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Worker threads draining the query queue.
+    pub workers: usize,
+    /// Per-reservation admission deadline; `None` queues indefinitely.
+    pub admission_deadline: Option<Duration>,
+    /// Cap on real classic-pipe morsel threads per query (the simulated
+    /// `host_threads` allocation is mirrored up to this many real
+    /// threads). `1` disables intra-query parallelism.
+    pub max_morsels: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        let hw = thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        SchedConfig {
+            workers: hw.min(8),
+            admission_deadline: Some(Duration::from_secs(10)),
+            max_morsels: hw,
+        }
+    }
+}
+
+pub(crate) struct QueueState {
+    pub jobs: VecDeque<Job>,
+    pub closed: bool,
+}
+
+/// State shared between the scheduler handle, sessions and workers.
+pub(crate) struct Shared {
+    pub db: Arc<Database>,
+    pub queue: Mutex<QueueState>,
+    pub work_ready: Condvar,
+    pub admission: AdmissionController,
+    pub classic: StreamAccum,
+    pub approx_refine: StreamAccum,
+    pub errors: AtomicU64,
+    pub next_session: AtomicU64,
+    pub max_morsels: usize,
+}
+
+/// A multi-session query scheduler over one shared [`Database`].
+///
+/// Queries execute on real OS threads; A&R queries pass device-memory
+/// admission first. Dropping the scheduler closes the queue, discards
+/// not-yet-started jobs (their tickets resolve to an error) and joins the
+/// workers.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// A scheduler with default configuration.
+    pub fn with_defaults(db: Arc<Database>) -> Scheduler {
+        Scheduler::new(db, SchedConfig::default())
+    }
+
+    /// A scheduler with `config`.
+    pub fn new(db: Arc<Database>, config: SchedConfig) -> Scheduler {
+        let admission =
+            AdmissionController::new(db.env().device.memory().clone(), config.admission_deadline);
+        let shared = Arc::new(Shared {
+            db,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            work_ready: Condvar::new(),
+            admission,
+            classic: StreamAccum::default(),
+            approx_refine: StreamAccum::default(),
+            errors: AtomicU64::new(0),
+            next_session: AtomicU64::new(0),
+            max_morsels: config.max_morsels.max(1),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("bwd-sched-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        Scheduler { shared, workers }
+    }
+
+    /// The shared database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.shared.db
+    }
+
+    /// Open a new session.
+    pub fn session(&self) -> Session {
+        Session::new(
+            Arc::clone(&self.shared),
+            self.shared.next_session.fetch_add(1, Ordering::Relaxed),
+        )
+    }
+
+    /// Jobs currently waiting in the queue (excludes running queries).
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.lock().unwrap().jobs.len()
+    }
+
+    /// Current per-stream and admission statistics.
+    pub fn stats(&self) -> SchedulerStats {
+        let mem = self.shared.admission.memory();
+        SchedulerStats {
+            classic: self.shared.classic.snapshot(),
+            approx_refine: self.shared.approx_refine.snapshot(),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+            admission_waits: mem.total_waits(),
+            device_peak_bytes: mem.peak(),
+            device_capacity_bytes: mem.capacity(),
+        }
+    }
+
+    /// Close the queue and join the workers. Queued-but-unstarted jobs
+    /// are discarded; their tickets resolve to a shutdown error.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.closed = true;
+            // Dropping the jobs drops their reply senders: pending tickets
+            // observe the disconnect and report the shutdown.
+            q.jobs.clear();
+        }
+        self.shared.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.closed {
+                    return;
+                }
+                q = shared.work_ready.wait(q).unwrap();
+            }
+        };
+        let queued = job.submitted.elapsed();
+        let started = Instant::now();
+        // A panicking query must not kill the worker: the pool would
+        // silently shrink and queued jobs would hang forever. Convert the
+        // unwind into a per-query error instead.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(&shared, &job)))
+                .unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    Err(bwd_types::BwdError::Exec(format!(
+                        "query panicked during execution: {msg}"
+                    )))
+                });
+        let wall = started.elapsed();
+        let accum = match job.mode {
+            ExecMode::Classic => &shared.classic,
+            _ => &shared.approx_refine,
+        };
+        match &result {
+            Ok(r) => accum.record(&r.breakdown, &r.traffic, wall, queued),
+            Err(_) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // The submitter may have dropped its ticket; that's fine.
+        let _ = job.reply.send(result);
+    }
+}
+
+fn run_job(shared: &Shared, job: &Job) -> Result<QueryResult> {
+    let db = &shared.db;
+    let mut env = db.env().clone();
+    if let Some(t) = job.opts.host_threads {
+        env.host_threads = t.clamp(1, env.cpu.hw_threads);
+    }
+    match &job.mode {
+        ExecMode::Classic => {
+            let morsels = job
+                .opts
+                .morsels
+                .unwrap_or(env.host_threads as usize)
+                .clamp(1, shared.max_morsels);
+            db.run_bound_in(&job.plan, job.mode.clone(), &env, morsels)
+        }
+        _ => {
+            // Reserve the worst-case device working set before touching
+            // the card; the permit queues (not errors) while the card is
+            // full and frees on scope exit.
+            let estimate = working_set_estimate(db, &job.plan);
+            let _permit = shared.admission.admit(estimate)?;
+            db.run_bound_in(&job.plan, job.mode.clone(), &env, 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwd_core::plan::{AggExpr, AggFunc, LogicalPlan, Predicate};
+    use bwd_storage::Column;
+    use bwd_types::Value;
+
+    fn served_db() -> (Arc<Database>, bwd_core::plan::ArPlan) {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            vec![("a".into(), Column::from_i32((0..10_000).collect()))],
+        )
+        .unwrap();
+        let plan = LogicalPlan::scan("t")
+            .filter(Predicate::Between {
+                column: "a".into(),
+                lo: Value::Int(100),
+                hi: Value::Int(499),
+            })
+            .aggregate(
+                vec![],
+                vec![AggExpr {
+                    func: AggFunc::Count,
+                    arg: None,
+                    alias: "n".into(),
+                }],
+            );
+        let ar = db.bind(&plan, &Default::default()).unwrap();
+        db.auto_bind(&ar).unwrap();
+        (Arc::new(db), ar)
+    }
+
+    #[test]
+    fn executes_both_modes_and_accounts_streams() {
+        let (db, plan) = served_db();
+        let sched = Scheduler::new(db, SchedConfig::default());
+        let session = sched.session();
+        let classic = session.query(&plan, ExecMode::Classic).unwrap();
+        let ar = session.query(&plan, ExecMode::ApproxRefine).unwrap();
+        assert_eq!(classic.rows, ar.rows);
+        let stats = sched.stats();
+        assert_eq!(stats.classic.queries, 1);
+        assert_eq!(stats.approx_refine.queries, 1);
+        assert!(stats.classic.breakdown.host > 0.0);
+        assert!(stats.approx_refine.breakdown.device > 0.0);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.device_peak_bytes <= stats.device_capacity_bytes);
+    }
+
+    #[test]
+    fn sql_submission_and_load_time_rejection() {
+        let (db, _) = served_db();
+        let sched = Scheduler::with_defaults(db);
+        let session = sched.session();
+        let out = session
+            .query_sql("select count(*) from t where a < 10", ExecMode::Classic)
+            .unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(10));
+        let err = session
+            .submit_sql("select bwdecompose(a, 24) from t", ExecMode::Classic)
+            .unwrap_err();
+        assert!(err.to_string().contains("load-time"), "{err}");
+    }
+
+    #[test]
+    fn shutdown_resolves_pending_submissions_with_error() {
+        let (db, plan) = served_db();
+        let sched = Scheduler::with_defaults(db);
+        let session = sched.session();
+        sched.shutdown();
+        let err = session.submit(plan, ExecMode::Classic).wait().unwrap_err();
+        assert!(err.to_string().contains("shut down"), "{err}");
+    }
+
+    #[test]
+    fn sessions_have_distinct_ids() {
+        let (db, _) = served_db();
+        let sched = Scheduler::with_defaults(db);
+        assert_ne!(sched.session().id(), sched.session().id());
+    }
+}

@@ -1,0 +1,89 @@
+//! The session front door.
+
+use crate::job::{Job, SubmitOptions, Ticket};
+use crate::scheduler::Shared;
+use bwd_core::plan::{ArPlan, RewriteOptions};
+use bwd_engine::{ExecMode, QueryResult};
+use bwd_sql::{bind, parse, BoundStatement};
+use bwd_types::{BwdError, Result};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// One client's handle onto the scheduler.
+///
+/// Sessions are cheap, `Send`, and independent: each `submit` enqueues
+/// one query and returns a [`Ticket`]. A session does not serialize its
+/// own queries — submit many, then wait on the tickets — and any number
+/// of sessions can submit concurrently.
+pub struct Session {
+    shared: Arc<Shared>,
+    id: u64,
+}
+
+impl Session {
+    pub(crate) fn new(shared: Arc<Shared>, id: u64) -> Session {
+        Session { shared, id }
+    }
+
+    /// This session's id (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Enqueue a bound plan for execution in `mode`.
+    pub fn submit(&self, plan: ArPlan, mode: ExecMode) -> Ticket {
+        self.submit_with(plan, mode, SubmitOptions::default())
+    }
+
+    /// Enqueue with per-query overrides.
+    pub fn submit_with(&self, plan: ArPlan, mode: ExecMode, opts: SubmitOptions) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            plan,
+            mode,
+            opts,
+            session: self.id,
+            reply: tx,
+            submitted: Instant::now(),
+        };
+        let mut q = self.shared.queue.lock().unwrap();
+        if q.closed {
+            drop(q);
+            return Ticket::resolved(Err(BwdError::Exec(
+                "scheduler is shut down; no new queries accepted".into(),
+            )));
+        }
+        q.jobs.push_back(job);
+        drop(q);
+        self.shared.work_ready.notify_one();
+        Ticket { rx }
+    }
+
+    /// Parse, bind and enqueue one SQL query.
+    ///
+    /// Decomposition statements (`select bwdecompose(...)`) mutate the
+    /// database and must run *before* serving starts — they are rejected
+    /// here.
+    pub fn submit_sql(&self, sql: &str, mode: ExecMode) -> Result<Ticket> {
+        let stmt = parse(sql)?;
+        match bind(&stmt, self.shared.db.catalog())? {
+            BoundStatement::Decompose { .. } => Err(BwdError::Unsupported(
+                "bwdecompose is a load-time operation; decompose before serving".into(),
+            )),
+            BoundStatement::Query(logical) => {
+                let plan = self.shared.db.bind(&logical, &RewriteOptions::default())?;
+                Ok(self.submit(plan, mode))
+            }
+        }
+    }
+
+    /// Convenience: submit a plan and wait for its result.
+    pub fn query(&self, plan: &ArPlan, mode: ExecMode) -> Result<QueryResult> {
+        self.submit(plan.clone(), mode).wait()
+    }
+
+    /// Convenience: submit SQL and wait for its result.
+    pub fn query_sql(&self, sql: &str, mode: ExecMode) -> Result<QueryResult> {
+        self.submit_sql(sql, mode)?.wait()
+    }
+}

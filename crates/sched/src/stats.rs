@@ -1,0 +1,110 @@
+//! Per-stream accounting.
+//!
+//! Each [`bwd_engine::ExecMode`] stream accumulates its completed-query
+//! count, simulated per-component cost (through the thread-safe
+//! [`SharedLedger`]) and the wall-clock time its queries occupied worker
+//! threads. The Figure 11 analysis reads these snapshots instead of
+//! re-deriving costs from a model.
+
+use bwd_device::{Breakdown, Component, SharedLedger, TrafficBytes};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Point-in-time view of one query stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSnapshot {
+    /// Queries completed successfully.
+    pub queries: u64,
+    /// Accumulated simulated component time.
+    pub breakdown: Breakdown,
+    /// Accumulated bytes moved per component.
+    pub traffic: TrafficBytes,
+    /// Wall-clock worker time spent executing this stream.
+    pub busy: Duration,
+    /// Wall-clock time this stream's queries spent waiting in the queue.
+    pub queued: Duration,
+}
+
+impl StreamSnapshot {
+    /// Simulated queries/second: completed queries over the stream's
+    /// total simulated time (0 when idle).
+    pub fn sim_qps(&self) -> f64 {
+        let t = self.breakdown.total();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / t
+        }
+    }
+}
+
+/// Point-in-time view of the whole scheduler.
+#[derive(Debug, Clone)]
+pub struct SchedulerStats {
+    /// The classic (CPU bulk) stream.
+    pub classic: StreamSnapshot,
+    /// The Approximate & Refine stream.
+    pub approx_refine: StreamSnapshot,
+    /// Queries that completed with an error.
+    pub errors: u64,
+    /// Admission reservations that had to queue at least once.
+    pub admission_waits: u64,
+    /// High-water mark of device-memory reservations (persistent columns
+    /// plus admitted working sets) — provably ≤ capacity.
+    pub device_peak_bytes: u64,
+    /// The card's capacity.
+    pub device_capacity_bytes: u64,
+}
+
+/// Thread-safe accumulator behind a [`StreamSnapshot`].
+#[derive(Debug, Default)]
+pub(crate) struct StreamAccum {
+    queries: AtomicU64,
+    busy_nanos: AtomicU64,
+    queued_nanos: AtomicU64,
+    ledger: SharedLedger,
+}
+
+impl StreamAccum {
+    pub fn record(
+        &self,
+        breakdown: &Breakdown,
+        traffic: &TrafficBytes,
+        wall: Duration,
+        queued: Duration,
+    ) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.busy_nanos
+            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+        self.queued_nanos
+            .fetch_add(queued.as_nanos() as u64, Ordering::Relaxed);
+        self.ledger.charge(
+            Component::Device,
+            "stream.query",
+            breakdown.device,
+            traffic.device,
+        );
+        self.ledger.charge(
+            Component::Host,
+            "stream.query",
+            breakdown.host,
+            traffic.host,
+        );
+        self.ledger.charge(
+            Component::Pcie,
+            "stream.query",
+            breakdown.pcie,
+            traffic.pcie,
+        );
+    }
+
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            breakdown: self.ledger.breakdown(),
+            traffic: self.ledger.traffic(),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+            queued: Duration::from_nanos(self.queued_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}

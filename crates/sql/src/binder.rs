@@ -94,9 +94,7 @@ fn bind_query(q: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
                     let (Some(tl), Some(tr)) = (owner(ql, cl), owner(qr, cr)) else {
                         continue;
                     };
-                    for ((ft, fc), (dt, dc)) in
-                        [((&tl, cl), (&tr, cr)), ((&tr, cr), (&tl, cl))]
-                    {
+                    for ((ft, fc), (dt, dc)) in [((&tl, cl), (&tr, cr)), ((&tr, cr), (&tl, cl))] {
                         if let Some(decl) = catalog.fk_from(ft, fc) {
                             if decl.dim_table == *dt && decl.dim_key == *dc {
                                 found = Some((ft.clone(), fc.clone(), i));
@@ -120,11 +118,7 @@ fn bind_query(q: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
         (q.from[0].clone(), None, None)
     };
 
-    let binder = Binder {
-        catalog,
-        fact,
-        dim,
-    };
+    let binder = Binder { catalog, fact, dim };
 
     // Predicates.
     let mut preds = Vec::new();
@@ -237,9 +231,9 @@ impl Binder<'_> {
                 self.bind_predicate(l)?,
                 self.bind_predicate(r)?,
             ])),
-            Expr::Bin(BinKind::Or, ..) => Err(BwdError::Unsupported(
-                "disjunctive predicates (OR)".into(),
-            )),
+            Expr::Bin(BinKind::Or, ..) => {
+                Err(BwdError::Unsupported("disjunctive predicates (OR)".into()))
+            }
             Expr::Bin(kind, l, r) => {
                 let (col_expr, lit_expr, flip) = match (l.as_ref(), r.as_ref()) {
                     (Expr::Col(..), _) => (l.as_ref(), r.as_ref(), false),
@@ -342,9 +336,7 @@ impl Binder<'_> {
                     "avg" => AggFunc::Avg,
                     "min" => AggFunc::Min,
                     "max" => AggFunc::Max,
-                    other => {
-                        return Err(BwdError::Bind(format!("unknown function {other}")))
-                    }
+                    other => return Err(BwdError::Bind(format!("unknown function {other}"))),
                 };
                 let arg = match (func, args.as_slice()) {
                     // count(*) and count(col) coincide without NULLs.
@@ -440,10 +432,7 @@ mod tests {
                 "lineitem",
                 vec![
                     ("l_partkey".into(), Column::from_i32(vec![1, 2, 1])),
-                    (
-                        "l_quantity".into(),
-                        Column::from_i32(vec![10, 20, 30]),
-                    ),
+                    ("l_quantity".into(), Column::from_i32(vec![10, 20, 30])),
                     (
                         "l_extendedprice".into(),
                         Column::from_decimals(vec![1000, 2000, 3000], 12, 2).unwrap(),
@@ -551,10 +540,10 @@ mod tests {
 
     #[test]
     fn rejects_or_and_suffix_like() {
-        assert!(bind_sql(
-            "select count(*) from lineitem where l_quantity < 5 or l_quantity > 10"
-        )
-        .is_err());
+        assert!(
+            bind_sql("select count(*) from lineitem where l_quantity < 5 or l_quantity > 10")
+                .is_err()
+        );
         assert!(bind_sql(
             "select count(*) from lineitem, part \
              where l_partkey = p_partkey and p_type like '%BRUSHED'"
@@ -565,8 +554,7 @@ mod tests {
     #[test]
     fn rejects_join_without_declared_fk() {
         assert!(
-            bind_sql("select count(*) from lineitem, part where l_quantity = p_partkey")
-                .is_err()
+            bind_sql("select count(*) from lineitem, part where l_quantity = p_partkey").is_err()
         );
     }
 
@@ -595,10 +583,7 @@ mod tests {
 
     #[test]
     fn string_literal_against_date_column() {
-        let p = bind_sql(
-            "select count(*) from lineitem where l_shipdate < '1995-01-01'",
-        )
-        .unwrap();
+        let p = bind_sql("select count(*) from lineitem where l_shipdate < '1995-01-01'").unwrap();
         let LogicalPlan::Aggregate { input, .. } = &p else {
             panic!()
         };
@@ -613,10 +598,7 @@ mod tests {
 
     #[test]
     fn group_keys_not_duplicated() {
-        let p = bind_sql(
-            "select l_quantity, count(*) from lineitem group by l_quantity",
-        )
-        .unwrap();
+        let p = bind_sql("select l_quantity, count(*) from lineitem group by l_quantity").unwrap();
         let LogicalPlan::Aggregate { aggs, group_by, .. } = &p else {
             panic!()
         };

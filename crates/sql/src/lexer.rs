@@ -150,8 +150,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 while i < b.len() && b[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
-                {
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
                     i += 1; // consume '.'
                     let frac_start = i;
                     while i < b.len() && b[i].is_ascii_digit() {
@@ -172,9 +171,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
-                {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token::Ident(input[start..i].to_lowercase()));
@@ -195,10 +192,8 @@ mod tests {
 
     #[test]
     fn lexes_the_spatial_query() {
-        let toks = lex(
-            "select count(lon) from trips where lon between 2.68288 and 2.70228",
-        )
-        .unwrap();
+        let toks =
+            lex("select count(lon) from trips where lon between 2.68288 and 2.70228").unwrap();
         assert!(toks.contains(&Token::Ident("between".into())));
         assert!(toks.contains(&Token::Dec(268_288, 5)));
         assert!(toks.contains(&Token::Dec(270_228, 5)));

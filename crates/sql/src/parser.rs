@@ -195,7 +195,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(BwdError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(BwdError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -344,9 +346,9 @@ impl Parser {
             // `date '1998-12-01' - interval '90' day`.
             if self.eat_kw("interval") {
                 let amount = match self.next()? {
-                    Token::Str(s) => s.parse::<i32>().map_err(|_| {
-                        BwdError::Parse(format!("bad interval amount {s:?}"))
-                    })?,
+                    Token::Str(s) => s
+                        .parse::<i32>()
+                        .map_err(|_| BwdError::Parse(format!("bad interval amount {s:?}")))?,
                     Token::Int(v) => v as i32,
                     other => {
                         return Err(BwdError::Parse(format!(
@@ -355,7 +357,11 @@ impl Parser {
                     }
                 };
                 let unit = self.ident()?;
-                let signed = if kind == BinKind::Sub { -amount } else { amount };
+                let signed = if kind == BinKind::Sub {
+                    -amount
+                } else {
+                    amount
+                };
                 let Expr::Date(d) = lhs else {
                     return Err(BwdError::Parse(
                         "interval arithmetic requires a date operand".into(),
@@ -397,11 +403,7 @@ impl Parser {
             return Ok(match self.unary()? {
                 Expr::Int(v) => Expr::Int(-v),
                 Expr::Dec(u, s) => Expr::Dec(-u, s),
-                other => Expr::Bin(
-                    BinKind::Sub,
-                    Box::new(Expr::Int(0)),
-                    Box::new(other),
-                ),
+                other => Expr::Bin(BinKind::Sub, Box::new(Expr::Int(0)), Box::new(other)),
             });
         }
         self.primary()
@@ -435,7 +437,11 @@ impl Parser {
                     self.expect_kw("else")?;
                     let otherwise = self.expr()?;
                     self.expect_kw("end")?;
-                    Ok(Expr::Case(Box::new(when), Box::new(then), Box::new(otherwise)))
+                    Ok(Expr::Case(
+                        Box::new(when),
+                        Box::new(then),
+                        Box::new(otherwise),
+                    ))
                 }
                 _ => {
                     if self.eat_if(&Token::LParen) {

@@ -261,7 +261,9 @@ mod tests {
     #[test]
     fn word_boundary_straddle() {
         // 60-bit elements guarantee straddles on every second element.
-        let vals: Vec<u64> = (0..50).map(|i| (i * 0x0FFF_FFFF_FFFF_FFF) & low_mask(60)).collect();
+        let vals: Vec<u64> = (0..50)
+            .map(|i| (i * 0x00FF_FFFF_FFFF_FFFF_u64) & low_mask(60))
+            .collect();
         let packed = BitPackedVec::from_slice(60, &vals);
         assert_eq!(packed.to_vec(), vals);
     }

@@ -195,7 +195,10 @@ impl Column {
             DataType::Decimal { scale, .. } => Value::decimal(p, scale),
             DataType::Bool => Value::Bool(p != 0),
             DataType::Str => {
-                let dict = self.dict.as_ref().expect("string column without dictionary");
+                let dict = self
+                    .dict
+                    .as_ref()
+                    .expect("string column without dictionary");
                 Value::Str(dict.value_of(p as u32).to_string())
             }
         }
@@ -216,10 +219,13 @@ impl Column {
                 })
             }
             (DataType::Str, Value::Str(s)) => {
-                let dict = self.dict.as_ref().expect("string column without dictionary");
-                dict.code_of(s)
-                    .map(|c| c as i64)
-                    .ok_or_else(|| BwdError::NotFound(format!("string literal {s:?} not in dictionary")))
+                let dict = self
+                    .dict
+                    .as_ref()
+                    .expect("string column without dictionary");
+                dict.code_of(s).map(|c| c as i64).ok_or_else(|| {
+                    BwdError::NotFound(format!("string literal {s:?} not in dictionary"))
+                })
             }
             (DataType::Bool, Value::Bool(b)) => Ok(*b as i64),
             (dt, v) => Err(BwdError::TypeMismatch(format!(
@@ -370,7 +376,10 @@ mod tests {
         let c = Column::from_dates(vec![d, d.add_days(10)]);
         assert_eq!(c.dtype(), DataType::Date);
         assert_eq!(c.value(1), Value::Date(d.add_days(10)));
-        assert_eq!(c.payload_of_value(&Value::Date(d)).unwrap(), d.days() as i64);
+        assert_eq!(
+            c.payload_of_value(&Value::Date(d)).unwrap(),
+            d.days() as i64
+        );
     }
 
     #[test]
@@ -406,7 +415,10 @@ mod tests {
         let codes: Vec<i64> = (0..c.len()).map(|i| c.payload(i)).collect();
         assert_eq!(c.value(1), Value::Str("ECONOMY".into()));
         assert!(codes[0] > codes[1], "PROMO* sorts after ECONOMY");
-        assert_eq!(c.payload_of_value(&Value::Str("ECONOMY".into())).unwrap(), 0);
+        assert_eq!(
+            c.payload_of_value(&Value::Str("ECONOMY".into())).unwrap(),
+            0
+        );
     }
 
     #[test]

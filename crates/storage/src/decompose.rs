@@ -431,7 +431,11 @@ mod tests {
         for device_bits in [1, 8, 16, 24, 31, 32] {
             let d = ints(&vals, device_bits);
             for (i, &v) in vals.iter().enumerate() {
-                assert_eq!(d.reconstruct_payload(i), v, "device_bits={device_bits} i={i}");
+                assert_eq!(
+                    d.reconstruct_payload(i),
+                    v,
+                    "device_bits={device_bits} i={i}"
+                );
             }
         }
     }
@@ -471,12 +475,8 @@ mod tests {
             precision: 8,
             scale: 5,
         };
-        let d = DecomposedColumn::decompose(
-            &vals,
-            dtype,
-            &DecompositionSpec::with_device_bits(24),
-        )
-        .unwrap();
+        let d = DecomposedColumn::decompose(&vals, dtype, &DecompositionSpec::with_device_bits(24))
+            .unwrap();
         assert_eq!(d.resbits(), 8);
         // Range 4227402 needs 23 bits; major part 23-8 = 15 bits.
         assert_eq!(d.stored_width(), 15);
@@ -527,7 +527,10 @@ mod tests {
         for (i, &v) in vals.iter().enumerate() {
             let s = d.stored_of_row(i);
             if v >= plo && v <= phi {
-                assert!(s >= slo && s <= shi, "row {i} value {v} must be a candidate");
+                assert!(
+                    s >= slo && s <= shi,
+                    "row {i} value {v} must be a candidate"
+                );
             }
         }
     }
@@ -597,10 +600,10 @@ mod tests {
         let d = ints(&vals, 26);
         let expect: Vec<i64> = (0..100).map(|i| d.reconstruct_payload(i)).collect();
         let (meta, approx, residual) = d.into_parts();
-        for i in 0..100 {
+        for (i, &want) in expect.iter().enumerate() {
             assert_eq!(
                 meta.payload_from_parts(approx.get(i), residual.get(i)),
-                expect[i]
+                want
             );
         }
     }

@@ -91,7 +91,15 @@ mod tests {
 
     #[test]
     fn roundtrip_32() {
-        for v in [i32::MIN as i64, -1_262_427, -1, 0, 1, 2_964_975, i32::MAX as i64] {
+        for v in [
+            i32::MIN as i64,
+            -1_262_427,
+            -1,
+            0,
+            1,
+            2_964_975,
+            i32::MAX as i64,
+        ] {
             let e = encode(v, DataType::Int32);
             assert!(e <= u32::MAX as u64, "32-bit encoding must stay in 32 bits");
             assert_eq!(decode(e, DataType::Int32), v);

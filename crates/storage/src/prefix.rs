@@ -8,10 +8,9 @@
 //! prototype used — "factoring out the highest of the 4 value bytes").
 
 use bwd_types::bits::{common_prefix_bits, low_mask};
-use serde::{Deserialize, Serialize};
 
 /// Granularity at which shared high bits are factored out.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PrefixGranularity {
     /// Factor out every shared high bit (maximal compression).
     #[default]
@@ -25,7 +24,7 @@ pub enum PrefixGranularity {
 }
 
 /// The result of prefix-compressing a set of `width`-bit values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefixBase {
     /// Shared high-bit pattern, right-aligned (i.e. already shifted down by
     /// `width - prefix_bits`).
@@ -172,7 +171,7 @@ mod tests {
         let vals = [0x8000_0001u64, 0x8000_00FF, 0x8000_0080];
         let p = PrefixBase::analyze(&vals, 32, PrefixGranularity::Bit);
         assert_eq!(p.stored_width(), 8);
-        assert_eq!(p.base, 0x8000_00);
+        assert_eq!(p.base, 0x0080_0000);
         assert_eq!(p.compress(0x8000_0080), 0x80);
         assert_eq!(p.decompress(0x80), 0x8000_0080);
     }

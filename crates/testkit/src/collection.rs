@@ -1,0 +1,31 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy producing `Vec<E::Value>` with a length drawn from `len`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<E> {
+    element: E,
+    len: Range<usize>,
+}
+
+/// A vector of values from `element`, sized within `len` (upstream
+/// `proptest::collection::vec`).
+pub fn vec<E: Strategy>(element: E, len: Range<usize>) -> VecStrategy<E> {
+    VecStrategy { element, len }
+}
+
+impl<E: Strategy> Strategy for VecStrategy<E> {
+    type Value = Vec<E::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<E::Value> {
+        let n = if self.len.is_empty() {
+            self.len.start
+        } else {
+            self.len.start + rng.below((self.len.end - self.len.start) as u64) as usize
+        };
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,192 @@
+//! A minimal, dependency-free property-testing harness exposing the subset
+//! of the `proptest` API this workspace uses.
+//!
+//! The build environment has no access to a crates registry, so the real
+//! `proptest` cannot be fetched; this shim keeps the workspace's property
+//! tests (strategy ranges, `any::<T>()`, `collection::vec`, the
+//! `proptest!`/`prop_assert*` macros and `ProptestConfig::with_cases`)
+//! compiling and running unchanged.
+//!
+//! Differences from upstream worth knowing:
+//!
+//! * cases are generated from a deterministic SplitMix64 stream seeded by
+//!   the test function's name — runs are bit-reproducible, there is no
+//!   persistence file;
+//! * there is no shrinking: a failing case panics with the standard
+//!   `assert!` message, which (thanks to determinism) reproduces directly;
+//! * integer strategies oversample range endpoints (1 in 8 draws) to keep
+//!   the edge-case coverage shrinking would otherwise provide.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+pub use strategy::{any, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Assert within a property: identical to `assert!` here (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declare property tests.
+///
+/// Supports the upstream forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///
+///     /// Doc comment.
+///     #[test]
+///     fn prop_name(x in 0i64..100, v in proptest::collection::vec(any::<u64>(), 0..300)) {
+///         prop_assert!(x < 100);
+///     }
+///
+///     #[test]
+///     fn typed_args(a: i64, b: i64) { prop_assert_eq!(a + b, b + a); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident ( $($args:tt)* ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $crate::__proptest_bind!(__rng, $($args)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident,) => {};
+    ($rng:ident) => {};
+    ($rng:ident, $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $arg:ident in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident, $arg:ident : $ty:ty, $($rest:tt)*) => {
+        let $arg =
+            $crate::strategy::Strategy::sample(&$crate::strategy::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $arg:ident : $ty:ty) => {
+        let $arg =
+            $crate::strategy::Strategy::sample(&$crate::strategy::any::<$ty>(), &mut $rng);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in -50i64..50,
+            b in 0u32..=64,
+            n in 1usize..300,
+        ) {
+            prop_assert!((-50..50).contains(&a));
+            prop_assert!(b <= 64);
+            prop_assert!((1..300).contains(&n));
+        }
+
+        #[test]
+        fn vecs_respect_len_and_element_ranges(
+            v in crate::collection::vec(-3i64..3, 2..10),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 10);
+            prop_assert!(v.iter().all(|x| (-3..3).contains(x)));
+        }
+
+        #[test]
+        fn typed_args_cover_domain(x: i64, flag: bool) {
+            // Compiles + runs: any::<i64> and any::<bool> draw freely.
+            let _ = (x, flag);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::from_name("seed");
+        let mut b = crate::test_runner::TestRng::from_name("seed");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_does_not_overflow() {
+        let mut rng = crate::test_runner::TestRng::from_name("full");
+        for _ in 0..1000 {
+            let _ = Strategy::sample(&(i64::MIN..=i64::MAX), &mut rng);
+            let _ = Strategy::sample(&(u64::MIN..=u64::MAX), &mut rng);
+        }
+    }
+
+    #[test]
+    fn endpoints_are_oversampled() {
+        let mut rng = crate::test_runner::TestRng::from_name("edges");
+        let mut hits = 0;
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(0i64..1000), &mut rng);
+            if v == 0 || v == 999 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 20, "endpoint oversampling missing: {hits}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] draws one value per test case from a [`TestRng`].
+//! Implementations cover what the workspace's properties use: half-open
+//! and inclusive integer ranges, `any::<T>()` over the full domain, and
+//! `collection::vec` (in [`crate::collection`]).
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Draw values of `Self::Value` from an RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// One draw in `edge_period` lands exactly on a range endpoint —
+/// deterministic stand-in for the edge coverage shrinking provides.
+const EDGE_PERIOD: u64 = 8;
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = self.start as i128;
+                let span = (self.end as i128 - lo) as u128;
+                if rng.below(EDGE_PERIOD) == 0 {
+                    return if rng.below(2) == 0 {
+                        self.start
+                    } else {
+                        (lo + span as i128 - 1) as $t
+                    };
+                }
+                let off = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+                (lo + (off % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if rng.below(EDGE_PERIOD) == 0 {
+                    return if rng.below(2) == 0 { lo } else { hi };
+                }
+                let off = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+                (lo as i128 + (off % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                (<$t>::MIN..=<$t>::MAX).sample(rng)
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Marker for `any::<T>()` — the full-domain strategy of `T`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The full-domain strategy for `T` (upstream `proptest::arbitrary::any`).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}

@@ -1,0 +1,59 @@
+//! Deterministic case generation.
+
+/// Number of cases to run per property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// How many generated cases each property executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the workspace's heavier
+        // end-to-end properties (full query executions per case) fast
+        // while still exploring the domain.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// SplitMix64 — tiny, full-period, and statistically fine for test-case
+/// generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift rejection-free mapping (Lemire); bias is
+        // negligible for test-case generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}

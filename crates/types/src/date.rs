@@ -7,11 +7,10 @@
 //! decomposition unchanged. The civil-calendar conversion follows the
 //! classic Howard Hinnant `days_from_civil` algorithm.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A calendar date as a signed day count since the Unix epoch.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Date(pub i32);
 
 impl Date {

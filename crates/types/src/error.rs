@@ -11,6 +11,8 @@ use std::fmt;
 pub enum BwdError {
     /// Device memory exhausted: requested vs remaining bytes.
     DeviceOutOfMemory { requested: u64, available: u64 },
+    /// A blocking device-memory reservation waited past its deadline.
+    AdmissionTimeout { requested: u64, waited_ms: u64 },
     /// A device buffer handle was used after being freed or with the wrong device.
     InvalidBuffer(String),
     /// Mismatched or unsupported data types in an operator or expression.
@@ -40,6 +42,13 @@ impl fmt::Display for BwdError {
             } => write!(
                 f,
                 "device out of memory: requested {requested} bytes, {available} available"
+            ),
+            BwdError::AdmissionTimeout {
+                requested,
+                waited_ms,
+            } => write!(
+                f,
+                "device admission timed out: reservation of {requested} bytes still queued after {waited_ms} ms"
             ),
             BwdError::InvalidBuffer(m) => write!(f, "invalid device buffer: {m}"),
             BwdError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
@@ -71,7 +80,9 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("1024") && s.contains("512"), "{s}");
-        assert!(BwdError::Parse("line 3".into()).to_string().contains("line 3"));
+        assert!(BwdError::Parse("line 3".into())
+            .to_string()
+            .contains("line 3"));
     }
 
     #[test]

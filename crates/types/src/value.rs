@@ -9,12 +9,11 @@
 //! predicate relaxation of the A&R selection would be unsound.
 
 use crate::date::Date;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// Logical column type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 32-bit signed integer.
     Int32,
@@ -115,7 +114,7 @@ impl fmt::Display for DataType {
 }
 
 /// A scalar value (literal, result cell, or test fixture).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// Integer (also carries `Int32` columns, widened).
     Int(i64),
@@ -221,11 +220,16 @@ impl Value {
             (Str(a), Str(b)) => a.cmp(b),
             (Date(a), Date(b)) => a.cmp(b),
             (Bool(a), Bool(b)) => a.cmp(b),
-            (Decimal { unscaled: a, scale: sa }, Decimal { unscaled: b, scale: sb })
-                if sa == sb =>
-            {
-                a.cmp(b)
-            }
+            (
+                Decimal {
+                    unscaled: a,
+                    scale: sa,
+                },
+                Decimal {
+                    unscaled: b,
+                    scale: sb,
+                },
+            ) if sa == sb => a.cmp(b),
             _ => match (self.as_f64(), other.as_f64()) {
                 (Some(a), Some(b)) => a.total_cmp(&b),
                 _ => type_rank(self).cmp(&type_rank(other)),
@@ -360,10 +364,7 @@ mod tests {
             Value::Int(2).total_cmp(&Value::decimal(150, 2)),
             Ordering::Greater // 2 > 1.50
         );
-        assert_eq!(
-            Value::Double(0.5).total_cmp(&Value::Int(1)),
-            Ordering::Less
-        );
+        assert_eq!(Value::Double(0.5).total_cmp(&Value::Int(1)), Ordering::Less);
         assert_eq!(
             Value::decimal(100, 2).total_cmp(&Value::decimal(100, 2)),
             Ordering::Equal

@@ -105,7 +105,10 @@ fn figure6_min_with_false_positives() -> Result<()> {
     println!("extremum candidate set: {:?}", min_cands.oids);
     let survives = |oid| range.test(x.reconstruct(oid));
     let m = extremum_refine(&env, &y, &min_cands, &survives, Extremum::Min, &mut ledger);
-    println!("refined min(y) = {:?} (naive approximate min would be 2)\n", m.unwrap());
+    println!(
+        "refined min(y) = {:?} (naive approximate min would be 2)\n",
+        m.unwrap()
+    );
     Ok(())
 }
 
@@ -118,9 +121,18 @@ fn pushdown_ablation() -> Result<()> {
     db.create_table(
         "m",
         vec![
-            ("a".into(), Column::from_i32((0..n).map(|i| (i % 1_000_003) as i32).collect())),
-            ("b".into(), Column::from_i32((0..n).map(|i| ((i * 7) % 999_983) as i32).collect())),
-            ("c".into(), Column::from_i32((0..n).map(|i| ((i * 13) % 999_979) as i32).collect())),
+            (
+                "a".into(),
+                Column::from_i32((0..n).map(|i| (i % 1_000_003) as i32).collect()),
+            ),
+            (
+                "b".into(),
+                Column::from_i32((0..n).map(|i| ((i * 7) % 999_983) as i32).collect()),
+            ),
+            (
+                "c".into(),
+                Column::from_i32((0..n).map(|i| ((i * 13) % 999_979) as i32).collect()),
+            ),
         ],
     )?;
     for col in ["a", "b", "c"] {

@@ -18,9 +18,16 @@ fn main() -> Result<()> {
         vec![
             (
                 "a".into(),
-                Column::from_i32((0..n).map(|i| (i * 2_654_435_761u64 as i64) as i32 % 10_000_000).collect()),
+                Column::from_i32(
+                    (0..n)
+                        .map(|i| (i * 2_654_435_761u64 as i64) as i32 % 10_000_000)
+                        .collect(),
+                ),
             ),
-            ("b".into(), Column::from_i32((0..n).map(|i| (i % 37) as i32).collect())),
+            (
+                "b".into(),
+                Column::from_i32((0..n).map(|i| (i % 37) as i32).collect()),
+            ),
         ],
     )?;
 

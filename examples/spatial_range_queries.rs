@@ -30,7 +30,10 @@ fn main() -> Result<()> {
     let mut db = Database::with_env(env);
 
     println!("generating {fixes} GPS fixes (Table I schema)...");
-    db.create_table("trips", gen_trips(&SpatialConfig::fixes(fixes)).into_columns())?;
+    db.create_table(
+        "trips",
+        gen_trips(&SpatialConfig::fixes(fixes)).into_columns(),
+    )?;
 
     // Storing the coordinates at full resolution does not fit — the
     // paper's motivation for decomposition.

@@ -77,7 +77,10 @@ fn main() -> Result<()> {
         );
         if name == "Q14" {
             // The paper's Q14 metric: 100 * promo / total.
-            let (promo, total) = (ar.rows[0][0].as_f64().unwrap(), ar.rows[0][1].as_f64().unwrap());
+            let (promo, total) = (
+                ar.rows[0][0].as_f64().unwrap(),
+                ar.rows[0][1].as_f64().unwrap(),
+            );
             println!("  promo_revenue = {:.2}%", 100.0 * promo / total);
         } else if name == "Q1" {
             for row in &ar.rows {

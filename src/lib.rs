@@ -31,12 +31,14 @@ pub use bwd_data as data;
 pub use bwd_device as device;
 pub use bwd_engine as engine;
 pub use bwd_kernels as kernels;
+pub use bwd_sched as sched;
 pub use bwd_sql as sql;
 pub use bwd_storage as storage;
 pub use bwd_types as types;
 
 pub use bwd_device::{Breakdown, Env};
 pub use bwd_engine::{ArExecOptions, Database, DecompositionReport, ExecMode, QueryResult};
+pub use bwd_sched::{SchedConfig, Scheduler, Session};
 pub use bwd_types::{BwdError, Result, Value};
 
 use bwd_sql::{bind, parse, BoundStatement};
@@ -95,6 +97,40 @@ impl Db {
     /// Execute one SQL statement with Approximate & Refine processing.
     pub fn sql(&mut self, statement: &str) -> Result<SqlOutput> {
         self.sql_mode(statement, ExecMode::ApproxRefine)
+    }
+
+    /// Freeze the database and start serving it to concurrent sessions.
+    ///
+    /// Loading, `declare_fk` and `bwdecompose` are load-time operations;
+    /// once the data is in place, `serve()` moves the database behind an
+    /// `Arc` and spins up the [`Scheduler`]'s worker pool. Open any
+    /// number of [`Session`]s, submit plans or SQL tagged with an
+    /// [`ExecMode`], and the scheduler runs classic queries
+    /// morsel-parallel on the CPU while A&R queries pass device-memory
+    /// admission — the 2 GB card is never oversubscribed.
+    ///
+    /// ```
+    /// use waste_not::{Db, ExecMode};
+    /// use waste_not::storage::Column;
+    ///
+    /// let mut db = Db::new();
+    /// db.create_table("r", vec![("a".into(), Column::from_i32((0..1000).collect()))])
+    ///     .unwrap();
+    /// db.sql("select bwdecompose(a, 24) from r").unwrap();
+    /// let server = db.serve();
+    /// let session = server.session();
+    /// let out = session
+    ///     .query_sql("select count(*) from r where a < 10", ExecMode::ApproxRefine)
+    ///     .unwrap();
+    /// assert_eq!(out.rows[0][0].to_string(), "10");
+    /// ```
+    pub fn serve(self) -> Scheduler {
+        self.serve_with(SchedConfig::default())
+    }
+
+    /// [`Db::serve`] with an explicit scheduler configuration.
+    pub fn serve_with(self, config: SchedConfig) -> Scheduler {
+        Scheduler::new(std::sync::Arc::new(self.inner), config)
     }
 
     /// Execute one SQL statement with an explicit execution mode
@@ -172,8 +208,11 @@ mod tests {
     #[test]
     fn decompose_statement_reports() {
         let mut db = Db::new();
-        db.create_table("r", vec![("a".into(), Column::from_i32((0..4096).collect()))])
-            .unwrap();
+        db.create_table(
+            "r",
+            vec![("a".into(), Column::from_i32((0..4096).collect()))],
+        )
+        .unwrap();
         let out = db.sql("select bwdecompose(a, 24) from r").unwrap();
         let SqlOutput::Decomposed(rep) = out else {
             panic!()

@@ -211,10 +211,7 @@ fn empty_results_and_full_results() {
 #[test]
 fn arithmetic_expressions_agree() {
     // sum(a * (1 - b)) exercises destructive distributivity handling.
-    let mut db = db_with(
-        (1..200).collect(),
-        (1..200).map(|i| (i % 10)).collect(),
-    );
+    let mut db = db_with((1..200).collect(), (1..200).map(|i| i % 10).collect());
     db.bwdecompose("t", "a", 24).unwrap();
     let plan = LogicalPlan::scan("t")
         .filter(Predicate::Cmp {
@@ -226,11 +223,13 @@ fn arithmetic_expressions_agree() {
             vec![],
             vec![AggExpr {
                 func: AggFunc::Sum,
-                arg: Some(ScalarExpr::col("a").binary(
-                    waste_not::core::plan::BinOp::Mul,
-                    ScalarExpr::lit(1i64)
-                        .binary(waste_not::core::plan::BinOp::Sub, ScalarExpr::col("b")),
-                )),
+                arg: Some(
+                    ScalarExpr::col("a").binary(
+                        waste_not::core::plan::BinOp::Mul,
+                        ScalarExpr::lit(1i64)
+                            .binary(waste_not::core::plan::BinOp::Sub, ScalarExpr::col("b")),
+                    ),
+                ),
                 alias: "s".into(),
             }],
         );

@@ -14,8 +14,11 @@ const QUERY: &str = "select count(lon) from trips \
 fn spatial_db(fixes: usize, capacity: u64) -> Database {
     let env = Env::with_device(DeviceSpec::gtx680().with_capacity(capacity));
     let mut db = Database::with_env(env);
-    db.create_table("trips", gen_trips(&SpatialConfig::fixes(fixes)).into_columns())
-        .unwrap();
+    db.create_table(
+        "trips",
+        gen_trips(&SpatialConfig::fixes(fixes)).into_columns(),
+    )
+    .unwrap();
     db
 }
 
@@ -53,7 +56,10 @@ fn oversized_data_oom_then_decompose_fits() {
     let r = db
         .bwdecompose_spec("trips", "lon", &DecompositionSpec::uncompressed(32))
         .and_then(|_| db.bwdecompose_spec("trips", "lat", &DecompositionSpec::uncompressed(32)));
-    assert!(matches!(r, Err(BwdError::DeviceOutOfMemory { .. })), "{r:?}");
+    assert!(
+        matches!(r, Err(BwdError::DeviceOutOfMemory { .. })),
+        "{r:?}"
+    );
     // ...while bit-packed 24-bit approximations fit,
     db.bwdecompose("trips", "lon", 24).unwrap();
     db.bwdecompose("trips", "lat", 24).unwrap();
@@ -121,7 +127,8 @@ fn throughput_runner_on_spatial_workload() {
         panic!()
     };
     let plan = db.bind(&plan, &Default::default()).unwrap();
-    let report = waste_not::engine::run_throughput(&mut db, &plan, &[1, 4, 16]).unwrap();
+    let report =
+        waste_not::sched::run_throughput(std::sync::Arc::new(db), &plan, &[1, 4, 16]).unwrap();
     assert!(report.cpu_parallel[2].1 > report.cpu_parallel[0].1);
     assert!(report.cumulative > report.cpu_parallel[2].1);
 }

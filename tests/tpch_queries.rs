@@ -14,7 +14,8 @@ fn tpch() -> Database {
     let mut db = Database::new();
     db.create_table("lineitem", gen_lineitem(&cfg).into_columns())
         .unwrap();
-    db.create_table("part", gen_part(&cfg).into_columns()).unwrap();
+    db.create_table("part", gen_part(&cfg).into_columns())
+        .unwrap();
     db.declare_fk("lineitem", "l_partkey", "part", "p_partkey")
         .unwrap();
     db
@@ -80,7 +81,11 @@ fn q1_equivalence_across_decompositions() {
     let (_, ar_space) = run_both(&mut db, q1);
     assert_eq!(classic, ar_space);
     // 3-4 (returnflag, linestatus) combinations exist.
-    assert!(classic.len() >= 3 && classic.len() <= 4, "{}", classic.len());
+    assert!(
+        classic.len() >= 3 && classic.len() <= 4,
+        "{}",
+        classic.len()
+    );
 }
 
 #[test]
@@ -128,16 +133,20 @@ fn dimension_predicate_in_where_clause() {
 #[test]
 fn space_constrained_uses_less_device_memory() {
     let mut db = tpch();
-    let stmt = parse("select count(*) from lineitem where l_shipdate >= date '1997-01-01'")
-        .unwrap();
+    let stmt =
+        parse("select count(*) from lineitem where l_shipdate >= date '1997-01-01'").unwrap();
     let BoundStatement::Query(p) = bind(&stmt, db.catalog()).unwrap() else {
         panic!()
     };
     let plan = db.bind(&p, &Default::default()).unwrap();
     db.auto_bind(&plan).unwrap();
     let resident_bytes = db.env().device.memory().used();
-    db.bwdecompose_spec("lineitem", "l_shipdate", &DecompositionSpec::with_device_bits(24))
-        .unwrap();
+    db.bwdecompose_spec(
+        "lineitem",
+        "l_shipdate",
+        &DecompositionSpec::with_device_bits(24),
+    )
+    .unwrap();
     let constrained_bytes = db.env().device.memory().used();
     assert!(
         constrained_bytes < resident_bytes,
