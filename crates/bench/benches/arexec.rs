@@ -1,0 +1,31 @@
+//! Wall-clock cost of the A&R pipeline across real-thread morsel counts:
+//! serial vs 2/4/8-morsel selection + grouped aggregation on a 1M-row
+//! micro table with host-resident residuals (the full refinement path).
+//! Same workload as the `BENCH_arexec.json` baseline
+//! (`figures -- bench-arexec`); results are bit-identical at every count,
+//! so the only thing that moves is time.
+
+use bwd_bench::arexec::{build_workload, run_once};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const N: usize = 1 << 20;
+
+fn bench_morsel_sweep(c: &mut Criterion) {
+    let (db, plan) = build_workload(N).expect("workload");
+    let serial = run_once(&db, &plan, 1).expect("serial run");
+    let mut g = c.benchmark_group("arexec_1m");
+    g.sample_size(10);
+    for morsels in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(morsels), &morsels, |b, &m| {
+            b.iter(|| {
+                let r = run_once(&db, &plan, m).expect("run");
+                assert_eq!(r.rows, serial.rows, "bit-identity violated at {m}");
+                black_box(r.survivors)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_morsel_sweep);
+criterion_main!(benches);

@@ -1,0 +1,271 @@
+//! Wall-clock benchmark of the morsel-parallel A&R pipeline.
+//!
+//! Unlike the `figures` output (simulated platform seconds), this measures
+//! what the real Rust code costs: one A&R selection + grouped aggregation
+//! over an N-row micro table whose columns are decomposed with 8 residual
+//! bits, so the full host refinement pipeline (candidate refinement,
+//! projection gathers, grouping, aggregation) runs — the path the
+//! `ArExecOptions::morsels` knob parallelizes. Every parallel run is
+//! checked bit-identical (rows, survivors, simulated costs) against the
+//! serial run before its timing is reported.
+//!
+//! `BENCH_arexec.json` (written by `figures -- bench-arexec`) is the
+//! committed baseline future PRs compare against; `benches/arexec.rs`
+//! runs the same workload under the criterion-style harness.
+
+use crate::report::Figure;
+use bwd_core::plan::{AggExpr, AggFunc, ArPlan, BinOp, LogicalPlan, Predicate, ScalarExpr as E};
+use bwd_data::micro;
+use bwd_engine::{ArExecOptions, Database, ExecMode};
+use bwd_storage::Column;
+use bwd_types::{Result, Value};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Fraction of rows the selection keeps.
+pub const SELECTIVITY: f64 = 0.10;
+/// Distinct grouping keys.
+pub const GROUPS: u64 = 32;
+/// Morsel counts swept by the baseline.
+pub const MORSEL_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured morsel count.
+#[derive(Debug, Clone)]
+pub struct MorselSample {
+    /// Real threads used.
+    pub morsels: usize,
+    /// Mean wall-clock seconds per query over the timed repetitions.
+    pub mean_seconds: f64,
+    /// Best (minimum) wall-clock seconds observed.
+    pub best_seconds: f64,
+    /// `serial best / this best` — the wall-clock speedup.
+    pub speedup_vs_serial: f64,
+}
+
+/// The full baseline: workload shape, environment, and per-morsel timings.
+#[derive(Debug, Clone)]
+pub struct ArexecReport {
+    /// Micro-table rows.
+    pub rows: usize,
+    /// Selection selectivity (fraction).
+    pub selectivity: f64,
+    /// Grouping-key cardinality.
+    pub groups: u64,
+    /// Available hardware parallelism on the measuring machine — morsel
+    /// speedups are bounded by this; a 1-core container reports ~1x.
+    pub host_parallelism: usize,
+    /// Simulated platform seconds of one run (identical at every morsel
+    /// count by construction).
+    pub simulated_seconds: f64,
+    /// Surviving tuples of the selection.
+    pub survivors: usize,
+    /// Whether every parallel run matched the serial rows, survivors and
+    /// simulated costs exactly.
+    pub bit_identical: bool,
+    /// Timings, one per swept morsel count.
+    pub samples: Vec<MorselSample>,
+}
+
+/// Build the benchmark database and plan: `n` rows, decomposed 24/8 so
+/// refinement really runs on the host.
+pub fn build_workload(n: usize) -> Result<(Database, ArPlan)> {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        vec![
+            ("a".into(), micro::unique_shuffled_column(n, 0x000F_ACE5)),
+            (
+                "g".into(),
+                micro::grouping_keys_column(n, GROUPS, 0x000F_ACE6),
+            ),
+            (
+                "v".into(),
+                Column::from_i32((0..n as i32).map(|i| (i * 13) % 9973).collect()),
+            ),
+        ],
+    )?;
+    db.bwdecompose("t", "a", 24)?;
+    db.bwdecompose("t", "g", 24)?;
+    db.bwdecompose("t", "v", 24)?;
+    let bound = micro::selectivity_bound(n, SELECTIVITY);
+    let logical = LogicalPlan::scan("t")
+        .filter(Predicate::Between {
+            column: "a".into(),
+            lo: Value::Int(0),
+            hi: Value::Int(bound - 1),
+        })
+        .aggregate(
+            vec!["g".into()],
+            vec![
+                AggExpr {
+                    func: AggFunc::Count,
+                    arg: None,
+                    alias: "n".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(E::col("v").binary(BinOp::Mul, E::lit(3i64))),
+                    alias: "s".into(),
+                },
+            ],
+        );
+    let plan = db.bind(&logical, &Default::default())?;
+    Ok((db, plan))
+}
+
+/// Run one A&R query at `morsels` real threads.
+pub fn run_once(db: &Database, plan: &ArPlan, morsels: usize) -> Result<bwd_engine::QueryResult> {
+    db.run_bound(
+        plan,
+        ExecMode::ApproxRefineWith(ArExecOptions {
+            morsels,
+            ..Default::default()
+        }),
+    )
+}
+
+/// Measure the morsel sweep: `reps` timed runs per count after one
+/// warm-up, verifying bit-identity against the serial run throughout.
+pub fn measure(n: usize, reps: usize) -> Result<ArexecReport> {
+    let (db, plan) = build_workload(n)?;
+    let serial = run_once(&db, &plan, 1)?;
+    let mut bit_identical = true;
+    let mut samples = Vec::new();
+    let mut serial_best = f64::INFINITY;
+    for &m in &MORSEL_SWEEP {
+        let _ = run_once(&db, &plan, m)?; // warm-up
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            let r = run_once(&db, &plan, m)?;
+            let dt = t0.elapsed().as_secs_f64();
+            best = best.min(dt);
+            total += dt;
+            bit_identical &= r.rows == serial.rows
+                && r.survivors == serial.survivors
+                && r.breakdown == serial.breakdown
+                && r.traffic == serial.traffic;
+        }
+        if m == 1 {
+            serial_best = best;
+        }
+        samples.push(MorselSample {
+            morsels: m,
+            mean_seconds: total / reps.max(1) as f64,
+            best_seconds: best,
+            speedup_vs_serial: serial_best / best,
+        });
+    }
+    Ok(ArexecReport {
+        rows: n,
+        selectivity: SELECTIVITY,
+        groups: GROUPS,
+        host_parallelism: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        simulated_seconds: serial.breakdown.total(),
+        survivors: serial.survivors,
+        bit_identical,
+        samples,
+    })
+}
+
+/// Render the sweep as a console figure.
+pub fn figure(report: &ArexecReport) -> Figure {
+    let mut fig = Figure::new(
+        "bench-arexec",
+        format!(
+            "A&R morsel-parallel wall clock ({} rows, {:.0}% selectivity, {} groups)",
+            report.rows,
+            report.selectivity * 100.0,
+            report.groups
+        ),
+        "morsels",
+        vec!["mean wall", "best wall"],
+    );
+    for s in &report.samples {
+        fig.push(s.morsels.to_string(), vec![s.mean_seconds, s.best_seconds]);
+    }
+    fig.note(format!(
+        "speedup vs serial (best): {}",
+        report
+            .samples
+            .iter()
+            .map(|s| format!(
+                "{}x@{}m",
+                (s.speedup_vs_serial * 100.0).round() / 100.0,
+                s.morsels
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    fig.note(format!(
+        "host parallelism: {} threads; simulated platform time: {:.4} s (identical at every morsel count)",
+        report.host_parallelism, report.simulated_seconds
+    ));
+    fig.note(format!(
+        "bit-identical across morsel counts: {}",
+        report.bit_identical
+    ));
+    if report.host_parallelism == 1 {
+        fig.note("single-core machine: real-thread speedup cannot materialize here");
+    }
+    fig
+}
+
+/// Serialize the baseline as JSON (hand-rolled; no serde in this
+/// environment).
+pub fn to_json(report: &ArexecReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"arexec_morsels\",");
+    let _ = writeln!(s, "  \"rows\": {},", report.rows);
+    let _ = writeln!(s, "  \"selectivity\": {},", report.selectivity);
+    let _ = writeln!(s, "  \"groups\": {},", report.groups);
+    let _ = writeln!(s, "  \"host_parallelism\": {},", report.host_parallelism);
+    let _ = writeln!(
+        s,
+        "  \"simulated_seconds\": {:.9},",
+        report.simulated_seconds
+    );
+    let _ = writeln!(s, "  \"survivors\": {},", report.survivors);
+    let _ = writeln!(s, "  \"bit_identical\": {},", report.bit_identical);
+    let _ = writeln!(s, "  \"samples\": [");
+    for (i, m) in report.samples.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"morsels\": {}, \"mean_seconds\": {:.9}, \"best_seconds\": {:.9}, \"speedup_vs_serial\": {:.4}}}{}",
+            m.morsels,
+            m.mean_seconds,
+            m.best_seconds,
+            m.speedup_vs_serial,
+            if i + 1 < report.samples.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Write `BENCH_arexec.json` at `path`.
+pub fn write_json(report: &ArexecReport, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_json(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_bit_identical_and_serializes() {
+        let report = measure(20_000, 1).unwrap();
+        assert!(report.bit_identical);
+        assert_eq!(report.samples.len(), MORSEL_SWEEP.len());
+        assert!(report.survivors > 0);
+        let json = to_json(&report);
+        assert!(json.contains("\"bench\": \"arexec_morsels\""));
+        assert!(json.contains("\"bit_identical\": true"));
+        let fig = figure(&report);
+        assert_eq!(fig.rows.len(), MORSEL_SWEEP.len());
+    }
+}

@@ -6,7 +6,13 @@
 //!
 //!   ids: all (default) | fig1 | fig8a | fig8b | fig8c | fig8d | fig8e
 //!        | fig8f | fig9 | tab1 | fig10a | fig10b | fig10c | fig11
+//!        | bench-arexec
 //! ```
+//!
+//! `bench-arexec` measures the morsel-parallel A&R pipeline's *wall
+//! clock* (not simulated time) on a 1M-row micro table (override with
+//! `--scale-micro`) and writes the `BENCH_arexec.json` baseline into the
+//! current directory. It is not part of `all`.
 //!
 //! Defaults are laptop-friendly scales; `--full` switches to the paper's
 //! scales (100 M microbenchmark tuples, 250 M GPS fixes, TPC-H SF-10 —
@@ -22,6 +28,7 @@ use std::process::ExitCode;
 struct Args {
     ids: Vec<String>,
     micro_n: usize,
+    micro_explicit: bool,
     scale: MacroScale,
     csv: Option<PathBuf>,
 }
@@ -30,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         ids: Vec::new(),
         micro_n: 4_000_000,
+        micro_explicit: false,
         scale: MacroScale::default(),
         csv: None,
     };
@@ -45,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--scale-micro expects a number")?;
+                args.micro_explicit = true;
             }
             "--scale-spatial" => {
                 args.scale.spatial_fixes = it
@@ -134,6 +143,30 @@ fn main() -> ExitCode {
             "fig11" => evaluation::fig11(args.scale.tpch_sf)
                 .map(|f| vec![f])
                 .map_err(|e| e.to_string()),
+            "bench-arexec" => {
+                // Wall-clock baseline: defaults to the 1M-row workload the
+                // committed BENCH_arexec.json records.
+                let n = if args.micro_explicit {
+                    args.micro_n
+                } else {
+                    1 << 20
+                };
+                match bwd_bench::arexec::measure(n, 3) {
+                    Ok(report) => {
+                        let path = std::path::Path::new("BENCH_arexec.json");
+                        match bwd_bench::arexec::write_json(&report, path) {
+                            Ok(()) => eprintln!("wrote {}", path.display()),
+                            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+                        }
+                        if !report.bit_identical {
+                            eprintln!("bench-arexec: morsel runs were NOT bit-identical");
+                            return ExitCode::FAILURE;
+                        }
+                        Ok(vec![bwd_bench::arexec::figure(&report)])
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            }
             other => Err(format!("unknown figure id {other}")),
         };
         match result {

@@ -4,11 +4,14 @@
 //! * [`micro`] — Fig 8a–8f operator microbenchmarks;
 //! * [`evaluation`] — Fig 9 (Table I spatial workload), Fig 10a–c (TPC-H
 //!   Q1/Q6/Q14), Fig 11 (multi-stream throughput), Fig 1 (motivation);
+//! * [`arexec`] — wall-clock baseline of the morsel-parallel A&R pipeline
+//!   (`figures -- bench-arexec` writes `BENCH_arexec.json`);
 //! * [`report`] — table rendering and CSV output.
 //!
 //! Run `cargo run --release -p bwd-bench --bin figures -- all` (or a
 //! single figure id). Criterion microbenches live under `benches/`.
 
+pub mod arexec;
 pub mod evaluation;
 pub mod micro;
 pub mod report;

@@ -142,10 +142,6 @@ pub fn fk_project_refine(
     charge_download: bool,
     ledger: &mut CostLedger,
 ) -> Result<Vec<i64>> {
-    if charge_download {
-        let bytes = (approx_vals.len() as u64 * dim_col.meta().stored_width() as u64).div_ceil(8);
-        env.charge_download("join.fk.refine.download", bytes, ledger);
-    }
     let mut out = Vec::with_capacity(survivors.len());
     translucent_join_with(
         cand_oids,
@@ -161,22 +157,48 @@ pub fn fk_project_refine(
             );
         },
     )?;
+    charge_fk_project_refine(
+        env,
+        dim_col,
+        cand_oids.len(),
+        survivors.len(),
+        charge_download,
+        ledger,
+    );
+    Ok(out)
+}
+
+/// The simulated cost of an FK-projective refinement over `n_cands`
+/// candidates and `n_survivors` survivors. Split out so a morsel-parallel
+/// executor that runs the translucent merge itself charges exactly what
+/// [`fk_project_refine`] would.
+pub fn charge_fk_project_refine(
+    env: &Env,
+    dim_col: &BoundColumn,
+    n_cands: usize,
+    n_survivors: usize,
+    charge_download: bool,
+    ledger: &mut CostLedger,
+) {
+    if charge_download {
+        let bytes = (n_cands as u64 * dim_col.meta().stored_width() as u64).div_ceil(8);
+        env.charge_download("join.fk.refine.download", bytes, ledger);
+    }
     if dim_col.meta().fully_device_resident() {
         env.charge_host_scan(
             "join.fk.refine.decode",
-            survivors.len() as u64 * 4,
-            survivors.len() as u64,
+            n_survivors as u64 * 4,
+            n_survivors as u64,
             ledger,
         );
     } else {
         env.charge_host_scattered(
             "join.fk.refine",
-            dim_col.residual_access_bytes(survivors.len()) + survivors.len() as u64 * 4,
-            survivors.len() as u64 * crate::ops::REFINE_OPS_PER_TUPLE,
+            dim_col.residual_access_bytes(n_survivors) + n_survivors as u64 * 4,
+            n_survivors as u64 * crate::ops::REFINE_OPS_PER_TUPLE,
             ledger,
         );
     }
-    Ok(out)
 }
 
 /// Approximate theta join: nested loops over granule *intervals*; a pair

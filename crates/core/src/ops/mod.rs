@@ -31,7 +31,10 @@ pub use aggregate::{
 };
 pub use group::{group_approx, group_refine, RefinedGroups};
 pub use join::{
-    fk_project_approx, fk_project_refine, theta_join_approx, theta_join_refine, FkIndex,
+    charge_fk_project_refine, fk_project_approx, fk_project_refine, theta_join_approx,
+    theta_join_refine, FkIndex,
 };
-pub use project::{decode_resident, project_approx, project_ar, project_refine};
+pub use project::{
+    charge_project_refine, decode_resident, project_approx, project_ar, project_refine,
+};
 pub use select::{select_approx, select_approx_on, select_ar, select_refine, Refined};

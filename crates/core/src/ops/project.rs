@@ -48,10 +48,6 @@ pub fn project_refine(
     charge_download: bool,
     ledger: &mut CostLedger,
 ) -> Result<Vec<i64>> {
-    if charge_download {
-        let bytes = (approx_vals.len() as u64 * col.meta().stored_width() as u64).div_ceil(8);
-        env.charge_download("project.refine.download", bytes, ledger);
-    }
     let mut out = Vec::with_capacity(survivors.len());
     translucent_join_with(
         cand_oids,
@@ -62,25 +58,51 @@ pub fn project_refine(
             out.push(col.reconstruct_with(survivors[bi], stored));
         },
     )?;
-    let merge_bytes = cand_oids.len() as u64 * 4;
+    charge_project_refine(
+        env,
+        col,
+        cand_oids.len(),
+        survivors.len(),
+        charge_download,
+        ledger,
+    );
+    Ok(out)
+}
+
+/// The simulated cost of a projection refinement over `n_cands` candidates
+/// and `n_survivors` survivors. Split out so a morsel-parallel executor
+/// that runs the translucent merge itself charges exactly what
+/// [`project_refine`] would.
+pub fn charge_project_refine(
+    env: &Env,
+    col: &BoundColumn,
+    n_cands: usize,
+    n_survivors: usize,
+    charge_download: bool,
+    ledger: &mut CostLedger,
+) {
+    if charge_download {
+        let bytes = (n_cands as u64 * col.meta().stored_width() as u64).div_ceil(8);
+        env.charge_download("project.refine.download", bytes, ledger);
+    }
+    let merge_bytes = n_cands as u64 * 4;
     if col.meta().fully_device_resident() {
         // No residual exists: the "refinement" is the translucent merge
         // plus a decode per survivor — a streaming pass.
         env.charge_host_scan(
             "project.refine.decode",
             merge_bytes,
-            survivors.len() as u64,
+            n_survivors as u64,
             ledger,
         );
     } else {
         env.charge_host_scattered(
             "project.refine",
-            col.residual_access_bytes(survivors.len()) + merge_bytes,
-            survivors.len() as u64 * crate::ops::REFINE_OPS_PER_TUPLE,
+            col.residual_access_bytes(n_survivors) + merge_bytes,
+            n_survivors as u64 * crate::ops::REFINE_OPS_PER_TUPLE,
             ledger,
         );
     }
-    Ok(out)
 }
 
 /// Full A&R projection for survivors of a refined selection: approximate

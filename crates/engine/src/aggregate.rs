@@ -29,6 +29,40 @@ pub fn compute_aggregates(
     grouping: Option<&Grouping>,
     aggs: &[AggExpr],
 ) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+    compute_aggregates_morsel(block, grouping, aggs, 1)
+}
+
+// Accumulators per (group, aggregate).
+#[derive(Clone, Copy)]
+struct Acc {
+    sum: i128,
+    count: u64,
+    min: i128,
+    max: i128,
+    scale: u8,
+}
+
+const EMPTY_ACC: Acc = Acc {
+    sum: 0,
+    count: 0,
+    min: i128::MAX,
+    max: i128::MIN,
+    scale: 0,
+};
+
+/// [`compute_aggregates`] with the accumulation loop fanned out over
+/// `morsels` real OS threads on contiguous row partitions.
+///
+/// Results are **bit-identical** to the serial run: partial accumulators
+/// are exact (i128 sums are associative; min/max/count merge exactly; the
+/// decimal scale is a property of the expression, not the rows) and merge
+/// in deterministic partition order.
+pub fn compute_aggregates_morsel(
+    block: &RowBlock,
+    grouping: Option<&Grouping>,
+    aggs: &[AggExpr],
+    morsels: usize,
+) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
     let bound: Vec<(AggFunc, Option<BoundExpr>, &str)> = aggs
         .iter()
         .map(|a| {
@@ -47,39 +81,39 @@ pub fn compute_aggregates(
     let group_of =
         |row: usize| -> usize { grouping.map(|g| g.group_ids[row] as usize).unwrap_or(0) };
 
-    // Accumulators per (group, aggregate).
-    #[derive(Clone, Copy)]
-    struct Acc {
-        sum: i128,
-        count: u64,
-        min: i128,
-        max: i128,
-        scale: u8,
-    }
-    let empty = Acc {
-        sum: 0,
-        count: 0,
-        min: i128::MAX,
-        max: i128::MIN,
-        scale: 0,
-    };
-    let mut accs = vec![vec![empty; bound.len()]; n_groups];
-
-    for row in 0..block.len() {
-        let g = group_of(row);
-        for (ai, (func, be, _)) in bound.iter().enumerate() {
-            let acc = &mut accs[g][ai];
-            match (func, be) {
-                (AggFunc::Count, None) => acc.count += 1,
-                (_, Some(be)) => {
-                    let (v, s) = eval(be, block, row)?;
-                    acc.scale = s;
-                    acc.count += 1;
-                    acc.sum += v;
-                    acc.min = acc.min.min(v);
-                    acc.max = acc.max.max(v);
+    let ranges = crate::morsel::partition_ranges(block.len(), morsels);
+    let partials = crate::morsel::run_parts(&ranges, |_, r| -> Result<Vec<Vec<Acc>>> {
+        let mut accs = vec![vec![EMPTY_ACC; bound.len()]; n_groups];
+        for row in r {
+            let g = group_of(row);
+            for (ai, (func, be, _)) in bound.iter().enumerate() {
+                let acc = &mut accs[g][ai];
+                match (func, be) {
+                    (AggFunc::Count, None) => acc.count += 1,
+                    (_, Some(be)) => {
+                        let (v, s) = eval(be, block, row)?;
+                        acc.scale = s;
+                        acc.count += 1;
+                        acc.sum += v;
+                        acc.min = acc.min.min(v);
+                        acc.max = acc.max.max(v);
+                    }
+                    (_, None) => unreachable!("validated above"),
                 }
-                (_, None) => unreachable!("validated above"),
+            }
+        }
+        Ok(accs)
+    });
+
+    let mut accs = vec![vec![EMPTY_ACC; bound.len()]; n_groups];
+    for part in partials {
+        for (dst_group, src_group) in accs.iter_mut().zip(part?) {
+            for (dst, src) in dst_group.iter_mut().zip(src_group) {
+                dst.sum += src.sum;
+                dst.count += src.count;
+                dst.min = dst.min.min(src.min);
+                dst.max = dst.max.max(src.max);
+                dst.scale = dst.scale.max(src.scale);
             }
         }
     }
@@ -151,25 +185,44 @@ pub fn compute_projection(
     block: &RowBlock,
     exprs: &[(ScalarExpr, String)],
 ) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+    compute_projection_morsel(block, exprs, 1)
+}
+
+/// [`compute_projection`] with row evaluation fanned out over `morsels`
+/// real OS threads; partition outputs concatenate in partition order, so
+/// rows come back in the serial order.
+pub fn compute_projection_morsel(
+    block: &RowBlock,
+    exprs: &[(ScalarExpr, String)],
+    morsels: usize,
+) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
     let bound: Vec<BoundExpr> = exprs
         .iter()
         .map(|(e, _)| bind_expr(e, block))
         .collect::<Result<_>>()?;
     let columns: Vec<String> = exprs.iter().map(|(_, a)| a.clone()).collect();
-    let mut rows = Vec::with_capacity(block.len());
-    for row in 0..block.len() {
-        let mut out = Vec::with_capacity(bound.len());
-        for be in &bound {
-            let (v, s) = eval(be, block, row)?;
-            out.push(
-                AggValue {
-                    unscaled: v,
-                    scale: s,
-                }
-                .to_value(),
-            );
+    let ranges = crate::morsel::partition_ranges(block.len(), morsels);
+    let parts = crate::morsel::run_parts(&ranges, |_, r| -> Result<Vec<Vec<Value>>> {
+        let mut rows = Vec::with_capacity(r.len());
+        for row in r {
+            let mut out = Vec::with_capacity(bound.len());
+            for be in &bound {
+                let (v, s) = eval(be, block, row)?;
+                out.push(
+                    AggValue {
+                        unscaled: v,
+                        scale: s,
+                    }
+                    .to_value(),
+                );
+            }
+            rows.push(out);
         }
-        rows.push(out);
+        Ok(rows)
+    });
+    let mut rows = Vec::with_capacity(block.len());
+    for part in parts {
+        rows.extend(part?);
     }
     Ok((columns, rows))
 }

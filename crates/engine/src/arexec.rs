@@ -19,31 +19,54 @@
 //! The `pushdown: false` ablation interleaves refinement with the
 //! selection chain, paying a PCI-E round trip per predicate (§III-A).
 
-use crate::aggregate::{compute_aggregates, compute_projection, Grouping};
+use crate::aggregate::{compute_aggregates_morsel, compute_projection_morsel, Grouping};
 use crate::database::Database;
 use crate::eval::{payload_to_value, ColumnSlot, RowBlock};
+use crate::morsel::{
+    gather_stored, group_rows, partition_ranges, partition_ranges_min, refine_filter,
+    refine_payloads, run_parts, run_parts_mut, translucent_starts, ResidualSrc, ScratchPool,
+};
 use crate::result::{ApproxAnswer, QueryResult};
-use bwd_core::ops::join::{fk_project_approx, fk_project_refine, FkIndex};
+use bwd_core::ops::join::{charge_fk_project_refine, FkIndex};
+use bwd_core::ops::project::charge_project_refine;
 use bwd_core::plan::ArPlan;
 use bwd_core::relax::relax_to_stored;
-use bwd_core::translucent::translucent_join_with;
 use bwd_core::{BoundColumn, RangePred};
 use bwd_device::{Component, CostLedger, Env};
-use bwd_kernels::gather::{gather, gather_indirect};
+use bwd_kernels::gather::{charge_gather, charge_gather_indirect};
 use bwd_kernels::group::hash_group_multi;
 use bwd_kernels::scan::{
-    select_range, select_range_indirect, select_range_on, select_range_on_indirect,
+    cache_worthwhile, charge_select_indirect, charge_select_on, charge_select_on_indirect,
+    charge_select_scan, scan_block_ranges, select_range_indirect_partition,
+    select_range_on_indirect_partition, select_range_on_partition, select_range_partition,
 };
 use bwd_kernels::{Candidates, ScanOptions};
-use bwd_types::{BwdError, FxHashMap, Oid, Result, Value};
+use bwd_types::{BwdError, Oid, Result, Value};
 
 /// Execution options for the A&R path.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ArExecOptions {
     /// Device scan tuning.
     pub scan: ScanOptions,
     /// Capture the approximate answer after the approximation subplan.
     pub approximate_answer: bool,
+    /// Real OS threads fanning the refinement-side stages (approximate
+    /// selection partitions, selection refinement, projection gathers and
+    /// grouping/aggregation) out over contiguous candidate partitions.
+    /// `1` runs serially. Results are **bit-identical** and simulated
+    /// component costs are unchanged at every value — this knob only buys
+    /// wall-clock time on multi-core hosts.
+    pub morsels: usize,
+}
+
+impl Default for ArExecOptions {
+    fn default() -> Self {
+        ArExecOptions {
+            scan: ScanOptions::default(),
+            approximate_answer: false,
+            morsels: 1,
+        }
+    }
 }
 
 /// A resolved column reference.
@@ -72,6 +95,8 @@ pub fn run_ar_in(
     let mut ledger = CostLedger::new();
     let fact = db.catalog().table(&plan.table)?;
     let n = fact.len();
+    let morsels = opts.morsels.max(1);
+    let pool = ScratchPool::default();
     let fk: Option<&FkIndex> = match &plan.fk_join {
         Some(j) => Some(db.fk_index(&plan.table, &j.fact_key)?),
         None => None,
@@ -113,6 +138,8 @@ pub fn run_ar_in(
                 &sel.range,
                 sel_outputs.last(),
                 &opts.scan,
+                morsels,
+                &pool,
                 &mut ledger,
             )?;
             sel_outputs.push(cands);
@@ -147,9 +174,21 @@ pub fn run_ar_in(
                 &sel.range,
                 input.as_ref(),
                 &opts.scan,
+                morsels,
+                &pool,
                 &mut ledger,
             )?;
-            let refined = refine_selection(env, &c, fk, &cands, None, &sel.range, &mut ledger)?;
+            let refined = refine_selection(
+                env,
+                &c,
+                fk,
+                &cands,
+                None,
+                &sel.range,
+                morsels,
+                &pool,
+                &mut ledger,
+            )?;
             surv = Some(refined);
             sel_outputs.push(cands);
         }
@@ -240,6 +279,8 @@ pub fn run_ar_in(
                 &sel_outputs[i],
                 surv.as_deref(),
                 &sel.range,
+                morsels,
+                &pool,
                 &mut ledger,
             )?;
             surv = Some(refined);
@@ -252,13 +293,8 @@ pub fn run_ar_in(
     );
 
     let (block, grouping) = if all_resident {
-        build_device_block(env, &needed_cols, fk, &final_cands, &mut ledger)?.with_grouping(
-            env,
-            plan,
-            &group_cols,
-            device_group.as_ref(),
-            &final_cands,
-        )?
+        build_device_block(env, &needed_cols, fk, &final_cands, morsels, &mut ledger)?
+            .with_grouping(env, plan, &group_cols, device_group.as_ref(), &final_cands)?
     } else {
         let surv_slice: Vec<Oid> = match &survivors {
             Some(s) => s.clone(),
@@ -270,9 +306,10 @@ pub fn run_ar_in(
             fk,
             &final_cands,
             &surv_slice,
+            morsels,
             &mut ledger,
         )?;
-        let grouping = host_grouping(env, plan, &block, &mut ledger)?;
+        let grouping = host_grouping(env, plan, &block, morsels, &pool, &mut ledger)?;
         (block, grouping)
     };
 
@@ -328,9 +365,9 @@ pub fn run_ar_in(
     ledger.charge(agg_component, "aggregate.eval", t_agg, 0);
 
     let (columns, rows) = if !plan.aggs.is_empty() {
-        compute_aggregates(&block, grouping.as_ref(), &plan.aggs)?
+        compute_aggregates_morsel(&block, grouping.as_ref(), &plan.aggs, morsels)?
     } else {
-        compute_projection(&block, &plan.project)?
+        compute_projection_morsel(&block, &plan.project, morsels)?
     };
     if all_resident {
         // Per-group results cross the bus (tiny).
@@ -352,7 +389,15 @@ pub fn run_ar_in(
 }
 
 /// One approximate selection step (full scan / chained, direct / through
-/// the FK link).
+/// the FK link), fanned out over `morsels` real threads.
+///
+/// Full scans distribute contiguous chunks of the simulated thread-block
+/// sequence (in its bit-reversed emission order); chained filters
+/// distribute contiguous candidate partitions. Concatenating worker
+/// outputs in chunk order reproduces the serial kernel's permutation byte
+/// for byte, and the cost is charged once from the merged totals via the
+/// kernels' own charge functions.
+#[allow(clippy::too_many_arguments)]
 fn approx_select_step(
     env: &Env,
     col: &ColRef<'_>,
@@ -360,30 +405,112 @@ fn approx_select_step(
     range: &RangePred,
     input: Option<&Candidates>,
     scan: &ScanOptions,
+    morsels: usize,
+    pool: &ScratchPool,
     ledger: &mut CostLedger,
 ) -> Result<Candidates> {
     let Some((lo, hi)) = relax_to_stored(col.bound.meta(), range) else {
         return Ok(Candidates::empty());
     };
     let arr = col.bound.approx();
-    Ok(match (input, col.is_dim) {
-        (None, false) => select_range(env, arr, lo, hi, scan, ledger),
-        (Some(c), false) => select_range_on(env, arr, c, lo, hi, ledger),
-        (None, true) => {
-            let fk = fk.ok_or_else(|| BwdError::Exec("dim predicate without FK".into()))?;
-            select_range_indirect(env, arr, fk.device(), lo, hi, scan, ledger)
+    let link = if col.is_dim {
+        Some(
+            fk.ok_or_else(|| BwdError::Exec("dim predicate without FK".into()))?
+                .device(),
+        )
+    } else {
+        None
+    };
+    let (oids, approx) = match input {
+        None => {
+            let blocks = scan_block_ranges(link.unwrap_or(arr).len(), scan);
+            let chunks = partition_ranges_min(blocks.len(), morsels, 1);
+            let outs = run_parts(&chunks, |_, chunk| {
+                let mut oids = pool.take_u32();
+                let mut vals = pool.take_u64();
+                for b in &blocks[chunk] {
+                    match link {
+                        None => select_range_partition(
+                            arr, b.start, b.end, lo, hi, &mut oids, &mut vals,
+                        ),
+                        Some(l) => select_range_indirect_partition(
+                            arr, l, b.start, b.end, lo, hi, &mut oids, &mut vals,
+                        ),
+                    }
+                }
+                (oids, vals)
+            });
+            let merged = merge_candidate_parts(outs, pool);
+            match link {
+                None => charge_select_scan(env, arr, merged.0.len(), scan, ledger),
+                Some(l) => charge_select_indirect(env, arr, l, ledger),
+            }
+            merged
         }
-        (Some(c), true) => {
-            let fk = fk.ok_or_else(|| BwdError::Exec("dim predicate without FK".into()))?;
-            select_range_on_indirect(env, arr, fk.device(), c, lo, hi, ledger)
+        Some(c) => {
+            let ranges = partition_ranges(c.oids.len(), morsels);
+            let cached = cache_worthwhile(c.len(), link.unwrap_or(arr).len());
+            let outs = run_parts(&ranges, |_, r| {
+                let mut oids = pool.take_u32();
+                let mut vals = pool.take_u64();
+                match link {
+                    None => select_range_on_partition(
+                        arr, &c.oids[r], lo, hi, cached, &mut oids, &mut vals,
+                    ),
+                    Some(l) => select_range_on_indirect_partition(
+                        arr, l, &c.oids[r], lo, hi, cached, &mut oids, &mut vals,
+                    ),
+                }
+                (oids, vals)
+            });
+            let merged = merge_candidate_parts(outs, pool);
+            match link {
+                None => charge_select_on(env, arr, c.len(), merged.0.len(), ledger),
+                Some(l) => charge_select_on_indirect(env, arr, l, c.len(), ledger),
+            }
+            merged
         }
-    })
+    };
+    let mut c = Candidates {
+        oids,
+        approx,
+        sorted: false,
+        dense: false,
+    };
+    c.refresh_flags();
+    Ok(c)
+}
+
+/// Concatenate per-worker candidate buffers in partition order, recycling
+/// the buffers.
+fn merge_candidate_parts(
+    mut outs: Vec<(Vec<Oid>, Vec<u64>)>,
+    pool: &ScratchPool,
+) -> (Vec<Oid>, Vec<u64>) {
+    if outs.len() == 1 {
+        // Single partition: hand the (pool-born) buffers to the caller
+        // instead of copying them.
+        return outs.pop().unwrap();
+    }
+    let total: usize = outs.iter().map(|(o, _)| o.len()).sum();
+    let mut oids = Vec::with_capacity(total);
+    let mut vals = Vec::with_capacity(total);
+    for (o, v) in outs {
+        oids.extend_from_slice(&o);
+        vals.extend_from_slice(&v);
+        pool.put_u32(o);
+        pool.put_u64(v);
+    }
+    (oids, vals)
 }
 
 /// Refine one selection: download its approximation output, align the
 /// survivor subset (translucent join), reconstruct exact payloads via the
 /// residual (at the fact position, or the dimension position through the
-/// host FK index) and re-test the precise range.
+/// host FK index) and re-test the precise range — fanned out over
+/// `morsels` contiguous candidate partitions, with residual reads routed
+/// through the block-cached bulk decoder when the refined set is dense.
+#[allow(clippy::too_many_arguments)]
 fn refine_selection(
     env: &Env,
     col: &ColRef<'_>,
@@ -391,6 +518,8 @@ fn refine_selection(
     approx_out: &Candidates,
     survivors: Option<&[Oid]>,
     range: &RangePred,
+    morsels: usize,
+    pool: &ScratchPool,
     ledger: &mut CostLedger,
 ) -> Result<Vec<Oid>> {
     if col.bound.meta().fully_device_resident() {
@@ -407,45 +536,22 @@ fn refine_selection(
             ledger,
         );
     }
-    let meta = col.bound.meta();
-    let residual_of = |oid: Oid| -> u64 {
-        if meta.resbits() == 0 {
-            0
-        } else if col.is_dim {
-            let dim_row = fk.expect("dim refine requires FK").dim_row(oid);
-            col.bound.residual().get(dim_row as usize)
-        } else {
-            col.bound.residual().get(oid as usize)
-        }
-    };
-
-    let mut out: Vec<Oid> = Vec::new();
-    let refined_n;
-    match survivors {
-        None => {
-            refined_n = approx_out.len();
-            for (&oid, &stored) in approx_out.oids.iter().zip(&approx_out.approx) {
-                if range.test(meta.payload_from_parts(stored, residual_of(oid))) {
-                    out.push(oid);
-                }
-            }
-        }
-        Some(subset) => {
-            refined_n = subset.len();
-            translucent_join_with(
-                &approx_out.oids,
-                &approx_out.approx,
-                approx_out.dense.then_some(0),
-                subset,
-                |bi, stored| {
-                    let oid = subset[bi];
-                    if range.test(meta.payload_from_parts(stored, residual_of(oid))) {
-                        out.push(oid);
-                    }
-                },
-            )?;
-        }
-    }
+    let refined_n = survivors.map_or(approx_out.len(), <[Oid]>::len);
+    let residual = ResidualSrc::for_column(
+        col.bound,
+        col.is_dim,
+        fk.map(FkIndex::host_slice),
+        refined_n,
+    );
+    let out = refine_filter(
+        col.bound.meta(),
+        residual,
+        approx_out,
+        survivors,
+        range,
+        morsels,
+        pool,
+    )?;
     let merge_bytes = if survivors.is_some() {
         approx_out.len() as u64 * 4
     } else {
@@ -520,36 +626,54 @@ impl DeviceBlock {
 
 /// Materialize needed columns on the device path: gathers stay on the
 /// device (charged there), payloads are decoded exactly (no residuals
-/// exist), and nothing but final aggregates will cross the bus.
+/// exist), and nothing but final aggregates will cross the bus. Both the
+/// gather and the exact decode fan out over candidate partitions.
 fn build_device_block(
     env: &Env,
     needed: &[(String, ColRef<'_>)],
     fk: Option<&FkIndex>,
     cands: &Candidates,
+    morsels: usize,
     ledger: &mut CostLedger,
 ) -> Result<DeviceBlock> {
     let mut block = RowBlock::new(cands.len());
+    let ranges = partition_ranges(cands.len(), morsels);
     for (name, c) in needed {
+        let arr = c.bound.approx();
         let stored = if c.is_dim {
             let fk = fk.ok_or_else(|| BwdError::Exec("dim column without FK".into()))?;
-            gather_indirect(
+            let stored = gather_stored(arr, Some(fk.device()), cands, morsels);
+            charge_gather_indirect(
                 env,
-                c.bound.approx(),
+                arr,
                 fk.device(),
-                cands,
+                cands.len(),
                 "aggregate.gather",
                 ledger,
-            )
+            );
+            stored
         } else {
-            gather(env, c.bound.approx(), cands, "aggregate.gather", ledger)
+            let stored = gather_stored(arr, None, cands, morsels);
+            charge_gather(
+                env,
+                arr,
+                cands.dense,
+                cands.len(),
+                "aggregate.gather",
+                ledger,
+            );
+            stored
         };
         let meta = c.bound.meta();
+        let mut payloads = vec![0i64; stored.len()];
+        run_parts_mut(&mut payloads, &ranges, |_, r, chunk| {
+            for (slot, &s) in chunk.iter_mut().zip(&stored[r]) {
+                *slot = meta.payload_from_parts(s, 0);
+            }
+        });
         block.push_slot(ColumnSlot {
             name: name.clone(),
-            payloads: stored
-                .into_iter()
-                .map(|s| meta.payload_from_parts(s, 0))
-                .collect(),
+            payloads,
             dtype: c.dtype,
             dict: c.dict.clone(),
         });
@@ -558,50 +682,74 @@ fn build_device_block(
 }
 
 /// Materialize needed columns on the host path: approximate projections on
-/// the device, downloads, translucent refinement with residuals.
+/// the device, downloads, translucent refinement with residuals — every
+/// stage fanned out over contiguous candidate/survivor partitions. The
+/// translucent partition boundaries are located once and reused by every
+/// projected column (candidates and survivors are the same for all of
+/// them).
 fn build_host_block(
     env: &Env,
     needed: &[(String, ColRef<'_>)],
     fk: Option<&FkIndex>,
     cands: &Candidates,
     survivors: &[Oid],
+    morsels: usize,
     ledger: &mut CostLedger,
 ) -> Result<RowBlock> {
     let mut block = RowBlock::new(survivors.len());
+    if needed.is_empty() {
+        return Ok(block);
+    }
+    let ranges = partition_ranges(survivors.len(), morsels);
+    let starts = if cands.dense {
+        None
+    } else {
+        Some(translucent_starts(&cands.oids, survivors, &ranges)?)
+    };
     for (name, c) in needed {
-        let payloads = if c.is_dim {
-            let fk = fk.ok_or_else(|| BwdError::Exec("dim column without FK".into()))?;
-            let approx = fk_project_approx(env, fk, c.bound, cands, ledger);
-            fk_project_refine(
-                env,
-                fk,
-                c.bound,
-                &cands.oids,
-                cands.dense.then_some(0),
-                &approx,
-                survivors,
-                true,
-                ledger,
-            )?
+        let arr = c.bound.approx();
+        let residual = ResidualSrc::for_column(
+            c.bound,
+            c.is_dim,
+            fk.map(FkIndex::host_slice),
+            survivors.len(),
+        );
+        let link = if c.is_dim {
+            Some(
+                fk.ok_or_else(|| BwdError::Exec("dim column without FK".into()))?
+                    .device(),
+            )
         } else {
-            let approx = gather(
+            None
+        };
+        let approx = gather_stored(arr, link, cands, morsels);
+        match link {
+            None => charge_gather(
                 env,
-                c.bound.approx(),
-                cands,
+                arr,
+                cands.dense,
+                cands.len(),
                 "project.approx.gather",
                 ledger,
-            );
-            bwd_core::ops::project::project_refine(
-                env,
-                c.bound,
-                &cands.oids,
-                cands.dense.then_some(0),
-                &approx,
-                survivors,
-                true,
-                ledger,
-            )?
-        };
+            ),
+            Some(l) => charge_gather_indirect(env, arr, l, cands.len(), "join.fk.approx", ledger),
+        }
+        // The refinement consumes the approximate projection positionally
+        // aligned with the candidate list.
+        let payloads = refine_payloads(
+            c.bound.meta(),
+            residual,
+            &cands.oids,
+            &approx,
+            survivors,
+            &ranges,
+            starts.as_deref(),
+        )?;
+        if c.is_dim {
+            charge_fk_project_refine(env, c.bound, cands.len(), survivors.len(), true, ledger);
+        } else {
+            charge_project_refine(env, c.bound, cands.len(), survivors.len(), true, ledger);
+        }
         block.push_slot(ColumnSlot {
             name: name.clone(),
             payloads,
@@ -613,11 +761,14 @@ fn build_host_block(
 }
 
 /// Exact host grouping over materialized key slots (used whenever the
-/// device pre-grouping is unavailable or unusable).
+/// device pre-grouping is unavailable or unusable), morsel-parallel with
+/// thread-local tables merged in partition order.
 fn host_grouping(
     env: &Env,
     plan: &ArPlan,
     block: &RowBlock,
+    morsels: usize,
+    pool: &ScratchPool,
     ledger: &mut CostLedger,
 ) -> Result<Option<Grouping>> {
     if plan.group_by.is_empty() {
@@ -628,27 +779,25 @@ fn host_grouping(
         .iter()
         .map(|g| block.slot_index(g))
         .collect::<Result<_>>()?;
-    let mut table: FxHashMap<Vec<i64>, u32> = FxHashMap::default();
-    let mut group_ids = Vec::with_capacity(block.len());
-    let mut group_keys: Vec<Vec<Value>> = Vec::new();
-    for row in 0..block.len() {
-        let key: Vec<i64> = slots.iter().map(|&s| block.slot(s).payloads[row]).collect();
-        let next = group_keys.len() as u32;
-        let id = *table.entry(key.clone()).or_insert_with(|| {
-            group_keys.push(
-                slots
-                    .iter()
-                    .zip(&key)
-                    .map(|(&s, &p)| {
-                        let slot = block.slot(s);
-                        payload_to_value(p, slot.dtype, slot.dict.as_deref())
-                    })
-                    .collect(),
-            );
-            next
-        });
-        group_ids.push(id);
-    }
+    let key_cols: Vec<&[i64]> = slots
+        .iter()
+        .map(|&s| block.slot(s).payloads.as_slice())
+        .collect();
+    let grouped = group_rows(&key_cols, morsels, pool);
+    let group_keys: Vec<Vec<Value>> = grouped
+        .keys
+        .iter()
+        .map(|key| {
+            slots
+                .iter()
+                .zip(key)
+                .map(|(&s, &p)| {
+                    let slot = block.slot(s);
+                    payload_to_value(p, slot.dtype, slot.dict.as_deref())
+                })
+                .collect()
+        })
+        .collect();
     env.charge_host_scan(
         "group.refine.host",
         block.len() as u64 * 8,
@@ -656,7 +805,7 @@ fn host_grouping(
         ledger,
     );
     Ok(Some(Grouping {
-        group_ids,
+        group_ids: grouped.ids,
         group_keys,
         key_names: plan.group_by.clone(),
     }))

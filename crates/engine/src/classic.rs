@@ -31,9 +31,7 @@ pub fn run_classic(
     run_classic_morsel(catalog, plan, fk_host, env, 1)
 }
 
-/// Don't bother spawning threads below this table size: the selection
-/// chain over a few thousand rows costs less than thread startup.
-const MIN_MORSEL_ROWS: usize = 4096;
+use crate::morsel::{partition_ranges, run_parts};
 
 /// [`run_classic`] with the selection chain executed morsel-parallel on
 /// `morsels` real OS threads over contiguous row partitions.
@@ -116,25 +114,11 @@ pub fn run_classic_morsel(
         (surv.unwrap_or_default(), counts)
     };
 
-    let parts = morsels.clamp(1, n.max(1));
     let (survivors, stage_counts): (Option<Vec<Oid>>, Vec<u64>) = if plan.selections.is_empty() {
         (None, Vec::new())
-    } else if parts == 1 || n < MIN_MORSEL_ROWS {
-        let (s, c) = chain(0, n as Oid);
-        (Some(s), c)
     } else {
-        let step = n.div_ceil(parts);
-        let outputs: Vec<(Vec<Oid>, Vec<u64>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..parts)
-                .map(|p| {
-                    let start = (p * step).min(n) as Oid;
-                    let end = ((p + 1) * step).min(n) as Oid;
-                    let chain = &chain;
-                    scope.spawn(move || chain(start, end))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+        let ranges = partition_ranges(n, morsels);
+        let outputs = run_parts(&ranges, |_, r| chain(r.start as Oid, r.end as Oid));
         let mut merged = Vec::new();
         let mut totals = vec![0u64; plan.selections.len()];
         for (part_surv, part_counts) in outputs {

@@ -242,8 +242,11 @@ impl Database {
     /// This is the re-entrant entry point of the concurrent scheduler:
     /// `&self` only, the environment override carries the per-session
     /// host-thread allocation (the shared `env()` is not mutated), and
-    /// classic-pipe executions fan the selection chain out over `morsels`
-    /// OS threads (results stay bit-identical to the serial run).
+    /// both pipes fan their hot loops out over `morsels` OS threads — the
+    /// classic selection chain, and the A&R approximation/refinement
+    /// stages (results stay bit-identical to the serial run in both).
+    /// `ExecMode::ApproxRefineWith` carries its own explicit
+    /// [`ArExecOptions::morsels`], which wins over the `morsels` argument.
     pub fn run_bound_in(
         &self,
         plan: &ArPlan,
@@ -266,7 +269,11 @@ impl Database {
                 )
             }
             ExecMode::ApproxRefine => {
-                crate::arexec::run_ar_in(self, plan, &ArExecOptions::default(), env)
+                let opts = ArExecOptions {
+                    morsels,
+                    ..ArExecOptions::default()
+                };
+                crate::arexec::run_ar_in(self, plan, &opts, env)
             }
             ExecMode::ApproxRefineWith(opts) => crate::arexec::run_ar_in(self, plan, &opts, env),
         }

@@ -20,6 +20,7 @@ pub mod catalog;
 pub mod classic;
 pub mod database;
 pub mod eval;
+pub(crate) mod morsel;
 pub mod result;
 
 pub use arexec::{run_ar, run_ar_in, ArExecOptions};

@@ -1,0 +1,528 @@
+//! Morsel-parallel execution helpers for the A&R host path.
+//!
+//! The classic pipe fans its selection chain out in `classic.rs`; this
+//! module provides the same capability to the refinement side of the A&R
+//! executor: contiguous candidate partitions run on real OS threads, and
+//! partition outputs merge in deterministic partition order, so results
+//! are **bit-identical** to the serial run at every morsel count and the
+//! simulated component costs (charged once from merged totals by the
+//! caller) are unchanged.
+//!
+//! Three building blocks:
+//!
+//! * [`partition_ranges`] / [`run_parts`] / [`run_parts_mut`] — contiguous
+//!   range splitting and scoped-thread fan-out;
+//! * [`ScratchPool`] — per-query recycled buffers, so the parallel path
+//!   allocates zero intermediate vectors per morsel in steady state;
+//! * the drivers ([`refine_filter`], [`refine_payloads`],
+//!   [`gather_stored`], [`group_rows`]) — one per parallelized refinement
+//!   stage, each built on the translucent-join partitioning below.
+//!
+//! # Partitioning a translucent join
+//!
+//! The translucent join's cursor merge looks inherently serial: worker
+//! `p`'s start position on the candidate (superset) side depends on how
+//! far the previous partitions advanced. But positions are monotone under
+//! the shared permutation, so a single *comparison-only* pre-pass
+//! ([`translucent_starts`]) locates each partition's first survivor in the
+//! candidate list; every worker then merges its survivor slice against
+//! `cands[start..]` independently, doing all the expensive work (residual
+//! decode, reconstruction, predicate re-test) in parallel.
+
+use bwd_core::translucent::translucent_join_with;
+use bwd_core::RangePred;
+use bwd_kernels::scan::cache_worthwhile;
+use bwd_kernels::{Candidates, DeviceArray};
+use bwd_storage::{BitPackedVec, BlockDecoder, DecompositionMeta};
+use bwd_types::{BwdError, Oid, Result};
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Don't bother spawning threads below this many work items: the stage
+/// over a few thousand rows costs less than thread startup (mirrors
+/// `classic.rs`).
+pub(crate) const MIN_MORSEL_ROWS: usize = 4096;
+
+/// Split `0..len` into at most `morsels` contiguous non-empty ranges
+/// (a single range when `len` is below the morsel threshold).
+pub(crate) fn partition_ranges(len: usize, morsels: usize) -> Vec<Range<usize>> {
+    partition_ranges_min(len, morsels, MIN_MORSEL_ROWS)
+}
+
+/// [`partition_ranges`] with an explicit per-partition minimum size.
+pub(crate) fn partition_ranges_min(
+    len: usize,
+    morsels: usize,
+    min_items: usize,
+) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = morsels.clamp(1, len);
+    if parts == 1 || len < min_items {
+        #[allow(clippy::single_range_in_vec_init)] // one range, not a collected sequence
+        return vec![0..len];
+    }
+    let step = len.div_ceil(parts);
+    (0..parts)
+        .map(|p| (p * step).min(len)..((p + 1) * step).min(len))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Run `f(worker_index, range)` for every range, on real OS threads when
+/// there is more than one. The calling thread takes the last range itself
+/// (it would otherwise idle in the join), so `n` partitions cost `n - 1`
+/// spawns. Results come back in partition order.
+pub(crate) fn run_parts<T, F>(ranges: &[Range<usize>], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    if ranges.len() <= 1 {
+        return ranges.iter().map(|r| f(0, r.clone())).collect();
+    }
+    let last = ranges.len() - 1;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges[..last]
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let f = &f;
+                let r = r.clone();
+                scope.spawn(move || f(i, r))
+            })
+            .collect();
+        let tail = f(last, ranges[last].clone());
+        let mut outs: Vec<T> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        outs.push(tail);
+        outs
+    })
+}
+
+/// Like [`run_parts`], but additionally hands each worker the disjoint
+/// chunk of `out` matching its range, so positionally-aligned stages write
+/// straight into one shared output buffer (no per-partition vectors, no
+/// merge copy). `out.len()` must equal the partitioned length.
+pub(crate) fn run_parts_mut<T, R, F>(out: &mut [T], ranges: &[Range<usize>], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, Range<usize>, &mut [T]) -> R + Sync,
+{
+    debug_assert_eq!(out.len(), ranges.last().map_or(0, |r| r.end));
+    if ranges.len() <= 1 {
+        return ranges.iter().map(|r| f(0, r.clone(), out)).collect();
+    }
+    let mut chunks = Vec::with_capacity(ranges.len());
+    let mut rest = out;
+    for r in ranges {
+        let (chunk, tail) = rest.split_at_mut(r.len());
+        chunks.push(chunk);
+        rest = tail;
+    }
+    let last = ranges.len() - 1;
+    let last_chunk = chunks.pop().expect("one chunk per range");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges[..last]
+            .iter()
+            .enumerate()
+            .zip(chunks)
+            .map(|((i, r), chunk)| {
+                let f = &f;
+                let r = r.clone();
+                scope.spawn(move || f(i, r, chunk))
+            })
+            .collect();
+        let tail = f(last, ranges[last].clone(), last_chunk);
+        let mut outs: Vec<R> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        outs.push(tail);
+        outs
+    })
+}
+
+/// Recycled per-query scratch buffers. Workers `take` a buffer, fill it,
+/// and the merger `put`s it back cleared (capacity kept), so after the
+/// first stage warms the pool, the parallel path allocates no intermediate
+/// vectors per morsel.
+#[derive(Default)]
+pub(crate) struct ScratchPool {
+    u32s: Mutex<Vec<Vec<u32>>>,
+    u64s: Mutex<Vec<Vec<u64>>>,
+}
+
+impl ScratchPool {
+    pub(crate) fn take_u32(&self) -> Vec<u32> {
+        self.u32s.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    pub(crate) fn put_u32(&self, mut v: Vec<u32>) {
+        v.clear();
+        self.u32s.lock().unwrap().push(v);
+    }
+
+    pub(crate) fn take_u64(&self) -> Vec<u64> {
+        self.u64s.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    pub(crate) fn put_u64(&self, mut v: Vec<u64>) {
+        v.clear();
+        self.u64s.lock().unwrap().push(v);
+    }
+}
+
+/// Where a refinement finds a tuple's residual bits.
+#[derive(Clone, Copy)]
+pub(crate) enum ResidualSrc<'a> {
+    /// Fully device-resident column: no residual exists, every read is 0.
+    None,
+    /// Fact-positioned residual (`residual[oid]`). `cached` routes reads
+    /// through the block-cached bulk decoder — worth it when the refined
+    /// set is dense (candidate oids ascend within scan blocks).
+    Fact {
+        residual: &'a BitPackedVec,
+        cached: bool,
+    },
+    /// Dimension-positioned residual through the host FK index
+    /// (`residual[fk[oid]]`): arbitrary positions, never cached.
+    Dim {
+        residual: &'a BitPackedVec,
+        fk: &'a [u32],
+    },
+}
+
+impl<'a> ResidualSrc<'a> {
+    /// The source for `col`, with the cache heuristic driven by how many
+    /// of the column's rows the refinement will touch.
+    pub(crate) fn for_column(
+        col: &'a bwd_core::BoundColumn,
+        is_dim: bool,
+        fk: Option<&'a [u32]>,
+        expected_accesses: usize,
+    ) -> ResidualSrc<'a> {
+        if col.meta().resbits() == 0 {
+            ResidualSrc::None
+        } else if is_dim {
+            ResidualSrc::Dim {
+                residual: col.residual(),
+                fk: fk.expect("dim refinement requires a host FK index"),
+            }
+        } else {
+            ResidualSrc::Fact {
+                residual: col.residual(),
+                cached: cache_worthwhile(expected_accesses, col.len()),
+            }
+        }
+    }
+
+    /// A per-worker reader (each worker owns its decode cache).
+    fn reader(&self) -> ResidualReader<'a> {
+        match *self {
+            ResidualSrc::None => ResidualReader::Zero,
+            ResidualSrc::Fact {
+                residual,
+                cached: false,
+            } => ResidualReader::Direct(residual),
+            ResidualSrc::Fact {
+                residual,
+                cached: true,
+            } => ResidualReader::Cached(Box::new(BlockDecoder::new(residual))),
+            ResidualSrc::Dim { residual, fk } => ResidualReader::Dim(residual, fk),
+        }
+    }
+}
+
+enum ResidualReader<'a> {
+    Zero,
+    Direct(&'a BitPackedVec),
+    Cached(Box<BlockDecoder<'a>>),
+    Dim(&'a BitPackedVec, &'a [u32]),
+}
+
+impl ResidualReader<'_> {
+    #[inline]
+    fn get(&mut self, oid: Oid) -> u64 {
+        match self {
+            ResidualReader::Zero => 0,
+            ResidualReader::Direct(res) => res.get(oid as usize),
+            ResidualReader::Cached(dec) => dec.get(oid as usize),
+            ResidualReader::Dim(res, fk) => res.get(fk[oid as usize] as usize),
+        }
+    }
+}
+
+/// For each survivor partition, the candidate-side cursor start: a
+/// comparison-only serial merge that only looks at partition boundary
+/// elements' positions. Partition 0 always starts at 0.
+pub(crate) fn translucent_starts(
+    a_ids: &[Oid],
+    subset: &[Oid],
+    ranges: &[Range<usize>],
+) -> Result<Vec<usize>> {
+    let mut starts = Vec::with_capacity(ranges.len());
+    if ranges.is_empty() {
+        return Ok(starts);
+    }
+    starts.push(0);
+    let mut ia = 0usize;
+    for r in &ranges[1..] {
+        let target = subset[r.start];
+        while ia < a_ids.len() && a_ids[ia] != target {
+            ia += 1;
+        }
+        if ia == a_ids.len() {
+            return Err(BwdError::Exec(format!(
+                "translucent join: oid {target} not found — permutation precondition violated"
+            )));
+        }
+        starts.push(ia);
+    }
+    Ok(starts)
+}
+
+/// Morsel-parallel selection refinement: reconstruct each refined tuple's
+/// exact payload (approximation ‖ residual) and keep the oids passing the
+/// precise `range` test, in candidate order. `survivors` restricts the
+/// refinement to an earlier refinement's output (translucent join);
+/// `None` refines the full candidate list. Pure computation — the caller
+/// charges the simulated cost from the merged totals.
+pub(crate) fn refine_filter(
+    meta: &DecompositionMeta,
+    residual: ResidualSrc<'_>,
+    cands: &Candidates,
+    survivors: Option<&[Oid]>,
+    range: &RangePred,
+    morsels: usize,
+    pool: &ScratchPool,
+) -> Result<Vec<Oid>> {
+    match survivors {
+        None => {
+            // Aligned zip over (oids, approx); mirrors the serial loop's
+            // zip truncation to the shorter side.
+            let n = cands.oids.len().min(cands.approx.len());
+            let ranges = partition_ranges(n, morsels);
+            let outs = run_parts(&ranges, |_, r| {
+                let mut out = pool.take_u32();
+                let mut res = residual.reader();
+                for (&oid, &stored) in cands.oids[r.clone()].iter().zip(&cands.approx[r]) {
+                    if range.test(meta.payload_from_parts(stored, res.get(oid))) {
+                        out.push(oid);
+                    }
+                }
+                out
+            });
+            let mut merged = Vec::with_capacity(outs.iter().map(Vec::len).sum());
+            for out in outs {
+                merged.extend_from_slice(&out);
+                pool.put_u32(out);
+            }
+            Ok(merged)
+        }
+        Some(subset) => {
+            let ranges = partition_ranges(subset.len(), morsels);
+            let starts = if cands.dense {
+                None
+            } else {
+                Some(translucent_starts(&cands.oids, subset, &ranges)?)
+            };
+            let outs = run_parts(&ranges, |p, r| -> Result<Vec<Oid>> {
+                let mut out = pool.take_u32();
+                let mut res = residual.reader();
+                let sub = &subset[r];
+                let (a_ids, a_vals, base) = match &starts {
+                    None => (&cands.oids[..], &cands.approx[..], Some(0)),
+                    Some(s) => (&cands.oids[s[p]..], &cands.approx[s[p]..], None),
+                };
+                translucent_join_with(a_ids, a_vals, base, sub, |bi, stored| {
+                    let oid = sub[bi];
+                    if range.test(meta.payload_from_parts(stored, res.get(oid))) {
+                        out.push(oid);
+                    }
+                })?;
+                Ok(out)
+            });
+            let mut merged = Vec::new();
+            for out in outs {
+                let out = out?;
+                merged.extend_from_slice(&out);
+                pool.put_u32(out);
+            }
+            Ok(merged)
+        }
+    }
+}
+
+/// Morsel-parallel projection refinement: exact payloads for every
+/// survivor, positionally aligned with `survivors`, written straight into
+/// one shared output vector. `(a_ids, a_vals)` is the candidate list with
+/// this column's approximate projection (`a_vals` aligned with `a_ids`);
+/// `starts` must come from [`translucent_starts`] over the same
+/// `(a_ids, survivors, ranges)` triple (`None` when the candidates are
+/// dense). Pure computation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn refine_payloads(
+    meta: &DecompositionMeta,
+    residual: ResidualSrc<'_>,
+    a_ids: &[Oid],
+    a_vals: &[u64],
+    survivors: &[Oid],
+    ranges: &[Range<usize>],
+    starts: Option<&[usize]>,
+) -> Result<Vec<i64>> {
+    let mut out = vec![0i64; survivors.len()];
+    let results = run_parts_mut(&mut out, ranges, |p, r, chunk| -> Result<()> {
+        let mut res = residual.reader();
+        let sub = &survivors[r];
+        let (ids, vals, base) = match starts {
+            None => (a_ids, a_vals, Some(0)),
+            Some(s) => (&a_ids[s[p]..], &a_vals[s[p]..], None),
+        };
+        translucent_join_with(ids, vals, base, sub, |bi, stored| {
+            chunk[bi] = meta.payload_from_parts(stored, res.get(sub[bi]));
+        })?;
+        Ok(())
+    });
+    for r in results {
+        r?;
+    }
+    Ok(out)
+}
+
+/// Morsel-parallel positional gather of stored approximations — direct
+/// (`arr[oid]`) or through a device-resident FK link
+/// (`arr[link[oid]]`). Dense candidates bulk-decode their range directly.
+/// Pure computation; output aligns with the candidate list.
+pub(crate) fn gather_stored(
+    arr: &DeviceArray,
+    link: Option<&DeviceArray>,
+    cands: &Candidates,
+    morsels: usize,
+) -> Vec<u64> {
+    let n = cands.len();
+    let mut out = vec![0u64; n];
+    let ranges = partition_ranges(n, morsels);
+    run_parts_mut(&mut out, &ranges, |_, r, chunk| match link {
+        None if cands.dense => arr.data().unpack_range(r.start, chunk),
+        None => bwd_kernels::gather::gather_partition_into(arr, &cands.oids[r], chunk),
+        Some(l) => {
+            bwd_kernels::gather::gather_indirect_partition_into(arr, l, &cands.oids[r], chunk)
+        }
+    });
+    out
+}
+
+/// The output of [`group_rows`]: group ids per row plus the distinct key
+/// payload tuples in first-appearance order.
+pub(crate) struct GroupedRows {
+    pub ids: Vec<u32>,
+    pub keys: Vec<Vec<i64>>,
+}
+
+/// Morsel-parallel hash grouping over aligned key columns. Each worker
+/// groups its contiguous row partition locally; local tables merge in
+/// partition order, which reproduces the serial first-appearance group-id
+/// assignment exactly (a key first seen in partition `p` globally first
+/// appears there, and local id order is first-appearance order within the
+/// partition).
+pub(crate) fn group_rows(key_cols: &[&[i64]], morsels: usize, pool: &ScratchPool) -> GroupedRows {
+    let n = key_cols.first().map_or(0, |c| c.len());
+    let ranges = partition_ranges(n, morsels);
+    let locals = run_parts(&ranges, |_, r| {
+        let mut table: bwd_types::FxHashMap<Vec<i64>, u32> = bwd_types::FxHashMap::default();
+        let mut ids = pool.take_u32();
+        let mut keys: Vec<Vec<i64>> = Vec::new();
+        for row in r {
+            let key: Vec<i64> = key_cols.iter().map(|c| c[row]).collect();
+            let next = keys.len() as u32;
+            let id = *table.entry(key.clone()).or_insert_with(|| {
+                keys.push(key);
+                next
+            });
+            ids.push(id);
+        }
+        (ids, keys)
+    });
+    if locals.len() == 1 {
+        let (ids, keys) = locals.into_iter().next().unwrap();
+        // The single-partition ids buffer becomes the output; it is not
+        // returned to the pool (the pool only recycles within a query).
+        return GroupedRows { ids, keys };
+    }
+    let mut table: bwd_types::FxHashMap<Vec<i64>, u32> = bwd_types::FxHashMap::default();
+    let mut keys: Vec<Vec<i64>> = Vec::new();
+    let mut ids: Vec<u32> = Vec::with_capacity(n);
+    for (local_ids, local_keys) in locals {
+        let remap: Vec<u32> = local_keys
+            .into_iter()
+            .map(|key| {
+                let next = keys.len() as u32;
+                *table.entry(key.clone()).or_insert_with(|| {
+                    keys.push(key);
+                    next
+                })
+            })
+            .collect();
+        ids.extend(local_ids.iter().map(|&l| remap[l as usize]));
+        pool.put_u32(local_ids);
+    }
+    GroupedRows { ids, keys }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_ranges_cover_exactly() {
+        for (len, morsels) in [
+            (0usize, 4usize),
+            (10, 4),
+            (8192, 3),
+            (100_000, 8),
+            (5000, 1),
+        ] {
+            let ranges = partition_ranges(len, morsels);
+            let mut covered = 0;
+            for r in &ranges {
+                assert_eq!(r.start, covered, "contiguous");
+                assert!(!r.is_empty());
+                covered = r.end;
+            }
+            assert_eq!(covered, len, "len={len} morsels={morsels}");
+            assert!(ranges.len() <= morsels.max(1));
+        }
+        assert_eq!(partition_ranges(100, 4).len(), 1, "below morsel threshold");
+        assert_eq!(partition_ranges_min(100, 4, 1).len(), 4);
+    }
+
+    #[test]
+    fn translucent_starts_locates_partition_boundaries() {
+        // Shared-permutation superset/subset pair.
+        let a_ids: Vec<Oid> = vec![3, 9, 1, 5, 2, 7, 4, 8];
+        let subset: Vec<Oid> = vec![9, 5, 2, 8];
+        let ranges = vec![0..2, 2..4];
+        let starts = translucent_starts(&a_ids, &subset, &ranges).unwrap();
+        assert_eq!(starts, vec![0, 4]); // subset[2] == 2 sits at a_ids[4]
+                                        // A missing boundary oid is a permutation violation.
+        let bad = translucent_starts(&a_ids, &[9, 6], &[0..1, 1..2]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn group_rows_merge_matches_serial_first_seen_order() {
+        let keys: Vec<i64> = (0..10_000).map(|i| (i * 7) % 13).collect();
+        let cols: Vec<&[i64]> = vec![&keys];
+        let pool = ScratchPool::default();
+        let serial = group_rows(&cols, 1, &pool);
+        for morsels in [2, 3, 8, 64] {
+            let par = {
+                // Force real partitions even at this size.
+                let ranges = partition_ranges_min(keys.len(), morsels, 1);
+                assert!(ranges.len() > 1);
+                group_rows(&cols, morsels, &pool)
+            };
+            assert_eq!(par.ids, serial.ids, "morsels={morsels}");
+            assert_eq!(par.keys, serial.keys);
+        }
+    }
+}

@@ -24,22 +24,43 @@ pub fn gather(
     label: &str,
     ledger: &mut CostLedger,
 ) -> Vec<u64> {
-    let out = gather_partition(arr, &cands.oids);
+    let mut out = vec![0u64; cands.len()];
     if cands.dense {
+        // Dense candidates are `0..n`: the gather is a straight bulk
+        // decode, no positional lookups at all.
+        arr.data().unpack_range(0, &mut out);
+    } else {
+        gather_partition_into(arr, &cands.oids, &mut out);
+    }
+    charge_gather(env, arr, cands.dense, cands.len(), label, ledger);
+    out
+}
+
+/// The simulated cost of a [`gather`] of `n` candidates (dense candidates
+/// stream coalesced; scattered ones pay the random-access rate). Split out
+/// so a morsel-parallel caller that ran [`gather_partition_into`] itself
+/// charges exactly what the serial kernel would.
+pub fn charge_gather(
+    env: &Env,
+    arr: &DeviceArray,
+    dense: bool,
+    n: usize,
+    label: &str,
+    ledger: &mut CostLedger,
+) {
+    if dense {
         // Dense candidates read the array front to back: perfectly
         // coalesced, so charge the sequential stream rate.
         env.charge_kernel(
             label,
-            arr.packed_bytes() + out_bytes(arr.width(), out.len()),
-            cands.len() as u64,
+            arr.packed_bytes() + out_bytes(arr.width(), n),
+            n as u64,
             ledger,
         );
     } else {
-        let touched = cands.len() as u64 * element_access_bytes(arr.width())
-            + out_bytes(arr.width(), out.len());
-        env.charge_kernel_scattered(label, touched, cands.len() as u64, ledger);
+        let touched = n as u64 * element_access_bytes(arr.width()) + out_bytes(arr.width(), n);
+        env.charge_kernel_scattered(label, touched, n as u64, ledger);
     }
-    out
 }
 
 /// Fetch `values[link[oid]]` for every candidate: a foreign-key join with
@@ -52,16 +73,25 @@ pub fn gather_indirect(
     label: &str,
     ledger: &mut CostLedger,
 ) -> Vec<u64> {
-    let out: Vec<u64> = cands
-        .oids
-        .iter()
-        .map(|&o| values.get(link.get(o as usize) as usize))
-        .collect();
-    let touched = cands.len() as u64
-        * (element_access_bytes(link.width()) + element_access_bytes(values.width()))
-        + out_bytes(values.width(), out.len());
-    env.charge_kernel_scattered(label, touched, 2 * cands.len() as u64, ledger);
+    let mut out = vec![0u64; cands.len()];
+    gather_indirect_partition_into(values, link, &cands.oids, &mut out);
+    charge_gather_indirect(env, values, link, cands.len(), label, ledger);
     out
+}
+
+/// The simulated cost of a [`gather_indirect`] of `n` candidates.
+pub fn charge_gather_indirect(
+    env: &Env,
+    values: &DeviceArray,
+    link: &DeviceArray,
+    n: usize,
+    label: &str,
+    ledger: &mut CostLedger,
+) {
+    let touched = n as u64
+        * (element_access_bytes(link.width()) + element_access_bytes(values.width()))
+        + out_bytes(values.width(), n);
+    env.charge_kernel_scattered(label, touched, 2 * n as u64, ledger);
 }
 
 /// Fetch `arr[oid]` for a slice of candidate oids — the partition-aware
@@ -71,7 +101,32 @@ pub fn gather_indirect(
 /// Concatenating partition outputs in slice order reproduces
 /// [`gather`]'s positional alignment exactly.
 pub fn gather_partition(arr: &DeviceArray, oids: &[bwd_types::Oid]) -> Vec<u64> {
-    oids.iter().map(|&o| arr.get(o as usize)).collect()
+    let mut out = vec![0u64; oids.len()];
+    gather_partition_into(arr, oids, &mut out);
+    out
+}
+
+/// [`gather_partition`] into a caller-provided slice (`out.len()` must
+/// equal `oids.len()`) — the zero-allocation form morsel workers use to
+/// write disjoint chunks of one shared output buffer.
+pub fn gather_partition_into(arr: &DeviceArray, oids: &[bwd_types::Oid], out: &mut [u64]) {
+    debug_assert_eq!(oids.len(), out.len());
+    for (slot, &o) in out.iter_mut().zip(oids) {
+        *slot = arr.get(o as usize);
+    }
+}
+
+/// [`gather_partition_into`] through a link array (`values[link[oid]]`).
+pub fn gather_indirect_partition_into(
+    values: &DeviceArray,
+    link: &DeviceArray,
+    oids: &[bwd_types::Oid],
+    out: &mut [u64],
+) {
+    debug_assert_eq!(oids.len(), out.len());
+    for (slot, &o) in out.iter_mut().zip(oids) {
+        *slot = values.get(link.get(o as usize) as usize);
+    }
 }
 
 /// The foreign-key codes themselves (`link[oid]` per candidate), for plans

@@ -29,7 +29,7 @@ pub mod scan;
 
 pub use array::DeviceArray;
 pub use candidates::Candidates;
-pub use gather::gather_partition;
+pub use gather::{gather_partition, gather_partition_into};
 pub use group::{GroupResult, MultiGroupResult};
 pub use join::Theta;
-pub use scan::{select_range_partition, ScanOptions};
+pub use scan::{scan_block_ranges, select_range_partition, ScanOptions};

@@ -22,7 +22,9 @@
 use crate::array::DeviceArray;
 use crate::candidates::Candidates;
 use bwd_device::{CostLedger, Env};
+use bwd_storage::{BlockDecoder, DECODE_BLOCK};
 use bwd_types::Oid;
+use std::ops::Range;
 
 /// Tuning knobs for the selection kernels.
 #[derive(Debug, Clone, Copy)]
@@ -58,6 +60,60 @@ fn block_order(nblocks: usize) -> impl Iterator<Item = usize> {
         .filter(move |&j| j < nblocks)
 }
 
+/// The simulated thread-block row ranges of a full scan over `n` rows, in
+/// the serial emission order (bit-reversed for multi-block scans, a single
+/// sequential range when order is preserved or one block suffices).
+///
+/// This is the unit a morsel-parallel executor distributes: handing
+/// contiguous chunks of this sequence to real threads and concatenating
+/// their outputs in chunk order reproduces [`select_range`]'s output
+/// byte for byte.
+pub fn scan_block_ranges(n: usize, opts: &ScanOptions) -> Vec<Range<usize>> {
+    let block = opts.block_size.max(1);
+    let nblocks = n.div_ceil(block);
+    if nblocks <= 1 || opts.preserve_order {
+        #[allow(clippy::single_range_in_vec_init)] // one range, not a collected sequence
+        return vec![0..n];
+    }
+    block_order(nblocks)
+        .map(|b| {
+            let start = b * block;
+            start..(start + block).min(n)
+        })
+        .collect()
+}
+
+/// The simulated cost of a full [`select_range`] scan that matched
+/// `n_matches` of the array's rows. Split out so a morsel-parallel caller
+/// that ran the block partitions itself charges exactly what the serial
+/// kernel would.
+pub fn charge_select_scan(
+    env: &Env,
+    arr: &DeviceArray,
+    n_matches: usize,
+    opts: &ScanOptions,
+    ledger: &mut CostLedger,
+) {
+    let n = arr.len();
+    let nblocks = n.div_ceil(opts.block_size.max(1));
+    let out_bytes = (n_matches as u64 * (32 + arr.width() as u64)).div_ceil(8);
+    env.charge_kernel(
+        "select.approx.scan",
+        arr.packed_bytes() + out_bytes,
+        n as u64,
+        ledger,
+    );
+    if opts.preserve_order && nblocks > 1 {
+        // The ordering pass: a second sweep over the compacted output.
+        env.charge_kernel(
+            "select.approx.order",
+            2 * out_bytes,
+            n_matches as u64,
+            ledger,
+        );
+    }
+}
+
 /// Scan the whole array for stored values in `[lo, hi]` (inclusive).
 ///
 /// Charges: one kernel launch, a sequential stream of the packed input,
@@ -72,38 +128,12 @@ pub fn select_range(
     opts: &ScanOptions,
     ledger: &mut CostLedger,
 ) -> Candidates {
-    let n = arr.len();
-    let nblocks = n.div_ceil(opts.block_size.max(1));
     let mut oids: Vec<Oid> = Vec::new();
     let mut approx: Vec<u64> = Vec::new();
-
-    if nblocks <= 1 || opts.preserve_order {
-        select_range_partition(arr, 0, n, lo, hi, &mut oids, &mut approx);
-    } else {
-        for b in block_order(nblocks) {
-            let start = b * opts.block_size;
-            let end = (start + opts.block_size).min(n);
-            select_range_partition(arr, start, end, lo, hi, &mut oids, &mut approx);
-        }
+    for r in scan_block_ranges(arr.len(), opts) {
+        select_range_partition(arr, r.start, r.end, lo, hi, &mut oids, &mut approx);
     }
-
-    let out_bytes = (oids.len() as u64 * (32 + arr.width() as u64)).div_ceil(8);
-    env.charge_kernel(
-        "select.approx.scan",
-        arr.packed_bytes() + out_bytes,
-        n as u64,
-        ledger,
-    );
-    if opts.preserve_order && nblocks > 1 {
-        // The ordering pass: a second sweep over the compacted output.
-        env.charge_kernel(
-            "select.approx.order",
-            2 * out_bytes,
-            oids.len() as u64,
-            ledger,
-        );
-    }
-
+    charge_select_scan(env, arr, oids.len(), opts, ledger);
     let mut c = Candidates {
         oids,
         approx,
@@ -131,18 +161,22 @@ pub fn select_range_partition(
     oids: &mut Vec<Oid>,
     approx: &mut Vec<u64>,
 ) {
-    // Iterate via the packed cursor; a per-element `get` would redo offset
-    // arithmetic 100M times in the microbenchmarks.
-    let mut it = arr.data().iter();
-    // Advance to `start` cheaply: Iterator::nth consumes start elements.
-    if start > 0 {
-        let _ = it.nth(start - 1);
-    }
-    for (i, v) in (start..end).zip(it) {
-        if v >= lo && v <= hi {
-            oids.push(i as Oid);
-            approx.push(v);
+    // Decode word-at-a-time into a stack scratch block: the bulk decoder
+    // loads each packed word once, where a per-element `get` would redo
+    // offset arithmetic 100M times in the microbenchmarks.
+    let data = arr.data();
+    let mut buf = [0u64; DECODE_BLOCK];
+    let mut i = start;
+    while i < end {
+        let n = (end - i).min(DECODE_BLOCK);
+        data.unpack_range(i, &mut buf[..n]);
+        for (k, &v) in buf[..n].iter().enumerate() {
+            if v >= lo && v <= hi {
+                oids.push((i + k) as Oid);
+                approx.push(v);
+            }
         }
+        i += n;
     }
 }
 
@@ -162,21 +196,16 @@ pub fn select_range_on(
 ) -> Candidates {
     let mut oids = Vec::new();
     let mut approx = Vec::new();
-    for &oid in &input.oids {
-        let v = arr.get(oid as usize);
-        if v >= lo && v <= hi {
-            oids.push(oid);
-            approx.push(v);
-        }
-    }
-    let touched = input.len() as u64 * element_access_bytes(arr.width());
-    let out_bytes = (oids.len() as u64 * (32 + arr.width() as u64)).div_ceil(8);
-    env.charge_kernel_scattered(
-        "select.approx.gather-filter",
-        touched + out_bytes,
-        input.len() as u64,
-        ledger,
+    select_range_on_partition(
+        arr,
+        &input.oids,
+        lo,
+        hi,
+        cache_worthwhile(input.len(), arr.len()),
+        &mut oids,
+        &mut approx,
     );
+    charge_select_on(env, arr, input.len(), oids.len(), ledger);
     let mut c = Candidates {
         oids,
         approx,
@@ -185,6 +214,69 @@ pub fn select_range_on(
     };
     c.refresh_flags();
     c
+}
+
+/// Filter a slice of candidate oids by `[lo, hi]` bounds over `arr` —
+/// the pure partition form of [`select_range_on`] (no cost charge).
+///
+/// `cached` enables the block-cached bulk decoder: candidate oids are
+/// ascending within each scan block, so when the candidate set is dense
+/// relative to the array (see [`cache_worthwhile`]) consecutive accesses
+/// hit the same 64-element decode block.
+pub fn select_range_on_partition(
+    arr: &DeviceArray,
+    oids_in: &[Oid],
+    lo: u64,
+    hi: u64,
+    cached: bool,
+    oids: &mut Vec<Oid>,
+    approx: &mut Vec<u64>,
+) {
+    if cached {
+        let mut dec = BlockDecoder::new(arr.data());
+        for &oid in oids_in {
+            let v = dec.get(oid as usize);
+            if v >= lo && v <= hi {
+                oids.push(oid);
+                approx.push(v);
+            }
+        }
+    } else {
+        for &oid in oids_in {
+            let v = arr.get(oid as usize);
+            if v >= lo && v <= hi {
+                oids.push(oid);
+                approx.push(v);
+            }
+        }
+    }
+}
+
+/// The simulated cost of a [`select_range_on`] gather-filter over `n_in`
+/// candidates producing `n_out` survivors.
+pub fn charge_select_on(
+    env: &Env,
+    arr: &DeviceArray,
+    n_in: usize,
+    n_out: usize,
+    ledger: &mut CostLedger,
+) {
+    let touched = n_in as u64 * element_access_bytes(arr.width());
+    let out_bytes = (n_out as u64 * (32 + arr.width() as u64)).div_ceil(8);
+    env.charge_kernel_scattered(
+        "select.approx.gather-filter",
+        touched + out_bytes,
+        n_in as u64,
+        ledger,
+    );
+}
+
+/// Whether `accesses` random reads into an `len`-element packed array are
+/// dense enough for the block-cached decoder to win (a cache miss decodes a
+/// whole [`DECODE_BLOCK`]; below ~1/8 density the per-element path is
+/// cheaper).
+pub fn cache_worthwhile(accesses: usize, len: usize) -> bool {
+    accesses.saturating_mul(8) >= len
 }
 
 /// Scan a column *through* a link array (`arr[link[i]]` for all rows i):
@@ -199,29 +291,12 @@ pub fn select_range_indirect(
     opts: &ScanOptions,
     ledger: &mut CostLedger,
 ) -> Candidates {
-    let n = link.len();
-    let nblocks = n.div_ceil(opts.block_size.max(1));
     let mut oids: Vec<Oid> = Vec::new();
     let mut approx: Vec<u64> = Vec::new();
-    let mut scan = |start: usize, end: usize| {
-        for i in start..end {
-            let v = arr.get(link.get(i) as usize);
-            if v >= lo && v <= hi {
-                oids.push(i as Oid);
-                approx.push(v);
-            }
-        }
-    };
-    if nblocks <= 1 || opts.preserve_order {
-        scan(0, n);
-    } else {
-        for b in block_order(nblocks) {
-            let start = b * opts.block_size;
-            scan(start, (start + opts.block_size).min(n));
-        }
+    for r in scan_block_ranges(link.len(), opts) {
+        select_range_indirect_partition(arr, link, r.start, r.end, lo, hi, &mut oids, &mut approx);
     }
-    let touched = link.packed_bytes() + n as u64 * element_access_bytes(arr.width());
-    env.charge_kernel_scattered("select.approx.scan-indirect", touched, n as u64, ledger);
+    charge_select_indirect(env, arr, link, ledger);
     let mut c = Candidates {
         oids,
         approx,
@@ -230,6 +305,51 @@ pub fn select_range_indirect(
     };
     c.refresh_flags();
     c
+}
+
+/// Scan link rows `[start, end)` of an indirected selection
+/// (`arr[link[i]]`) — the pure partition form of [`select_range_indirect`].
+/// The link column is streamed through the bulk decoder; the dimension
+/// accesses stay per-element, since `link` values land anywhere in the
+/// dimension (a block cache would thrash).
+#[allow(clippy::too_many_arguments)]
+pub fn select_range_indirect_partition(
+    arr: &DeviceArray,
+    link: &DeviceArray,
+    start: usize,
+    end: usize,
+    lo: u64,
+    hi: u64,
+    oids: &mut Vec<Oid>,
+    approx: &mut Vec<u64>,
+) {
+    let link_data = link.data();
+    let mut buf = [0u64; DECODE_BLOCK];
+    let mut i = start;
+    while i < end {
+        let n = (end - i).min(DECODE_BLOCK);
+        link_data.unpack_range(i, &mut buf[..n]);
+        for (k, &row) in buf[..n].iter().enumerate() {
+            let v = arr.get(row as usize);
+            if v >= lo && v <= hi {
+                oids.push((i + k) as Oid);
+                approx.push(v);
+            }
+        }
+        i += n;
+    }
+}
+
+/// The simulated cost of a full [`select_range_indirect`] scan.
+pub fn charge_select_indirect(
+    env: &Env,
+    arr: &DeviceArray,
+    link: &DeviceArray,
+    ledger: &mut CostLedger,
+) {
+    let n = link.len();
+    let touched = link.packed_bytes() + n as u64 * element_access_bytes(arr.width());
+    env.charge_kernel_scattered("select.approx.scan-indirect", touched, n as u64, ledger);
 }
 
 /// Filter an existing candidate list by bounds on an indirected column
@@ -245,21 +365,17 @@ pub fn select_range_on_indirect(
 ) -> Candidates {
     let mut oids = Vec::new();
     let mut approx = Vec::new();
-    for &oid in &input.oids {
-        let v = arr.get(link.get(oid as usize) as usize);
-        if v >= lo && v <= hi {
-            oids.push(oid);
-            approx.push(v);
-        }
-    }
-    let touched = input.len() as u64
-        * (element_access_bytes(link.width()) + element_access_bytes(arr.width()));
-    env.charge_kernel_scattered(
-        "select.approx.gather-filter-indirect",
-        touched,
-        2 * input.len() as u64,
-        ledger,
+    select_range_on_indirect_partition(
+        arr,
+        link,
+        &input.oids,
+        lo,
+        hi,
+        cache_worthwhile(input.len(), link.len()),
+        &mut oids,
+        &mut approx,
     );
+    charge_select_on_indirect(env, arr, link, input.len(), ledger);
     let mut c = Candidates {
         oids,
         approx,
@@ -268,6 +384,61 @@ pub fn select_range_on_indirect(
     };
     c.refresh_flags();
     c
+}
+
+/// Filter a slice of candidate oids on an indirected column
+/// (`arr[link[oid]]`) — the pure partition form of
+/// [`select_range_on_indirect`]. `cached` block-caches the *link* lookups
+/// (candidate oids are ascending within scan blocks); the dimension reads
+/// stay per-element.
+#[allow(clippy::too_many_arguments)]
+pub fn select_range_on_indirect_partition(
+    arr: &DeviceArray,
+    link: &DeviceArray,
+    oids_in: &[Oid],
+    lo: u64,
+    hi: u64,
+    cached: bool,
+    oids: &mut Vec<Oid>,
+    approx: &mut Vec<u64>,
+) {
+    if cached {
+        let mut dec = BlockDecoder::new(link.data());
+        for &oid in oids_in {
+            let v = arr.get(dec.get(oid as usize) as usize);
+            if v >= lo && v <= hi {
+                oids.push(oid);
+                approx.push(v);
+            }
+        }
+    } else {
+        for &oid in oids_in {
+            let v = arr.get(link.get(oid as usize) as usize);
+            if v >= lo && v <= hi {
+                oids.push(oid);
+                approx.push(v);
+            }
+        }
+    }
+}
+
+/// The simulated cost of a [`select_range_on_indirect`] gather-filter over
+/// `n_in` candidates.
+pub fn charge_select_on_indirect(
+    env: &Env,
+    arr: &DeviceArray,
+    link: &DeviceArray,
+    n_in: usize,
+    ledger: &mut CostLedger,
+) {
+    let touched =
+        n_in as u64 * (element_access_bytes(link.width()) + element_access_bytes(arr.width()));
+    env.charge_kernel_scattered(
+        "select.approx.gather-filter-indirect",
+        touched,
+        2 * n_in as u64,
+        ledger,
+    );
 }
 
 /// Bytes a single random element access touches (memory transactions are

@@ -12,9 +12,10 @@ pub struct SubmitOptions {
     /// Simulated host-thread allocation for this query (Figure 11 sweeps
     /// this); `None` uses the database environment's setting.
     pub host_threads: Option<u32>,
-    /// Real-thread morsel count for the classic selection chain; `None`
-    /// mirrors the simulated allocation (capped at the machine's
-    /// parallelism).
+    /// Real-thread morsel count for the query's hot loops — the classic
+    /// selection chain, and the A&R approximation/refinement stages;
+    /// `None` mirrors the simulated allocation (capped at the machine's
+    /// parallelism). Results are bit-identical at every value.
     pub morsels: Option<usize>,
 }
 

@@ -210,22 +210,24 @@ fn run_job(shared: &Shared, job: &Job) -> Result<QueryResult> {
     if let Some(t) = job.opts.host_threads {
         env.host_threads = t.clamp(1, env.cpu.hw_threads);
     }
+    // Real-thread fan-out for the query's hot loops: both pipes mirror
+    // the simulated host-thread allocation up to the configured cap
+    // (explicit `ArExecOptions::morsels` in `ApproxRefineWith` wins over
+    // this default inside the engine).
+    let morsels = job
+        .opts
+        .morsels
+        .unwrap_or(env.host_threads as usize)
+        .clamp(1, shared.max_morsels);
     match &job.mode {
-        ExecMode::Classic => {
-            let morsels = job
-                .opts
-                .morsels
-                .unwrap_or(env.host_threads as usize)
-                .clamp(1, shared.max_morsels);
-            db.run_bound_in(&job.plan, job.mode.clone(), &env, morsels)
-        }
+        ExecMode::Classic => db.run_bound_in(&job.plan, job.mode.clone(), &env, morsels),
         _ => {
             // Reserve the worst-case device working set before touching
             // the card; the permit queues (not errors) while the card is
             // full and frees on scope exit.
             let estimate = working_set_estimate(db, &job.plan);
             let _permit = shared.admission.admit(estimate)?;
-            db.run_bound_in(&job.plan, job.mode.clone(), &env, 1)
+            db.run_bound_in(&job.plan, job.mode.clone(), &env, morsels)
         }
     }
 }

@@ -20,7 +20,7 @@ pub mod encoding;
 pub mod prefix;
 
 pub use bat::{Bat, Head};
-pub use bitpack::BitPackedVec;
+pub use bitpack::{BitPackedVec, BlockDecoder, DECODE_BLOCK};
 pub use column::{Column, ColumnData, Dictionary};
 pub use decompose::{DecomposedColumn, DecompositionMeta, DecompositionSpec};
 pub use prefix::{OutOfRange, PrefixBase, PrefixGranularity};
