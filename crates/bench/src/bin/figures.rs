@@ -6,13 +6,16 @@
 //!
 //!   ids: all (default) | fig1 | fig8a | fig8b | fig8c | fig8d | fig8e
 //!        | fig8f | fig9 | tab1 | fig10a | fig10b | fig10c | fig11
-//!        | bench-arexec
+//!        | bench-arexec | bench-multidev
 //! ```
 //!
 //! `bench-arexec` measures the morsel-parallel A&R pipeline's *wall
 //! clock* (not simulated time) on a 1M-row micro table (override with
 //! `--scale-micro`) and writes the `BENCH_arexec.json` baseline into the
-//! current directory. It is not part of `all`.
+//! current directory. `bench-multidev` runs the same A&R batch on a
+//! 1-card and a 2-card platform and compares device-stream makespan,
+//! admission queueing and placement spread (bit-identity enforced).
+//! Neither is part of `all`.
 //!
 //! Defaults are laptop-friendly scales; `--full` switches to the paper's
 //! scales (100 M microbenchmark tuples, 250 M GPS fixes, TPC-H SF-10 —
@@ -163,6 +166,23 @@ fn main() -> ExitCode {
                             return ExitCode::FAILURE;
                         }
                         Ok(vec![bwd_bench::arexec::figure(&report)])
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            "bench-multidev" => {
+                let n = if args.micro_explicit {
+                    args.micro_n
+                } else {
+                    200_000
+                };
+                match bwd_bench::multidev::measure(n, 16) {
+                    Ok(report) => {
+                        if !report.bit_identical {
+                            eprintln!("bench-multidev: scheduled runs were NOT bit-identical");
+                            return ExitCode::FAILURE;
+                        }
+                        Ok(vec![bwd_bench::multidev::figure(&report)])
                     }
                     Err(e) => Err(e.to_string()),
                 }

@@ -336,7 +336,8 @@ pub fn fig11(sf: f64) -> Result<Figure> {
 }
 
 /// Fig 1 (introduction): the flash capacity/bandwidth conflict. Background
-/// motivation, regenerated from the figure's depicted data points [2].
+/// motivation, regenerated from the figure's depicted data points
+/// (the paper's reference \[2\]).
 pub fn fig1() -> Figure {
     let mut fig = Figure::new(
         "fig1",

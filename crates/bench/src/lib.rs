@@ -6,6 +6,8 @@
 //!   Q1/Q6/Q14), Fig 11 (multi-stream throughput), Fig 1 (motivation);
 //! * [`arexec`] — wall-clock baseline of the morsel-parallel A&R pipeline
 //!   (`figures -- bench-arexec` writes `BENCH_arexec.json`);
+//! * [`multidev`] — 1-device vs 2-device A&R scheduling sweep
+//!   (`figures -- bench-multidev`);
 //! * [`report`] — table rendering and CSV output.
 //!
 //! Run `cargo run --release -p bwd-bench --bin figures -- all` (or a
@@ -14,4 +16,5 @@
 pub mod arexec;
 pub mod evaluation;
 pub mod micro;
+pub mod multidev;
 pub mod report;

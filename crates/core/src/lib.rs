@@ -6,7 +6,7 @@
 //! compressed approximations) and *refinement* operators (host-side false
 //! positive elimination via residual bits). The crate provides:
 //!
-//! * [`column`] — decomposed columns bound to the simulated device;
+//! * [`mod@column`] — decomposed columns bound to the simulated device;
 //! * [`translucent`] — the translucent join (Algorithm 1) with its
 //!   invisible fast path;
 //! * [`relax`] — predicate relaxation (`f(x)`, §IV-B) and granule

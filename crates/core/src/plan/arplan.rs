@@ -11,6 +11,18 @@
 use crate::plan::logical::{AggExpr, ScalarExpr};
 use crate::relax::RangePred;
 
+/// Bytes one materialized candidate occupies in device memory: a `u32`
+/// oid plus a worst-case 64-bit approximation value. Shared unit between
+/// the executor's transient working-set accounting and the scheduler's
+/// admission estimates — both must bill candidates identically or
+/// budgets and reservations silently drift apart.
+pub const CANDIDATE_PAIR_BYTES: u64 = 12;
+
+/// Bytes per value the device fast path gathers per candidate when
+/// staging aggregation inputs (worst-case 64-bit payload). Same
+/// shared-unit contract as [`CANDIDATE_PAIR_BYTES`].
+pub const GATHER_VALUE_BYTES: u64 = 8;
+
 /// A selection bound to a column, with the predicate already translated to
 /// the payload domain (dates resolved to day counts, decimals rescaled,
 /// dictionary prefixes to code ranges).
@@ -35,7 +47,7 @@ pub struct FkJoinPlan {
 }
 
 /// The A&R physical plan for the supported query shape
-/// (select – [fk-join] – [group] – aggregate/project).
+/// (select – \[fk-join\] – \[group\] – aggregate/project).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArPlan {
     /// The fact table.

@@ -1,14 +1,18 @@
-//! The simulated co-processor and the execution environment around it.
+//! The simulated co-processors and the execution environment around them.
 //!
-//! A [`Device`] bundles a [`DeviceSpec`] with its [`DeviceMemory`];
-//! an [`Env`] adds the host [`CpuSpec`] and the [`PcieSpec`] link — the
-//! complete platform a query executes on. Kernels and operators take an
-//! `Env` plus a [`CostLedger`] and charge their simulated time.
+//! A [`Device`] bundles a [`DeviceSpec`] with its [`DeviceMemory`] and a
+//! per-device [`SharedLedger`]; a [`DevicePool`] is the ordered set of
+//! co-processors installed in one host; an [`Env`] adds the host
+//! [`CpuSpec`] and the [`PcieSpec`] link — the complete platform a query
+//! executes on. Kernels and operators take an `Env` plus a
+//! [`CostLedger`] and charge their simulated time against the
+//! environment's *selected* device ([`Env::device`]); the scheduler picks
+//! the selected device per query via [`Env::on_device`].
 
-use crate::ledger::{Component, CostLedger};
+use crate::ledger::{Component, CostLedger, SharedLedger};
 use crate::memory::{DeviceBuffer, DeviceMemory};
 use crate::spec::{CpuSpec, DeviceSpec, PcieSpec};
-use bwd_types::Result;
+use bwd_types::{BwdError, Result};
 use std::sync::Arc;
 
 /// One simulated co-processor.
@@ -16,13 +20,19 @@ use std::sync::Arc;
 pub struct Device {
     spec: DeviceSpec,
     memory: DeviceMemory,
+    ledger: SharedLedger,
 }
 
 impl Device {
-    /// A device with the given spec and a fresh memory system.
+    /// A device with the given spec, a fresh memory system and an empty
+    /// accounting ledger.
     pub fn new(spec: DeviceSpec) -> Self {
         let memory = DeviceMemory::new(spec.memory_capacity);
-        Device { spec, memory }
+        Device {
+            spec,
+            memory,
+            ledger: SharedLedger::new(),
+        }
     }
 
     /// The hardware description.
@@ -33,6 +43,16 @@ impl Device {
     /// The device memory system.
     pub fn memory(&self) -> &DeviceMemory {
         &self.memory
+    }
+
+    /// This device's accumulated accounting ledger.
+    ///
+    /// The scheduler folds the co-processor share of every query served
+    /// by this device (kernel time plus the PCI-E transfers that fed it)
+    /// in here, so per-device utilization survives scheduler shutdown —
+    /// the multi-device throughput sweep reads these after the fact.
+    pub fn ledger(&self) -> &SharedLedger {
+        &self.ledger
     }
 
     /// Allocate device-resident storage *and* charge the PCI-E upload of
@@ -52,11 +72,83 @@ impl Device {
     }
 }
 
-/// The complete simulated platform: host, one co-processor, interconnect.
+/// The ordered, non-empty set of co-processors installed in one host.
+///
+/// Each device is independent: its own [`DeviceMemory`] (so admission on
+/// one card never blocks another), its own [`SharedLedger`], and its own
+/// cost spec — the pool may be heterogeneous. Device `0` is the
+/// *primary* device; a pool of one reproduces the paper's single-GTX-680
+/// platform exactly.
+#[derive(Debug, Clone)]
+pub struct DevicePool {
+    devices: Vec<Arc<Device>>,
+}
+
+impl DevicePool {
+    /// A pool with one fresh device per spec. An empty spec list falls
+    /// back to a single default device (a pool is never empty).
+    pub fn new(specs: impl IntoIterator<Item = DeviceSpec>) -> Self {
+        let mut devices: Vec<Arc<Device>> = specs
+            .into_iter()
+            .map(|s| Arc::new(Device::new(s)))
+            .collect();
+        if devices.is_empty() {
+            devices.push(Arc::new(Device::new(DeviceSpec::default())));
+        }
+        DevicePool { devices }
+    }
+
+    /// A pool wrapping one existing device.
+    pub fn single(device: Arc<Device>) -> Self {
+        DevicePool {
+            devices: vec![device],
+        }
+    }
+
+    /// All devices, in index order.
+    pub fn devices(&self) -> &[Arc<Device>] {
+        &self.devices
+    }
+
+    /// The primary device (index 0).
+    pub fn primary(&self) -> &Arc<Device> {
+        &self.devices[0]
+    }
+
+    /// The device at `idx`, if any.
+    pub fn get(&self, idx: usize) -> Option<&Arc<Device>> {
+        self.devices.get(idx)
+    }
+
+    /// Number of devices (always ≥ 1).
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Always `false`; present for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sum of all devices' memory capacities.
+    pub fn total_capacity(&self) -> u64 {
+        self.devices.iter().map(|d| d.spec().memory_capacity).sum()
+    }
+}
+
+/// The complete simulated platform: host, co-processor pool, interconnect.
+///
+/// [`Env::device`] is the *selected* device — the one kernels charge
+/// their costs against. Single-device code never has to know the pool
+/// exists: `device` is the pool's primary by default, and every
+/// pre-multi-device constructor builds a pool of one.
 #[derive(Debug, Clone)]
 pub struct Env {
-    /// The co-processor (shared; queries run against the same memory).
+    /// The selected co-processor (a member of [`Env::pool`]; queries run
+    /// against this device's spec and memory).
     pub device: Arc<Device>,
+    /// Every co-processor installed in the host, primary first.
+    pub pool: DevicePool,
     /// Host CPU model.
     pub cpu: CpuSpec,
     /// Interconnect model.
@@ -67,22 +159,56 @@ pub struct Env {
 }
 
 impl Env {
-    /// The paper's platform with default specs.
+    /// The paper's platform with default specs (one GTX 680).
     pub fn paper_default() -> Self {
+        Env::with_devices(vec![DeviceSpec::default()])
+    }
+
+    /// Same platform with a custom (single) device spec.
+    pub fn with_device(spec: DeviceSpec) -> Self {
+        Env::with_devices(vec![spec])
+    }
+
+    /// A platform with one device per spec (heterogeneous pools are
+    /// allowed). The first spec becomes the primary / selected device;
+    /// an empty list falls back to one default device.
+    pub fn with_devices(specs: Vec<DeviceSpec>) -> Self {
+        let pool = DevicePool::new(specs);
         Env {
-            device: Arc::new(Device::new(DeviceSpec::default())),
+            device: Arc::clone(pool.primary()),
+            pool,
             cpu: CpuSpec::default(),
             pcie: PcieSpec::default(),
             host_threads: 1,
         }
     }
 
-    /// Same platform with a custom device spec.
-    pub fn with_device(spec: DeviceSpec) -> Self {
-        Env {
-            device: Arc::new(Device::new(spec)),
-            ..Env::paper_default()
-        }
+    /// A platform with `n` identical paper-default GTX 680 cards
+    /// (`n = 0` still yields one).
+    pub fn multi_gpu(n: usize) -> Self {
+        Env::with_devices(vec![DeviceSpec::gtx680(); n.max(1)])
+    }
+
+    /// A copy of this environment with the device at `idx` selected —
+    /// subsequent kernel charges and admission target that card. The
+    /// scheduler's placement policy uses this per query.
+    ///
+    /// # Errors
+    /// [`BwdError::InvalidArgument`] when `idx` is outside the pool.
+    pub fn on_device(&self, idx: usize) -> Result<Env> {
+        let device = self.pool.get(idx).cloned().ok_or_else(|| {
+            BwdError::InvalidArgument(format!(
+                "device index {idx} out of range (pool has {} devices)",
+                self.pool.len()
+            ))
+        })?;
+        Ok(Env {
+            device,
+            pool: self.pool.clone(),
+            cpu: self.cpu.clone(),
+            pcie: self.pcie.clone(),
+            host_threads: self.host_threads,
+        })
     }
 
     /// Builder-style override of the host thread count.
@@ -213,5 +339,65 @@ mod tests {
         let env = Env::with_device(DeviceSpec::default().with_capacity(10));
         let mut ledger = CostLedger::new();
         assert!(env.device.upload(100, "too-big", &mut ledger).is_err());
+    }
+
+    #[test]
+    fn pool_is_never_empty_and_indexes() {
+        let pool = DevicePool::new(Vec::new());
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.is_empty());
+        let pool = DevicePool::new(vec![
+            DeviceSpec::gtx680(),
+            DeviceSpec::gtx680().with_capacity(1 << 20),
+        ]);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.get(1).unwrap().spec().memory_capacity, 1 << 20);
+        assert!(pool.get(2).is_none());
+        assert_eq!(
+            pool.total_capacity(),
+            pool.primary().spec().memory_capacity + (1 << 20)
+        );
+    }
+
+    #[test]
+    fn pool_devices_have_independent_memory_and_ledgers() {
+        let env = Env::multi_gpu(2);
+        let d0 = &env.pool.devices()[0];
+        let d1 = &env.pool.devices()[1];
+        let mut ledger = CostLedger::new();
+        let _buf = d0.upload(100, "only-dev0", &mut ledger).unwrap();
+        assert_eq!(d0.memory().used(), 100);
+        assert_eq!(d1.memory().used(), 0);
+        d0.ledger().charge(Component::Device, "q", 1.0, 8);
+        assert_eq!(d0.ledger().breakdown().device, 1.0);
+        assert_eq!(d1.ledger().breakdown().device, 0.0);
+    }
+
+    #[test]
+    fn on_device_selects_and_rejects_out_of_range() {
+        let env = Env::multi_gpu(2).host_threads(4);
+        let env1 = env.on_device(1).unwrap();
+        assert!(Arc::ptr_eq(&env1.device, &env.pool.devices()[1]));
+        assert_eq!(env1.host_threads, 4);
+        assert_eq!(env1.pool.len(), 2);
+        assert!(env.on_device(2).is_err());
+        // The default selection is the primary.
+        assert!(Arc::ptr_eq(&env.device, env.pool.primary()));
+    }
+
+    #[test]
+    fn heterogeneous_pool_charges_by_selected_spec() {
+        let slow = DeviceSpec {
+            mem_bandwidth: 10.0e9,
+            ..DeviceSpec::gtx680()
+        };
+        let env = Env::with_devices(vec![DeviceSpec::gtx680(), slow]);
+        let mut fast_l = CostLedger::new();
+        let mut slow_l = CostLedger::new();
+        env.charge_kernel("scan", 1 << 30, 0, &mut fast_l);
+        env.on_device(1)
+            .unwrap()
+            .charge_kernel("scan", 1 << 30, 0, &mut slow_l);
+        assert!(slow_l.breakdown().device > fast_l.breakdown().device * 5.0);
     }
 }

@@ -16,14 +16,19 @@
 //!   the [`PcieSpec`] link, making the PCI-E bottleneck observable.
 //!
 //! Constants default to the paper's hardware (§VI-A): GTX 680 (2 GB,
-//! 192 GB/s), dual Xeon E5-2650, PCI-E at a measured 3.95 GB/s.
+//! 192 GB/s), dual Xeon E5-2650, PCI-E at a measured 3.95 GB/s. An
+//! [`Env`] may carry more than one device (a [`DevicePool`]); each card
+//! has its own memory, ledger and spec, and the scheduler selects one
+//! per query via [`Env::on_device`].
+
+#![deny(missing_docs)]
 
 pub mod device;
 pub mod ledger;
 pub mod memory;
 pub mod spec;
 
-pub use device::{Device, Env};
+pub use device::{Device, DevicePool, Env};
 pub use ledger::{Breakdown, Component, CostEvent, CostLedger, SharedLedger, TrafficBytes};
 pub use memory::{DeviceBuffer, DeviceMemory};
 pub use spec::{CpuSpec, DeviceSpec, PcieSpec, GIB};

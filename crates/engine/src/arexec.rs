@@ -57,6 +57,17 @@ pub struct ArExecOptions {
     /// component costs are unchanged at every value — this knob only buys
     /// wall-clock time on multi-core hosts.
     pub morsels: usize,
+    /// Transient device-memory budget in bytes for this query's candidate
+    /// lists (12 B per candidate) and device-side aggregation gathers
+    /// (8 B per gathered value). `None` is unlimited. The scheduler sets
+    /// this to a statistics-based admission reservation; when the query's
+    /// *actual* transient footprint exceeds the budget, execution fails
+    /// early with [`BwdError::DeviceOutOfMemory`] — the simulated
+    /// equivalent of a kernel allocation failing on a full card — and the
+    /// scheduler re-queues the query with a worst-case reservation. Pure
+    /// bookkeeping: a sufficient budget changes neither results nor
+    /// simulated costs.
+    pub device_budget: Option<u64>,
 }
 
 impl Default for ArExecOptions {
@@ -65,6 +76,35 @@ impl Default for ArExecOptions {
             scan: ScanOptions::default(),
             approximate_answer: false,
             morsels: 1,
+            device_budget: None,
+        }
+    }
+}
+
+use bwd_core::plan::{CANDIDATE_PAIR_BYTES, GATHER_VALUE_BYTES};
+
+/// Running account of a query's transient device allocations, checked
+/// against the admission budget (when one is set).
+struct TransientBudget {
+    used: u64,
+    budget: Option<u64>,
+}
+
+impl TransientBudget {
+    fn new(budget: Option<u64>) -> Self {
+        TransientBudget { used: 0, budget }
+    }
+
+    /// Record `bytes` of transient device data; fails when a budget is
+    /// set and the running total exceeds it.
+    fn charge(&mut self, bytes: u64) -> Result<()> {
+        self.used += bytes;
+        match self.budget {
+            Some(b) if self.used > b => Err(BwdError::DeviceOutOfMemory {
+                requested: self.used,
+                available: b,
+            }),
+            _ => Ok(()),
         }
     }
 }
@@ -83,9 +123,12 @@ pub fn run_ar(db: &Database, plan: &ArPlan, opts: &ArExecOptions) -> Result<Quer
     run_ar_in(db, plan, opts, db.env())
 }
 
-/// [`run_ar`] against an explicit environment (same device, possibly a
-/// different host-thread allocation) — the per-session override the
-/// concurrent scheduler uses, since `db.env()` is shared state.
+/// [`run_ar`] against an explicit environment — the per-query override
+/// the concurrent scheduler uses, since `db.env()` is shared state. The
+/// environment carries both the host-thread allocation *and* the chosen
+/// device: pass `db.env().on_device(k)` to run this query against card
+/// `k` of a multi-device pool (every card holds a replica of the
+/// persistent approximations, so any of them can serve any plan).
 pub fn run_ar_in(
     db: &Database,
     plan: &ArPlan,
@@ -96,6 +139,7 @@ pub fn run_ar_in(
     let fact = db.catalog().table(&plan.table)?;
     let n = fact.len();
     let morsels = opts.morsels.max(1);
+    let mut transient = TransientBudget::new(opts.device_budget);
     let pool = ScratchPool::default();
     let fk: Option<&FkIndex> = match &plan.fk_join {
         Some(j) => Some(db.fk_index(&plan.table, &j.fact_key)?),
@@ -142,6 +186,7 @@ pub fn run_ar_in(
                 &pool,
                 &mut ledger,
             )?;
+            transient.charge(cands.len() as u64 * CANDIDATE_PAIR_BYTES)?;
             sel_outputs.push(cands);
         }
     } else {
@@ -178,6 +223,7 @@ pub fn run_ar_in(
                 &pool,
                 &mut ledger,
             )?;
+            transient.charge(cands.len() as u64 * CANDIDATE_PAIR_BYTES)?;
             let refined = refine_selection(
                 env,
                 &c,
@@ -293,6 +339,18 @@ pub fn run_ar_in(
     );
 
     let (block, grouping) = if all_resident {
+        // The device fast path gathers every needed column over the
+        // candidates into device scratch before aggregating. Bill the
+        // *distinct* columns (`needed` is only consecutively deduped) so
+        // the charge never exceeds the admission estimate's worst case,
+        // which counts sorted-unique columns.
+        let distinct_gathered = {
+            let mut names: Vec<&String> = needed.iter().collect();
+            names.sort_unstable();
+            names.dedup();
+            names.len() as u64
+        };
+        transient.charge(final_cands.len() as u64 * distinct_gathered * GATHER_VALUE_BYTES)?;
         build_device_block(env, &needed_cols, fk, &final_cands, morsels, &mut ledger)?
             .with_grouping(env, plan, &group_cols, device_group.as_ref(), &final_cands)?
     } else {

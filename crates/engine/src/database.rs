@@ -12,7 +12,7 @@ use crate::result::QueryResult;
 use bwd_core::ops::join::FkIndex;
 use bwd_core::plan::{rewrite, ArPlan, LogicalPlan, PlanResolver, RewriteOptions};
 use bwd_core::{BoundColumn, RangePred};
-use bwd_device::{CostLedger, Env};
+use bwd_device::{CostLedger, DeviceBuffer, Env};
 use bwd_storage::{Column, DecomposedColumn, DecompositionSpec};
 use bwd_types::{BwdError, FxHashMap, Result, Value};
 
@@ -50,6 +50,11 @@ pub struct Database {
     bound: FxHashMap<(String, String), BoundColumn>,
     fks: FxHashMap<(String, String), FkIndex>,
     load_ledger: CostLedger,
+    /// Replicas of persistent device-resident data on the non-primary
+    /// devices of a multi-device pool, keyed by what they replicate
+    /// (`"col:table.column"` / `"fk:table.key"`). Any device can then
+    /// serve any A&R query; replacing a key frees the old reservations.
+    replicas: FxHashMap<String, Vec<DeviceBuffer>>,
 }
 
 impl Database {
@@ -66,7 +71,30 @@ impl Database {
             bound: FxHashMap::default(),
             fks: FxHashMap::default(),
             load_ledger: CostLedger::new(),
+            replicas: FxHashMap::default(),
         }
+    }
+
+    /// Replicate `bytes` of persistent device data onto every non-primary
+    /// device of the pool (each replica pays its own PCI-E upload into the
+    /// load ledger, exactly like the primary copy). The approximation
+    /// partitions and FK mappings are what make a card able to serve A&R
+    /// queries at all, so a multi-device pool keeps one copy per card.
+    fn replicate(&mut self, key: String, bytes: u64, label: &str) -> Result<()> {
+        let mut buffers = Vec::new();
+        for (i, dev) in self.env.pool.devices().iter().enumerate() {
+            if std::sync::Arc::ptr_eq(dev, &self.env.device) {
+                continue;
+            }
+            let replica_label = format!("{label}@dev{i}");
+            buffers.push(dev.upload(bytes, &replica_label, &mut self.load_ledger)?);
+        }
+        if buffers.is_empty() {
+            self.replicas.remove(&key);
+        } else {
+            self.replicas.insert(key, buffers);
+        }
+        Ok(())
     }
 
     /// The simulated platform.
@@ -122,9 +150,14 @@ impl Database {
             &self.env,
             &mut self.load_ledger,
         )?;
+        let device_bytes = idx.device().packed_bytes();
         self.fks
             .insert((fact_table.to_string(), fact_key.to_string()), idx);
-        Ok(())
+        self.replicate(
+            format!("fk:{fact_table}.{fact_key}"),
+            device_bytes,
+            &format!("fk.{fact_table}.{fact_key}"),
+        )
     }
 
     /// `select bwdecompose(column, device_bits) from table` (§V-A):
@@ -163,8 +196,10 @@ impl Database {
         };
         let label = format!("{table}.{column}");
         let bound = BoundColumn::bind(dec, &self.env.device, &label, &mut self.load_ledger)?;
+        let device_bytes = bound.approx().packed_bytes();
         self.bound
             .insert((table.to_string(), column.to_string()), bound);
+        self.replicate(format!("col:{label}"), device_bytes, &label)?;
         Ok(report)
     }
 
@@ -241,7 +276,8 @@ impl Database {
     ///
     /// This is the re-entrant entry point of the concurrent scheduler:
     /// `&self` only, the environment override carries the per-session
-    /// host-thread allocation (the shared `env()` is not mutated), and
+    /// host-thread allocation and the chosen device of a multi-device
+    /// pool (`Env::on_device`; the shared `env()` is not mutated), and
     /// both pipes fan their hot loops out over `morsels` OS threads — the
     /// classic selection chain, and the A&R approximation/refinement
     /// stages (results stay bit-identical to the serial run in both).
@@ -451,6 +487,112 @@ mod tests {
         assert!(approx.candidate_count >= 400);
         assert!(approx.breakdown.total() <= r.breakdown.total());
         assert_eq!(r.rows[0][0], Value::Int(400));
+    }
+
+    #[test]
+    fn multi_device_pool_replicates_persistent_data() {
+        let mut db = Database::with_env(Env::multi_gpu(2));
+        db.create_table(
+            "r",
+            vec![("a".into(), Column::from_i32((0..10_000).collect()))],
+        )
+        .unwrap();
+        db.bwdecompose("r", "a", 24).unwrap();
+        let devs = db.env().pool.devices();
+        assert_eq!(
+            devs[0].memory().used(),
+            devs[1].memory().used(),
+            "replica must reserve identical bytes on the second card"
+        );
+        assert!(devs[1].memory().used() > 0);
+        // Re-decomposing replaces, not leaks, the replicas.
+        let before = devs[1].memory().used();
+        db.bwdecompose("r", "a", 28).unwrap();
+        let devs = db.env().pool.devices();
+        assert_eq!(devs[0].memory().used(), devs[1].memory().used());
+        assert_ne!(devs[1].memory().used(), before);
+        // Any device can serve the query with bit-identical results.
+        let plan = count_where_a(100, 499);
+        let ar = db.bind(&plan, &Default::default()).unwrap();
+        let on_primary = db.run_bound(&ar, ExecMode::ApproxRefine).unwrap();
+        let env1 = db.env().on_device(1).unwrap();
+        let on_second = db
+            .run_bound_in(&ar, ExecMode::ApproxRefine, &env1, 1)
+            .unwrap();
+        assert_eq!(on_primary.rows, on_second.rows);
+        assert_eq!(on_primary.breakdown, on_second.breakdown);
+    }
+
+    #[test]
+    fn device_budget_underestimate_fails_then_unlimited_succeeds() {
+        let mut db = demo_db();
+        let plan = count_where_a(100, 499);
+        let ar = db.bind(&plan, &Default::default()).unwrap();
+        db.auto_bind(&ar).unwrap();
+        let tight = ExecMode::ApproxRefineWith(ArExecOptions {
+            device_budget: Some(16),
+            ..Default::default()
+        });
+        match db.run_bound(&ar, tight) {
+            Err(BwdError::DeviceOutOfMemory {
+                requested,
+                available,
+            }) => {
+                assert!(requested > available);
+                assert_eq!(available, 16);
+            }
+            other => panic!("expected budget OOM, got {other:?}"),
+        }
+        // A worst-case-sized budget changes nothing.
+        let rows = db.catalog().table("r").unwrap().len() as u64;
+        let roomy = ExecMode::ApproxRefineWith(ArExecOptions {
+            device_budget: Some(rows * (12 + 2 * 8)),
+            ..Default::default()
+        });
+        let budgeted = db.run_bound(&ar, roomy).unwrap();
+        let unlimited = db.run_bound(&ar, ExecMode::ApproxRefine).unwrap();
+        assert_eq!(budgeted.rows, unlimited.rows);
+        assert_eq!(budgeted.breakdown, unlimited.breakdown);
+    }
+
+    #[test]
+    fn device_budget_counts_distinct_gathered_columns() {
+        // `needed` = [a, b, a] (group keys then the aggregate argument):
+        // the budget must bill 2 distinct columns — matching the
+        // admission estimate — not 3, or a worst-case-sized budget could
+        // spuriously OOM.
+        let mut db = demo_db();
+        let plan = LogicalPlan::scan("r")
+            .filter(Predicate::Between {
+                column: "a".into(),
+                lo: Value::Int(0),
+                hi: Value::Int(9_999),
+            })
+            .aggregate(
+                vec!["a".into(), "b".into()],
+                vec![AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(E::col("a")),
+                    alias: "s".into(),
+                }],
+            );
+        let ar = db.bind(&plan, &Default::default()).unwrap();
+        db.auto_bind(&ar).unwrap();
+        let rows = db.catalog().table("r").unwrap().len() as u64;
+        // Exactly the worst case for 1 selection + 2 distinct gathers.
+        let budget = rows * (12 + 2 * 8);
+        let budgeted = db
+            .run_bound(
+                &ar,
+                ExecMode::ApproxRefineWith(ArExecOptions {
+                    device_budget: Some(budget),
+                    ..Default::default()
+                }),
+            )
+            .unwrap();
+        let unlimited = db.run_bound(&ar, ExecMode::ApproxRefine).unwrap();
+        assert_eq!(budgeted.rows, unlimited.rows);
+        assert_eq!(budgeted.breakdown, unlimited.breakdown);
     }
 
     #[test]

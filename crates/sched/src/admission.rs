@@ -17,26 +17,14 @@ use bwd_types::Result;
 use std::time::Duration;
 
 /// Fixed per-query kernel scratch headroom (launch buffers, counters).
-const KERNEL_SCRATCH_BYTES: u64 = 64 << 10;
+pub const KERNEL_SCRATCH_BYTES: u64 = 64 << 10;
 
-/// Worst-case device working set of one A&R query, in bytes.
-///
-/// The approximation subplan materializes one candidate list per
-/// selection — at worst one `(oid: u32, approx: u64)` pair per input row —
-/// and the device fast path additionally gathers every aggregation input
-/// column over the candidates. The estimate is deliberately
-/// selectivity-independent: admission must hold even when every predicate
-/// matches everything. Over-reserving only delays a query; it never
-/// breaks one.
-pub fn working_set_estimate(db: &Database, plan: &ArPlan) -> u64 {
-    let rows = db
-        .catalog()
-        .table(&plan.table)
-        .map(|t| t.len() as u64)
-        .unwrap_or(0);
-    let candidate_pair = 4 + 8; // oid + worst-case 64-bit approximation
-    let selections = plan.selections.len() as u64;
+pub use bwd_core::plan::{CANDIDATE_PAIR_BYTES, GATHER_VALUE_BYTES};
 
+/// Number of distinct columns the aggregation/projection stage gathers
+/// over the final candidates (grouping keys, aggregate arguments and
+/// projected expressions, deduplicated).
+pub(crate) fn gathered_columns(plan: &ArPlan) -> u64 {
     let mut gathered: Vec<String> = plan.group_by.clone();
     for a in &plan.aggs {
         if let Some(arg) = &a.arg {
@@ -48,8 +36,38 @@ pub fn working_set_estimate(db: &Database, plan: &ArPlan) -> u64 {
     }
     gathered.sort_unstable();
     gathered.dedup();
+    gathered.len() as u64
+}
 
-    rows * (selections * candidate_pair + gathered.len() as u64 * 8) + KERNEL_SCRATCH_BYTES
+/// **Worst-case** device working set of one A&R query, in bytes.
+///
+/// The approximation subplan materializes one candidate list per
+/// selection — at worst one `(oid: u32, approx: u64)` pair per input row —
+/// and the device fast path additionally gathers every aggregation input
+/// column over the candidates. This bound is selectivity-independent:
+/// reserving it guarantees admission holds even when every predicate
+/// matches everything, so a query admitted at this size can never fail
+/// for device memory.
+///
+/// It is no longer the only estimate the scheduler uses, though: when the
+/// binder attached `selectivity_hint`s to the plan's selections,
+/// [`crate::estimate::estimate_working_set`] shrinks the initial
+/// reservation to `safety_factor ×` the hinted footprint and the
+/// scheduler enforces that smaller budget during execution. If a query
+/// turns out to be underestimated it OOMs early, releases its permit,
+/// inflates to *this* worst case and re-enters its device's admission
+/// queue — so the hint raises concurrency while this bound remains the
+/// correctness backstop. Over-reserving only delays a query; it never
+/// breaks one.
+pub fn working_set_estimate(db: &Database, plan: &ArPlan) -> u64 {
+    let rows = db
+        .catalog()
+        .table(&plan.table)
+        .map(|t| t.len() as u64)
+        .unwrap_or(0);
+    let selections = plan.selections.len() as u64;
+    rows * (selections * CANDIDATE_PAIR_BYTES + gathered_columns(plan) * GATHER_VALUE_BYTES)
+        + KERNEL_SCRATCH_BYTES
 }
 
 /// Arbitrates the device between concurrent A&R queries.

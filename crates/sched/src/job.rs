@@ -17,6 +17,10 @@ pub struct SubmitOptions {
     /// `None` mirrors the simulated allocation (capped at the machine's
     /// parallelism). Results are bit-identical at every value.
     pub morsels: Option<usize>,
+    /// Pin this A&R query to the device at this pool index instead of
+    /// letting the placement policy choose. Out-of-range indices fail the
+    /// query; classic queries ignore this.
+    pub device: Option<usize>,
 }
 
 /// One queued query.

@@ -15,11 +15,13 @@
 //!
 //! ```text
 //!  Session ─┐  submit(plan, mode)            ┌─ worker 0 ── classic pipe (morsel-parallel)
-//!  Session ─┼─▶ QueryQueue (FIFO) ─▶ pool ───┼─ worker 1 ── A&R pipe ──▶ AdmissionController
-//!  Session ─┘      │                         └─ worker N           │
-//!                  ▼                                               ▼
-//!             Ticket (per query)                        DeviceMemory (2 GB, blocking
-//!                                                       reservations, never exceeded)
+//!  Session ─┼─▶ QueryQueue (FIFO) ─▶ pool ───┼─ worker 1 ─┐
+//!  Session ─┘      │                         └─ worker N ─┤  A&R: estimate + place
+//!                  ▼                                      ▼
+//!             Ticket (per query)          ┌── device 0 admission queue ─▶ DeviceMemory 0
+//!                                         └── device 1 admission queue ─▶ DeviceMemory 1
+//!                                             (per-card FIFO reservations, never exceeded;
+//!                                              underestimates re-queue at worst case)
 //! ```
 //!
 //! * [`Scheduler`] owns the worker pool and the shared [`Database`]
@@ -27,38 +29,61 @@
 //! * [`Session`] is the front door: submit bound [`ArPlan`]s or SQL text
 //!   with an [`ExecMode`]; each submission returns a [`Ticket`] that
 //!   resolves to the query's [`QueryResult`].
-//! * [`AdmissionController`] reserves each A&R query's worst-case device
-//!   working set from the card's real [`DeviceMemory`] *before* the query
-//!   runs. A query that does not currently fit **queues** (strict FIFO —
-//!   a large reservation cannot be starved by later small ones) rather
-//!   than erroring, and requests are clamped to the card's non-persistent
-//!   share so a query the serial engine can run is never rejected by
-//!   admission. Concurrent reservations therefore can never exceed
-//!   capacity — `memory().peak()` proves it.
+//! * **Multi-device placement**: the database's [`Env`] may carry a
+//!   [`DevicePool`]; every card holds a replica of the persistent
+//!   approximations, and each A&R query is routed by a
+//!   [`PlacementPolicy`] (least-loaded by default, where load = reserved
+//!   bytes + queued estimated work) — or pinned via
+//!   [`SubmitOptions::device`].
+//! * **Statistics-based admission**: [`estimate_working_set`] shrinks the
+//!   initial reservation using the binder's selectivity hints times a
+//!   configurable safety factor ([`EstimateConfig`]), clamped to the
+//!   worst case ([`working_set_estimate`]). Each device's
+//!   [`AdmissionController`] reserves from that card's real
+//!   [`DeviceMemory`] *before* the query runs; a request that does not
+//!   currently fit **queues** in strict per-device FIFO order rather than
+//!   erroring, and requests are clamped to the card's non-persistent
+//!   share. An *underestimated* query OOMs early in the executor,
+//!   releases its permit, inflates to the worst case and re-enters the
+//!   same device's queue — the session never sees the transient failure.
+//!   Concurrent reservations can never exceed any card's capacity —
+//!   every [`DeviceSnapshot::peak_bytes`] proves it.
 //! * Classic-pipe queries run their selection chain **morsel-parallel**
 //!   across partitioned columns on real threads
 //!   (`bwd_engine::run_classic_morsel`), bit-identical to serial.
-//! * Per-stream accounting: simulated cost ([`bwd_device::SharedLedger`])
-//!   and wall clock per [`ExecMode`] stream — [`Scheduler::stats`].
+//! * Per-stream and per-device accounting: simulated cost
+//!   ([`bwd_device::SharedLedger`]) and wall clock per [`ExecMode`]
+//!   stream, plus each device's share — [`Scheduler::stats`].
 //! * [`run_throughput`] measures the Figure 11 experiment by actually
 //!   running both streams concurrently on the scheduler.
 //!
 //! [`ArPlan`]: bwd_core::plan::ArPlan
 //! [`Database`]: bwd_engine::Database
+//! [`Env`]: bwd_device::Env
+//! [`DevicePool`]: bwd_device::DevicePool
 //! [`ExecMode`]: bwd_engine::ExecMode
 //! [`QueryResult`]: bwd_engine::QueryResult
 //! [`DeviceMemory`]: bwd_device::DeviceMemory
 
+#![deny(missing_docs)]
+
 pub mod admission;
+pub mod estimate;
 pub mod job;
+pub mod placement;
 pub mod scheduler;
 pub mod session;
 pub mod stats;
 pub mod throughput;
 
-pub use admission::{working_set_estimate, AdmissionController, AdmissionPermit};
+pub use admission::{
+    working_set_estimate, AdmissionController, AdmissionPermit, CANDIDATE_PAIR_BYTES,
+    GATHER_VALUE_BYTES, KERNEL_SCRATCH_BYTES,
+};
+pub use estimate::{estimate_working_set, EstimateConfig, WorkingSetEstimate};
 pub use job::{SubmitOptions, Ticket};
+pub use placement::PlacementPolicy;
 pub use scheduler::{SchedConfig, Scheduler};
 pub use session::Session;
-pub use stats::{SchedulerStats, StreamSnapshot};
+pub use stats::{DeviceSnapshot, SchedulerStats, StreamSnapshot};
 pub use throughput::{run_throughput, run_throughput_with, ThroughputOptions, ThroughputReport};

@@ -1,11 +1,12 @@
-//! The worker pool and shared scheduler state.
+//! The worker pool, device placement and shared scheduler state.
 
-use crate::admission::{working_set_estimate, AdmissionController};
+use crate::estimate::{estimate_working_set, EstimateConfig};
 use crate::job::Job;
+use crate::placement::{place, DeviceSlot, PlacementPolicy};
 use crate::session::Session;
-use crate::stats::{SchedulerStats, StreamAccum};
-use bwd_engine::{Database, ExecMode, QueryResult};
-use bwd_types::Result;
+use crate::stats::{DeviceSnapshot, SchedulerStats, StreamAccum};
+use bwd_engine::{ArExecOptions, Database, ExecMode, QueryResult};
+use bwd_types::{BwdError, Result};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -23,6 +24,10 @@ pub struct SchedConfig {
     /// `host_threads` allocation is mirrored up to this many real
     /// threads). `1` disables intra-query parallelism.
     pub max_morsels: usize,
+    /// How A&R queries are routed across the device pool.
+    pub placement: PlacementPolicy,
+    /// Statistics-based admission estimates (hints + safety factor).
+    pub estimate: EstimateConfig,
 }
 
 impl Default for SchedConfig {
@@ -34,6 +39,8 @@ impl Default for SchedConfig {
             workers: hw.min(8),
             admission_deadline: Some(Duration::from_secs(10)),
             max_morsels: hw,
+            placement: PlacementPolicy::default(),
+            estimate: EstimateConfig::default(),
         }
     }
 }
@@ -48,7 +55,11 @@ pub(crate) struct Shared {
     pub db: Arc<Database>,
     pub queue: Mutex<QueueState>,
     pub work_ready: Condvar,
-    pub admission: AdmissionController,
+    /// One slot per pool device: admission controller + load accounting.
+    pub devices: Vec<DeviceSlot>,
+    pub placement: PlacementPolicy,
+    pub estimate: EstimateConfig,
+    pub rr_cursor: AtomicU64,
     pub classic: StreamAccum,
     pub approx_refine: StreamAccum,
     pub errors: AtomicU64,
@@ -56,12 +67,50 @@ pub(crate) struct Shared {
     pub max_morsels: usize,
 }
 
-/// A multi-session query scheduler over one shared [`Database`].
+/// A multi-session query scheduler over one shared [`Database`] and its
+/// device pool.
 ///
-/// Queries execute on real OS threads; A&R queries pass device-memory
-/// admission first. Dropping the scheduler closes the queue, discards
-/// not-yet-started jobs (their tickets resolve to an error) and joins the
-/// workers.
+/// Queries execute on real OS threads. A&R queries are first *placed* on
+/// a device (least-loaded by default, every card holds a replica of the
+/// persistent approximations) and then pass that device's memory
+/// admission with a statistics-based reservation; an underestimated
+/// query OOMs early, releases its permit and re-enters the same device's
+/// queue at the worst-case size. Dropping the scheduler closes the
+/// queue, discards not-yet-started jobs (their tickets resolve to an
+/// error) and joins the workers.
+///
+/// # Examples
+///
+/// Load a table, decompose a column, then serve concurrent sessions:
+///
+/// ```
+/// use bwd_engine::{Database, ExecMode};
+/// use bwd_sched::Scheduler;
+/// use bwd_storage::Column;
+/// use bwd_types::Value;
+/// use std::sync::Arc;
+///
+/// let mut db = Database::new();
+/// db.create_table(
+///     "t",
+///     vec![("a".into(), Column::from_i32((0..1000).collect()))],
+/// )
+/// .unwrap();
+/// db.bwdecompose("t", "a", 24).unwrap(); // load-time decomposition
+///
+/// let sched = Scheduler::with_defaults(Arc::new(db));
+/// let session = sched.session();
+/// let out = session
+///     .query_sql("select count(*) from t where a < 10", ExecMode::ApproxRefine)
+///     .unwrap();
+/// assert_eq!(out.rows[0][0], Value::Int(10));
+///
+/// let stats = sched.stats();
+/// assert_eq!(stats.errors, 0);
+/// for dev in &stats.devices {
+///     assert!(dev.peak_bytes <= dev.capacity_bytes);
+/// }
+/// ```
 pub struct Scheduler {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -73,10 +122,18 @@ impl Scheduler {
         Scheduler::new(db, SchedConfig::default())
     }
 
-    /// A scheduler with `config`.
+    /// A scheduler with `config`. One admission controller is built per
+    /// pool device — construct the scheduler *after* loading, so the
+    /// bytes resident on each card (persistent columns and replicas)
+    /// count as permanent.
     pub fn new(db: Arc<Database>, config: SchedConfig) -> Scheduler {
-        let admission =
-            AdmissionController::new(db.env().device.memory().clone(), config.admission_deadline);
+        let devices = db
+            .env()
+            .pool
+            .devices()
+            .iter()
+            .map(|d| DeviceSlot::new(Arc::clone(d), config.admission_deadline))
+            .collect();
         let shared = Arc::new(Shared {
             db,
             queue: Mutex::new(QueueState {
@@ -84,7 +141,10 @@ impl Scheduler {
                 closed: false,
             }),
             work_ready: Condvar::new(),
-            admission,
+            devices,
+            placement: config.placement,
+            estimate: config.estimate,
+            rr_cursor: AtomicU64::new(0),
             classic: StreamAccum::default(),
             approx_refine: StreamAccum::default(),
             errors: AtomicU64::new(0),
@@ -121,16 +181,37 @@ impl Scheduler {
         self.shared.queue.lock().unwrap().jobs.len()
     }
 
-    /// Current per-stream and admission statistics.
+    /// Current per-stream, per-device and admission statistics.
     pub fn stats(&self) -> SchedulerStats {
-        let mem = self.shared.admission.memory();
+        let devices: Vec<DeviceSnapshot> = self
+            .shared
+            .devices
+            .iter()
+            .map(|slot| {
+                let mem = slot.admission.memory();
+                DeviceSnapshot {
+                    name: slot.device.spec().name.clone(),
+                    queries: slot.queries.load(Ordering::Relaxed),
+                    requeues: slot.requeues.load(Ordering::Relaxed),
+                    admission_waits: mem.total_waits(),
+                    used_bytes: mem.used(),
+                    pending_bytes: slot.pending_bytes.load(Ordering::Relaxed),
+                    peak_bytes: mem.peak(),
+                    capacity_bytes: mem.capacity(),
+                    breakdown: slot.device.ledger().breakdown(),
+                }
+            })
+            .collect();
+        let busiest = devices.iter().max_by_key(|d| d.peak_bytes);
         SchedulerStats {
             classic: self.shared.classic.snapshot(),
             approx_refine: self.shared.approx_refine.snapshot(),
             errors: self.shared.errors.load(Ordering::Relaxed),
-            admission_waits: mem.total_waits(),
-            device_peak_bytes: mem.peak(),
-            device_capacity_bytes: mem.capacity(),
+            admission_waits: devices.iter().map(|d| d.admission_waits).sum(),
+            admission_requeues: devices.iter().map(|d| d.requeues).sum(),
+            device_peak_bytes: busiest.map(|d| d.peak_bytes).unwrap_or(0),
+            device_capacity_bytes: busiest.map(|d| d.capacity_bytes).unwrap_or(0),
+            devices,
         }
     }
 
@@ -221,13 +302,105 @@ fn run_job(shared: &Shared, job: &Job) -> Result<QueryResult> {
         .clamp(1, shared.max_morsels);
     match &job.mode {
         ExecMode::Classic => db.run_bound_in(&job.plan, job.mode.clone(), &env, morsels),
-        _ => {
-            // Reserve the worst-case device working set before touching
-            // the card; the permit queues (not errors) while the card is
-            // full and frees on scope exit.
-            let estimate = working_set_estimate(db, &job.plan);
-            let _permit = shared.admission.admit(estimate)?;
-            db.run_bound_in(&job.plan, job.mode.clone(), &env, morsels)
+        mode => run_ar_job(shared, job, mode, &env, morsels),
+    }
+}
+
+/// Place, admit and execute one A&R query, handling the underestimate
+/// re-queue path.
+fn run_ar_job(
+    shared: &Shared,
+    job: &Job,
+    mode: &ExecMode,
+    env: &bwd_device::Env,
+    morsels: usize,
+) -> Result<QueryResult> {
+    let db = &shared.db;
+    let est = estimate_working_set(db, &job.plan, &shared.estimate);
+
+    // --- Placement: pin wins, otherwise the policy routes by load. ---
+    let idx = match job.opts.device {
+        Some(i) if i < shared.devices.len() => i,
+        Some(i) => {
+            return Err(BwdError::InvalidArgument(format!(
+                "device index {i} out of range (pool has {} devices)",
+                shared.devices.len()
+            )))
+        }
+        None => place(&shared.devices, shared.placement, &shared.rr_cursor),
+    };
+    let slot = &shared.devices[idx];
+    let env = env.on_device(idx)?;
+
+    // Effective A&R options: plain `ApproxRefine` mirrors the morsel
+    // allocation; explicit options are honored as-is. The scheduler only
+    // manages the device budget when the caller didn't set one.
+    let mut opts = match mode {
+        ExecMode::ApproxRefineWith(o) => o.clone(),
+        _ => ArExecOptions {
+            morsels,
+            ..ArExecOptions::default()
+        },
+    };
+    let scheduler_managed = opts.device_budget.is_none();
+    let mut request = est.estimated;
+    if scheduler_managed && est.is_reduced() {
+        opts.device_budget = Some(est.data_budget());
+    }
+
+    loop {
+        // Reserve on the chosen device. The pending guard keeps the
+        // not-yet-admitted estimate visible to the placement policy and
+        // drops as soon as the blocking reservation resolves either way.
+        let permit = {
+            let _pending = slot.begin_pending(request);
+            slot.admission.admit(request)?
+        };
+        let result = db.run_bound_in(
+            &job.plan,
+            ExecMode::ApproxRefineWith(opts.clone()),
+            &env,
+            morsels,
+        );
+        match result {
+            Err(BwdError::DeviceOutOfMemory { .. })
+                if scheduler_managed && opts.device_budget.is_some() =>
+            {
+                // The statistics underestimated this query. Release the
+                // permit first (holding it while re-queueing could
+                // deadlock a small card), inflate to the worst case —
+                // which by construction always suffices — and re-enter
+                // this device's admission queue. The session never sees
+                // the transient failure.
+                drop(permit);
+                slot.requeues.fetch_add(1, Ordering::Relaxed);
+                opts.device_budget = None;
+                request = est.worst_case;
+                continue;
+            }
+            result => {
+                if let Ok(r) = &result {
+                    slot.queries.fetch_add(1, Ordering::Relaxed);
+                    // Fold the co-processor share of this query into the
+                    // per-device ledger (host time belongs to the CPU
+                    // stream, not to a card).
+                    let ledger = slot.device.ledger();
+                    ledger.charge(
+                        bwd_device::Component::Device,
+                        "sched.query",
+                        r.breakdown.device,
+                        r.traffic.device,
+                    );
+                    ledger.charge(
+                        bwd_device::Component::Pcie,
+                        "sched.query",
+                        r.breakdown.pcie,
+                        r.traffic.pcie,
+                    );
+                }
+                drop(permit);
+                return result;
+            }
         }
     }
 }
@@ -280,6 +453,11 @@ mod tests {
         assert!(stats.approx_refine.breakdown.device > 0.0);
         assert_eq!(stats.errors, 0);
         assert!(stats.device_peak_bytes <= stats.device_capacity_bytes);
+        // Per-device accounting: one device, one A&R query on it.
+        assert_eq!(stats.devices.len(), 1);
+        assert_eq!(stats.devices[0].queries, 1);
+        assert!(stats.devices[0].breakdown.device > 0.0);
+        assert_eq!(stats.admission_requeues, 0);
     }
 
     #[test]
@@ -312,5 +490,64 @@ mod tests {
         let (db, _) = served_db();
         let sched = Scheduler::with_defaults(db);
         assert_ne!(sched.session().id(), sched.session().id());
+    }
+
+    #[test]
+    fn device_pin_routes_and_rejects_out_of_range() {
+        use crate::job::SubmitOptions;
+
+        let mut db = Database::with_env(bwd_device::Env::multi_gpu(2));
+        db.create_table(
+            "t",
+            vec![("a".into(), Column::from_i32((0..10_000).collect()))],
+        )
+        .unwrap();
+        let plan = LogicalPlan::scan("t")
+            .filter(Predicate::Between {
+                column: "a".into(),
+                lo: Value::Int(100),
+                hi: Value::Int(499),
+            })
+            .aggregate(
+                vec![],
+                vec![AggExpr {
+                    func: AggFunc::Count,
+                    arg: None,
+                    alias: "n".into(),
+                }],
+            );
+        let ar = db.bind(&plan, &Default::default()).unwrap();
+        db.auto_bind(&ar).unwrap();
+        let sched = Scheduler::with_defaults(Arc::new(db));
+        let session = sched.session();
+        for dev in [0usize, 1] {
+            let r = session
+                .submit_with(
+                    ar.clone(),
+                    ExecMode::ApproxRefine,
+                    SubmitOptions {
+                        device: Some(dev),
+                        ..SubmitOptions::default()
+                    },
+                )
+                .wait()
+                .unwrap();
+            assert_eq!(r.rows[0][0], Value::Int(400));
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.devices[0].queries, 1);
+        assert_eq!(stats.devices[1].queries, 1);
+        let err = session
+            .submit_with(
+                ar,
+                ExecMode::ApproxRefine,
+                SubmitOptions {
+                    device: Some(9),
+                    ..SubmitOptions::default()
+                },
+            )
+            .wait()
+            .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 }

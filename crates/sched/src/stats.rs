@@ -38,6 +38,33 @@ impl StreamSnapshot {
     }
 }
 
+/// Point-in-time view of one device in the pool.
+#[derive(Debug, Clone)]
+pub struct DeviceSnapshot {
+    /// The device's human-readable name (from its spec).
+    pub name: String,
+    /// A&R queries this device completed successfully.
+    pub queries: u64,
+    /// Underestimated queries that re-entered this device's admission
+    /// queue at the worst-case reservation size.
+    pub requeues: u64,
+    /// Admission reservations on this device that had to queue.
+    pub admission_waits: u64,
+    /// Bytes currently reserved (persistent data + admitted working sets).
+    pub used_bytes: u64,
+    /// Estimated bytes of queries placed on this device but not yet
+    /// admitted (the placement policy's queued-work term).
+    pub pending_bytes: u64,
+    /// High-water mark of reservations — provably ≤ `capacity_bytes`.
+    pub peak_bytes: u64,
+    /// The card's memory capacity.
+    pub capacity_bytes: u64,
+    /// This device's accumulated share of simulated query cost (kernel
+    /// time + the PCI-E transfers that fed it), from the per-device
+    /// [`SharedLedger`].
+    pub breakdown: Breakdown,
+}
+
 /// Point-in-time view of the whole scheduler.
 #[derive(Debug, Clone)]
 pub struct SchedulerStats {
@@ -47,13 +74,23 @@ pub struct SchedulerStats {
     pub approx_refine: StreamSnapshot,
     /// Queries that completed with an error.
     pub errors: u64,
-    /// Admission reservations that had to queue at least once.
+    /// Admission reservations that had to queue at least once, summed
+    /// over all devices.
     pub admission_waits: u64,
-    /// High-water mark of device-memory reservations (persistent columns
-    /// plus admitted working sets) — provably ≤ capacity.
+    /// Underestimated queries that re-entered a device queue at the
+    /// worst-case size, summed over all devices.
+    pub admission_requeues: u64,
+    /// High-water mark of reservations on the *busiest* device (the
+    /// maximum peak over the pool, matching
+    /// [`crate::ThroughputReport::device_peak_bytes`]); per-device
+    /// values are in [`SchedulerStats::devices`].
     pub device_peak_bytes: u64,
-    /// The card's capacity.
+    /// The capacity of that same busiest device, so the legacy
+    /// `device_peak_bytes <= device_capacity_bytes` invariant keeps
+    /// covering the card that actually hit the peak.
     pub device_capacity_bytes: u64,
+    /// One snapshot per pool device, in pool order.
+    pub devices: Vec<DeviceSnapshot>,
 }
 
 /// Thread-safe accumulator behind a [`StreamSnapshot`].

@@ -71,8 +71,12 @@ pub struct ThroughputReport {
     pub ar_host_bytes_per_query: u64,
     /// Wall-clock seconds the combined (concurrent) phase took.
     pub combined_wall_seconds: f64,
-    /// Device-memory high-water mark across the whole experiment.
+    /// Device-memory high-water mark across the whole experiment (the
+    /// maximum over the pool's devices).
     pub device_peak_bytes: u64,
+    /// Per-device memory high-water marks, in pool order (one entry on
+    /// the paper's single-card platform).
+    pub device_peaks: Vec<u64>,
 }
 
 impl ThroughputReport {
@@ -147,7 +151,7 @@ pub fn run_throughput_with(
                     ExecMode::Classic,
                     SubmitOptions {
                         host_threads: Some(max_threads),
-                        morsels: None,
+                        ..SubmitOptions::default()
                     },
                 )
             })
@@ -159,7 +163,7 @@ pub fn run_throughput_with(
                     ExecMode::ApproxRefine,
                     SubmitOptions {
                         host_threads: Some(1),
-                        morsels: None,
+                        ..SubmitOptions::default()
                     },
                 )
             })
@@ -182,6 +186,13 @@ pub fn run_throughput_with(
     let interference = (1.0 - ar_bw_demand / bw_max).clamp(0.0, 1.0);
     let cpu_with_ar = cpu_full_qps * interference;
 
+    let device_peaks: Vec<u64> = db
+        .env()
+        .pool
+        .devices()
+        .iter()
+        .map(|d| d.memory().peak())
+        .collect();
     Ok(ThroughputReport {
         cpu_parallel,
         ar_only,
@@ -189,7 +200,8 @@ pub fn run_throughput_with(
         cumulative: cpu_with_ar + ar_only,
         ar_host_bytes_per_query,
         combined_wall_seconds,
-        device_peak_bytes: db.env().device.memory().peak(),
+        device_peak_bytes: device_peaks.iter().copied().max().unwrap_or(0),
+        device_peaks,
     })
 }
 
@@ -209,7 +221,7 @@ fn run_batch(
                 mode.clone(),
                 SubmitOptions {
                     host_threads: Some(host_threads),
-                    morsels: None,
+                    ..SubmitOptions::default()
                 },
             )
         })

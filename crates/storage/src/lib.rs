@@ -8,7 +8,7 @@
 //! * [`prefix`] — shared-leading-bit compression with a factored base;
 //! * [`decompose`] — the bitwise split of a column into a device-destined
 //!   approximation and a host-resident residual;
-//! * [`column`] — full-resolution persistent columns and ordered string
+//! * [`mod@column`] — full-resolution persistent columns and ordered string
 //!   dictionaries;
 //! * [`bat`] — Binary Association Tables, the MonetDB-style intermediate.
 

@@ -84,7 +84,7 @@ fn main() -> Result<()> {
                     ExecMode::Classic,
                     SubmitOptions {
                         host_threads: Some(32),
-                        morsels: None,
+                        ..SubmitOptions::default()
                     },
                 ),
                 ar.submit_with(
