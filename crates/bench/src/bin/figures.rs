@@ -6,7 +6,7 @@
 //!
 //!   ids: all (default) | fig1 | fig8a | fig8b | fig8c | fig8d | fig8e
 //!        | fig8f | fig9 | tab1 | fig10a | fig10b | fig10c | fig11
-//!        | bench-arexec | bench-multidev
+//!        | bench-arexec | bench-multidev | bench-sjf
 //! ```
 //!
 //! `bench-arexec` measures the morsel-parallel A&R pipeline's *wall
@@ -15,7 +15,10 @@
 //! current directory. `bench-multidev` runs the same A&R batch on a
 //! 1-card and a 2-card platform and compares device-stream makespan,
 //! admission queueing and placement spread (bit-identity enforced).
-//! Neither is part of `all`.
+//! `bench-sjf` drains the identical seeded short/long mix under each
+//! queue policy and fails unless shortest-job-first strictly beats FIFO
+//! on short-query waits with bit-identical answers and no starved long
+//! scan. None of the three is part of `all`.
 //!
 //! Defaults are laptop-friendly scales; `--full` switches to the paper's
 //! scales (100 M microbenchmark tuples, 250 M GPS fixes, TPC-H SF-10 —
@@ -167,6 +170,23 @@ fn main() -> ExitCode {
                         }
                         Ok(vec![bwd_bench::arexec::figure(&report)])
                     }
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            "bench-sjf" => {
+                let n = if args.micro_explicit {
+                    args.micro_n
+                } else {
+                    400_000
+                };
+                match bwd_bench::sjf::measure(n, 16, 4) {
+                    Ok(report) => match bwd_bench::sjf::check(&report) {
+                        Ok(()) => Ok(vec![bwd_bench::sjf::figure(&report)]),
+                        Err(e) => {
+                            println!("{}", bwd_bench::sjf::figure(&report).render());
+                            Err(e.to_string())
+                        }
+                    },
                     Err(e) => Err(e.to_string()),
                 }
             }

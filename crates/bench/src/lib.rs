@@ -8,6 +8,8 @@
 //!   (`figures -- bench-arexec` writes `BENCH_arexec.json`);
 //! * [`multidev`] — 1-device vs 2-device A&R scheduling sweep
 //!   (`figures -- bench-multidev`);
+//! * [`sjf`] — queue-policy sweep (FIFO vs shortest-job-first vs
+//!   priority) over a seeded short/long mix (`figures -- bench-sjf`);
 //! * [`report`] — table rendering and CSV output.
 //!
 //! Run `cargo run --release -p bwd-bench --bin figures -- all` (or a
@@ -18,3 +20,4 @@ pub mod evaluation;
 pub mod micro;
 pub mod multidev;
 pub mod report;
+pub mod sjf;

@@ -10,18 +10,13 @@ pub struct Xoshiro {
 }
 
 impl Xoshiro {
-    /// Seed deterministically.
+    /// Seed deterministically (via the workspace's shared
+    /// [`bwd_types::SplitMix64`] stream, as the algorithm's authors
+    /// recommend).
     pub fn seed(seed: u64) -> Self {
-        let mut sm = seed;
-        let mut next_sm = || {
-            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = sm;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        };
+        let mut sm = bwd_types::SplitMix64::new(seed);
         Xoshiro {
-            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
         }
     }
 

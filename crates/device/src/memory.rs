@@ -351,4 +351,54 @@ mod tests {
         }
         assert_eq!(mem.queued(), 0, "timed-out waiter must deregister");
     }
+
+    #[test]
+    fn deadline_path_resolves_in_time_and_balances_accounting() {
+        // A reservation that can never fit while the persistent holder
+        // lives: it must resolve to AdmissionTimeout close to the
+        // configured deadline and leave every counter exactly as before.
+        let mem = DeviceMemory::new(100);
+        let holder = mem.alloc(60).unwrap();
+        let (used, peak, live, waits) = (
+            mem.used(),
+            mem.peak(),
+            mem.live_buffers(),
+            mem.total_waits(),
+        );
+        let deadline = Duration::from_millis(25);
+        let started = Instant::now();
+        match mem.alloc_blocking(80, Some(deadline)) {
+            Err(BwdError::AdmissionTimeout {
+                requested,
+                waited_ms,
+            }) => {
+                assert_eq!(requested, 80);
+                assert!(waited_ms >= deadline.as_millis() as u64, "{waited_ms}");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // "Within the configured deadline": the wait expired at the
+        // deadline, not at some multiple of it (generous slack for a
+        // loaded CI machine, but far below 2x-with-margin).
+        assert!(
+            started.elapsed() < deadline + Duration::from_millis(500),
+            "took {:?}",
+            started.elapsed()
+        );
+        // Ledger balanced: nothing reserved, nothing leaked, nothing
+        // still queued; exactly one wait was recorded.
+        assert_eq!(mem.used(), used);
+        assert_eq!(mem.peak(), peak);
+        assert_eq!(mem.live_buffers(), live);
+        assert_eq!(mem.queued(), 0);
+        assert_eq!(mem.total_waits(), waits + 1);
+        // The memory is fully usable afterwards: the departed waiter did
+        // not wedge the queue.
+        let rest = mem.alloc_blocking(40, None).unwrap();
+        assert_eq!(rest.bytes(), 40);
+        drop(rest);
+        drop(holder);
+        assert_eq!(mem.used(), 0);
+        assert_eq!(mem.live_buffers(), 0);
+    }
 }

@@ -50,6 +50,12 @@ pub(crate) fn partition_ranges(len: usize, morsels: usize) -> Vec<Range<usize>> 
 }
 
 /// [`partition_ranges`] with an explicit per-partition minimum size.
+///
+/// Partitions are *balanced*: sizes differ by at most one (the remainder
+/// of `len / parts` is spread over the leading partitions), so no worker
+/// systematically receives a short straggler range — ceil-stepped
+/// chunking could hand the last worker as little as one item while every
+/// other one got a full step.
 pub(crate) fn partition_ranges_min(
     len: usize,
     morsels: usize,
@@ -63,10 +69,16 @@ pub(crate) fn partition_ranges_min(
         #[allow(clippy::single_range_in_vec_init)] // one range, not a collected sequence
         return vec![0..len];
     }
-    let step = len.div_ceil(parts);
+    let base = len / parts;
+    let rem = len % parts;
+    let mut start = 0;
     (0..parts)
-        .map(|p| (p * step).min(len)..((p + 1) * step).min(len))
-        .filter(|r| !r.is_empty())
+        .map(|p| {
+            let size = base + usize::from(p < rem);
+            let r = start..start + size;
+            start += size;
+            r
+        })
         .collect()
 }
 
@@ -493,6 +505,46 @@ mod tests {
         }
         assert_eq!(partition_ranges(100, 4).len(), 1, "below morsel threshold");
         assert_eq!(partition_ranges_min(100, 4, 1).len(), 4);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+
+        /// For arbitrary (len, parts): ranges are non-empty, ordered,
+        /// disjoint, cover `0..len` exactly, and sizes differ by ≤ 1.
+        #[test]
+        fn partition_ranges_partition_invariants(
+            len in 0usize..50_000,
+            parts in 0usize..70,
+        ) {
+            // min_items = 1 exercises the real splitting logic on every
+            // input; the production threshold only short-circuits tiny
+            // inputs into a single range (covered by the cases where
+            // len < parts forces clamping anyway).
+            let ranges = partition_ranges_min(len, parts, 1);
+            if len == 0 {
+                proptest::prop_assert!(ranges.is_empty());
+            } else {
+                proptest::prop_assert!(!ranges.is_empty());
+                proptest::prop_assert!(ranges.len() <= parts.max(1));
+                let mut covered = 0usize;
+                for r in &ranges {
+                    proptest::prop_assert_eq!(r.start, covered, "ordered+disjoint+contiguous");
+                    proptest::prop_assert!(r.end > r.start, "non-empty");
+                    covered = r.end;
+                }
+                proptest::prop_assert_eq!(covered, len, "covers 0..len");
+                let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                proptest::prop_assert!(max - min <= 1, "balanced: {min}..{max}");
+            }
+            // The production entry point agrees with itself on the same
+            // invariants (it may collapse to one range below the
+            // threshold, which trivially satisfies all of them).
+            let prod = partition_ranges(len, parts);
+            let covered: usize = prod.iter().map(|r| r.len()).sum();
+            proptest::prop_assert_eq!(covered, len);
+        }
     }
 
     #[test]

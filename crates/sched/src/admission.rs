@@ -167,6 +167,31 @@ mod tests {
     }
 
     #[test]
+    fn admission_deadline_times_out_with_balanced_permits() {
+        // Persistent data caps max_request at 60; a permit holding all 60
+        // means a second 60-byte reservation can never fit until release.
+        let mem = DeviceMemory::new(100);
+        let _persistent = mem.alloc(40).unwrap();
+        let ctrl = AdmissionController::new(mem.clone(), Some(Duration::from_millis(20)));
+        let first = ctrl.admit(60).unwrap();
+        assert_eq!(first.bytes(), 60);
+        match ctrl.admit(60) {
+            Err(bwd_types::BwdError::AdmissionTimeout { requested, .. }) => {
+                assert_eq!(requested, 60)
+            }
+            other => panic!("expected AdmissionTimeout, got {other:?}"),
+        }
+        // The failed admission left the card's accounting untouched and
+        // releasing the live permit restores full throughput.
+        assert_eq!(mem.used(), 100);
+        assert_eq!(mem.queued(), 0);
+        drop(first);
+        assert_eq!(mem.used(), 40);
+        let again = ctrl.admit(60).unwrap();
+        assert_eq!(again.bytes(), 60);
+    }
+
+    #[test]
     fn oversized_estimates_clamp_to_the_non_persistent_share() {
         let mem = DeviceMemory::new(100);
         let _persistent = mem.alloc(40).unwrap();

@@ -1,10 +1,10 @@
-//! Queue entries and completion tickets.
+//! Queue entries, per-job reports and completion tickets.
 
 use bwd_core::plan::ArPlan;
 use bwd_engine::{ExecMode, QueryResult};
 use bwd_types::{BwdError, Result};
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Per-submission execution overrides.
 #[derive(Debug, Clone, Copy, Default)]
@@ -21,6 +21,25 @@ pub struct SubmitOptions {
     /// letting the placement policy choose. Out-of-range indices fail the
     /// query; classic queries ignore this.
     pub device: Option<usize>,
+    /// Scheduling priority under [`crate::QueuePolicy::Priority`]: higher
+    /// values dequeue sooner (ties break on the latency estimate, then
+    /// arrival order). Ignored by the other policies; aging still bounds
+    /// how long a low-priority job can be bypassed. Defaults to `0`.
+    pub priority: i32,
+}
+
+impl SubmitOptions {
+    /// The simulated host-thread count a job with these options executes
+    /// with: the per-query override (or the environment's setting),
+    /// clamped to the machine's hardware threads. The latency estimator
+    /// and the executor both call this, so the estimate can never be
+    /// computed for a different thread count than the job actually runs
+    /// with.
+    pub fn effective_host_threads(&self, env: &bwd_device::Env) -> u32 {
+        self.host_threads
+            .unwrap_or(env.host_threads)
+            .clamp(1, env.cpu.hw_threads)
+    }
 }
 
 /// One queued query.
@@ -31,8 +50,39 @@ pub(crate) struct Job {
     /// Originating session (diagnostics / future per-session policies).
     #[allow(dead_code)]
     pub session: u64,
-    pub reply: mpsc::Sender<Result<QueryResult>>,
+    /// Estimated latency in simulated seconds (the SJF queue key, and
+    /// the estimate-vs-actual accounting input).
+    pub est_seconds: f64,
+    pub reply: mpsc::Sender<(Result<QueryResult>, JobReport)>,
     pub submitted: Instant,
+}
+
+/// Per-job scheduling telemetry, delivered alongside the query result.
+///
+/// The completion index makes ordering decisions *observable*: the
+/// scheduler stamps every finished job with a global monotone counter, so
+/// a test driving a one-worker scheduler can assert the exact execution
+/// order a [`crate::QueuePolicy`] produced — no wall-clock sleeps, no
+/// timestamp comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JobReport {
+    /// Wall-clock time the job waited in the scheduler queue before a
+    /// worker picked it up.
+    pub queue_wait: Duration,
+    /// Wall-clock time the job occupied its worker thread.
+    pub exec: Duration,
+    /// Global completion stamp (0 for the first job the scheduler
+    /// finishes; on a one-worker scheduler this is the execution order).
+    pub completion_index: u64,
+    /// The latency estimate the queue ordered this job by, in simulated
+    /// seconds ([`crate::cost::estimate_latency`]).
+    pub est_seconds: f64,
+    /// The simulated seconds the job actually cost (its result
+    /// breakdown's total; `0` for failed jobs) — compare against
+    /// [`JobReport::est_seconds`] to judge the estimator.
+    pub actual_sim_seconds: f64,
+    /// The priority the job was submitted with.
+    pub priority: i32,
 }
 
 /// The handle a submission returns; resolves to the query's result.
@@ -41,7 +91,7 @@ pub(crate) struct Job {
 /// discarded on shutdown).
 #[derive(Debug)]
 pub struct Ticket {
-    pub(crate) rx: mpsc::Receiver<Result<QueryResult>>,
+    pub(crate) rx: mpsc::Receiver<(Result<QueryResult>, JobReport)>,
 }
 
 impl Ticket {
@@ -50,17 +100,39 @@ impl Ticket {
     /// Errors with [`BwdError::Exec`] if the scheduler shut down before
     /// the query ran.
     pub fn wait(self) -> Result<QueryResult> {
-        self.rx.recv().unwrap_or_else(|_| {
+        self.rx.recv().map(|(r, _)| r).unwrap_or_else(|_| {
             Err(BwdError::Exec(
                 "scheduler shut down before the query completed".into(),
             ))
         })
     }
 
+    /// Block until the query completes, returning the result together
+    /// with its scheduling report (queue wait, completion index,
+    /// estimate vs actual).
+    pub fn wait_report(self) -> Result<(QueryResult, JobReport)> {
+        match self.rx.recv() {
+            Ok((Ok(r), rep)) => Ok((r, rep)),
+            Ok((Err(e), _)) => Err(e),
+            Err(_) => Err(BwdError::Exec(
+                "scheduler shut down before the query completed".into(),
+            )),
+        }
+    }
+
     /// Non-blocking poll; `None` while the query is still in flight.
     pub fn poll(&self) -> Option<Result<QueryResult>> {
+        self.poll_report()
+            .map(|res| res.map(|(result, _report)| result))
+    }
+
+    /// Non-blocking poll keeping the scheduling report; `None` while the
+    /// query is still in flight (the [`Ticket::wait_report`] counterpart,
+    /// so poll-based callers don't lose the per-job telemetry).
+    pub fn poll_report(&self) -> Option<Result<(QueryResult, JobReport)>> {
         match self.rx.try_recv() {
-            Ok(r) => Some(r),
+            Ok((Ok(r), rep)) => Some(Ok((r, rep))),
+            Ok((Err(e), _)) => Some(Err(e)),
             Err(mpsc::TryRecvError::Empty) => None,
             Err(mpsc::TryRecvError::Disconnected) => Some(Err(BwdError::Exec(
                 "scheduler shut down before the query completed".into(),
@@ -72,7 +144,7 @@ impl Ticket {
     /// before reaching the queue, e.g. after shutdown).
     pub(crate) fn resolved(result: Result<QueryResult>) -> Ticket {
         let (tx, rx) = mpsc::channel();
-        let _ = tx.send(result);
+        let _ = tx.send((result, JobReport::default()));
         Ticket { rx }
     }
 }

@@ -14,12 +14,12 @@
 //! # Architecture
 //!
 //! ```text
-//!  Session ─┐  submit(plan, mode)            ┌─ worker 0 ── classic pipe (morsel-parallel)
-//!  Session ─┼─▶ QueryQueue (FIFO) ─▶ pool ───┼─ worker 1 ─┐
-//!  Session ─┘      │                         └─ worker N ─┤  A&R: estimate + place
-//!                  ▼                                      ▼
-//!             Ticket (per query)          ┌── device 0 admission queue ─▶ DeviceMemory 0
-//!                                         └── device 1 admission queue ─▶ DeviceMemory 1
+//!  Session ─┐  submit(plan, mode, prio)      ┌─ worker 0 ── classic pipe (morsel-parallel)
+//!  Session ─┼─▶ PolicyQueue ───────▶ pool ───┼─ worker 1 ─┐
+//!  Session ─┘   (Fifo | SJF | Priority,      └─ worker N ─┤  A&R: estimate + place
+//!                │  bypass-count aging)                   ▼
+//!                ▼                        ┌── device 0 admission queue ─▶ DeviceMemory 0
+//!             Ticket (result + JobReport) └── device 1 admission queue ─▶ DeviceMemory 1
 //!                                             (per-card FIFO reservations, never exceeded;
 //!                                              underestimates re-queue at worst case)
 //! ```
@@ -28,7 +28,16 @@
 //!   (via `Arc`; execution is `&self`-re-entrant).
 //! * [`Session`] is the front door: submit bound [`ArPlan`]s or SQL text
 //!   with an [`ExecMode`]; each submission returns a [`Ticket`] that
-//!   resolves to the query's [`QueryResult`].
+//!   resolves to the query's [`QueryResult`] plus a [`JobReport`]
+//!   (queue wait, completion order, estimate vs actual).
+//! * **Priority-aware queueing**: the central queue is a [`PolicyQueue`]
+//!   ordered by a pluggable [`QueuePolicy`] — FIFO, shortest-job-first
+//!   over the cost model's [`estimate_latency`], or caller-assigned
+//!   [`SubmitOptions::priority`] — with deterministic bypass-count aging
+//!   so long/low-priority jobs are never starved (at most
+//!   `aging_threshold` younger pops may overtake a queued job). Short
+//!   A&R probes no longer head-of-line-block behind bulk classic scans;
+//!   `figures -- bench-sjf` measures the p50/p99 win.
 //! * **Multi-device placement**: the database's [`Env`] may carry a
 //!   [`DevicePool`]; every card holds a replica of the persistent
 //!   approximations, and each A&R query is routed by a
@@ -68,22 +77,28 @@
 #![deny(missing_docs)]
 
 pub mod admission;
+pub mod cost;
 pub mod estimate;
 pub mod job;
 pub mod placement;
+pub mod policy;
 pub mod scheduler;
 pub mod session;
 pub mod stats;
 pub mod throughput;
+pub mod workload;
 
 pub use admission::{
     working_set_estimate, AdmissionController, AdmissionPermit, CANDIDATE_PAIR_BYTES,
     GATHER_VALUE_BYTES, KERNEL_SCRATCH_BYTES,
 };
+pub use cost::{estimate_latency, LatencyEstimate};
 pub use estimate::{estimate_working_set, EstimateConfig, WorkingSetEstimate};
-pub use job::{SubmitOptions, Ticket};
+pub use job::{JobReport, SubmitOptions, Ticket};
 pub use placement::PlacementPolicy;
+pub use policy::{PolicyQueue, QueuePolicy};
 pub use scheduler::{SchedConfig, Scheduler};
 pub use session::Session;
 pub use stats::{DeviceSnapshot, SchedulerStats, StreamSnapshot};
 pub use throughput::{run_throughput, run_throughput_with, ThroughputOptions, ThroughputReport};
+pub use workload::{Gate, JobKind, QuerySpec, WorkloadGen, WorkloadSpec};

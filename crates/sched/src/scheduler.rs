@@ -1,13 +1,13 @@
 //! The worker pool, device placement and shared scheduler state.
 
 use crate::estimate::{estimate_working_set, EstimateConfig};
-use crate::job::Job;
+use crate::job::{Job, JobReport};
 use crate::placement::{place, DeviceSlot, PlacementPolicy};
+use crate::policy::{PolicyQueue, QueuePolicy};
 use crate::session::Session;
 use crate::stats::{DeviceSnapshot, SchedulerStats, StreamAccum};
 use bwd_engine::{ArExecOptions, Database, ExecMode, QueryResult};
 use bwd_types::{BwdError, Result};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -28,6 +28,15 @@ pub struct SchedConfig {
     pub placement: PlacementPolicy,
     /// Statistics-based admission estimates (hints + safety factor).
     pub estimate: EstimateConfig,
+    /// How queued jobs are ordered ([`QueuePolicy::ShortestJobFirst`] by
+    /// default — with equal latency estimates it degrades to exact FIFO,
+    /// so homogeneous workloads behave as before while mixed short/long
+    /// workloads stop head-of-line blocking).
+    pub policy: QueuePolicy,
+    /// Anti-starvation bound: the maximum number of times a queued job
+    /// may be bypassed by younger work before it becomes un-overtakable
+    /// (see [`crate::policy`]). `0` forbids reordering entirely.
+    pub aging_threshold: u32,
 }
 
 impl Default for SchedConfig {
@@ -41,12 +50,14 @@ impl Default for SchedConfig {
             max_morsels: hw,
             placement: PlacementPolicy::default(),
             estimate: EstimateConfig::default(),
+            policy: QueuePolicy::default(),
+            aging_threshold: 32,
         }
     }
 }
 
 pub(crate) struct QueueState {
-    pub jobs: VecDeque<Job>,
+    pub jobs: PolicyQueue<Job>,
     pub closed: bool,
 }
 
@@ -59,10 +70,13 @@ pub(crate) struct Shared {
     pub devices: Vec<DeviceSlot>,
     pub placement: PlacementPolicy,
     pub estimate: EstimateConfig,
+    pub policy: QueuePolicy,
     pub rr_cursor: AtomicU64,
     pub classic: StreamAccum,
     pub approx_refine: StreamAccum,
     pub errors: AtomicU64,
+    /// Global completion stamp source ([`JobReport::completion_index`]).
+    pub completions: AtomicU64,
     pub next_session: AtomicU64,
     pub max_morsels: usize,
 }
@@ -137,17 +151,19 @@ impl Scheduler {
         let shared = Arc::new(Shared {
             db,
             queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                jobs: PolicyQueue::new(config.policy, config.aging_threshold),
                 closed: false,
             }),
             work_ready: Condvar::new(),
             devices,
             placement: config.placement,
             estimate: config.estimate,
+            policy: config.policy,
             rr_cursor: AtomicU64::new(0),
             classic: StreamAccum::default(),
             approx_refine: StreamAccum::default(),
             errors: AtomicU64::new(0),
+            completions: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
             max_morsels: config.max_morsels.max(1),
         });
@@ -204,6 +220,8 @@ impl Scheduler {
             .collect();
         let busiest = devices.iter().max_by_key(|d| d.peak_bytes);
         SchedulerStats {
+            policy: self.shared.policy,
+            completed: self.shared.completions.load(Ordering::Relaxed),
             classic: self.shared.classic.snapshot(),
             approx_refine: self.shared.approx_refine.snapshot(),
             errors: self.shared.errors.load(Ordering::Relaxed),
@@ -243,7 +261,7 @@ fn worker_loop(shared: Arc<Shared>) {
         let job = {
             let mut q = shared.queue.lock().unwrap();
             loop {
-                if let Some(job) = q.jobs.pop_front() {
+                if let Some(job) = q.jobs.pop() {
                     break job;
                 }
                 if q.closed {
@@ -275,22 +293,31 @@ fn worker_loop(shared: Arc<Shared>) {
             _ => &shared.approx_refine,
         };
         match &result {
-            Ok(r) => accum.record(&r.breakdown, &r.traffic, wall, queued),
+            Ok(r) => accum.record(&r.breakdown, &r.traffic, wall, queued, job.est_seconds),
             Err(_) => {
                 shared.errors.fetch_add(1, Ordering::Relaxed);
             }
         }
+        let report = JobReport {
+            queue_wait: queued,
+            exec: wall,
+            completion_index: shared.completions.fetch_add(1, Ordering::Relaxed),
+            est_seconds: job.est_seconds,
+            actual_sim_seconds: result.as_ref().map(|r| r.breakdown.total()).unwrap_or(0.0),
+            priority: job.opts.priority,
+        };
         // The submitter may have dropped its ticket; that's fine.
-        let _ = job.reply.send(result);
+        let _ = job.reply.send((result, report));
     }
 }
 
 fn run_job(shared: &Shared, job: &Job) -> Result<QueryResult> {
     let db = &shared.db;
     let mut env = db.env().clone();
-    if let Some(t) = job.opts.host_threads {
-        env.host_threads = t.clamp(1, env.cpu.hw_threads);
-    }
+    // Same clamp the submission-time latency estimate used
+    // (`SubmitOptions::effective_host_threads`), so the job executes with
+    // exactly the thread count it was estimated and queued at.
+    env.host_threads = job.opts.effective_host_threads(&env);
     // Real-thread fan-out for the query's hot loops: both pipes mirror
     // the simulated host-thread allocation up to the configured cap
     // (explicit `ArExecOptions::morsels` in `ApproxRefineWith` wins over

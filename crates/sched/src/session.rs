@@ -1,5 +1,6 @@
 //! The session front door.
 
+use crate::cost::estimate_latency;
 use crate::job::{Job, SubmitOptions, Ticket};
 use crate::scheduler::Shared;
 use bwd_core::plan::{ArPlan, RewriteOptions};
@@ -36,13 +37,30 @@ impl Session {
     }
 
     /// Enqueue with per-query overrides.
+    ///
+    /// The submission is stamped with a latency estimate
+    /// ([`crate::cost::estimate_latency`]) from the plan's selectivity
+    /// hints and the platform cost model; the scheduler's
+    /// [`crate::QueuePolicy`] orders the queue by that estimate and by
+    /// [`SubmitOptions::priority`].
     pub fn submit_with(&self, plan: ArPlan, mode: ExecMode, opts: SubmitOptions) -> Ticket {
         let (tx, rx) = mpsc::channel();
+        let threads = opts.effective_host_threads(self.shared.db.env());
+        let est_seconds = estimate_latency(
+            &self.shared.db,
+            &plan,
+            &mode,
+            threads,
+            &self.shared.estimate,
+        )
+        .seconds();
+        let priority = opts.priority;
         let job = Job {
             plan,
             mode,
             opts,
             session: self.id,
+            est_seconds,
             reply: tx,
             submitted: Instant::now(),
         };
@@ -53,7 +71,7 @@ impl Session {
                 "scheduler is shut down; no new queries accepted".into(),
             )));
         }
-        q.jobs.push_back(job);
+        q.jobs.push(priority, est_seconds, job);
         drop(q);
         self.shared.work_ready.notify_one();
         Ticket { rx }

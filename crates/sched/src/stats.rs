@@ -23,6 +23,15 @@ pub struct StreamSnapshot {
     pub busy: Duration,
     /// Wall-clock time this stream's queries spent waiting in the queue.
     pub queued: Duration,
+    /// The longest any single query of this stream waited in the queue —
+    /// the head-of-line-blocking tail the queue policy exists to shrink.
+    pub max_queued: Duration,
+    /// Sum of the per-job latency estimates
+    /// ([`crate::cost::estimate_latency`]) of this stream's completed
+    /// queries, in simulated seconds; compare against
+    /// `breakdown.total()` (the actual) via
+    /// [`StreamSnapshot::estimate_ratio`].
+    pub est_sim_seconds: f64,
 }
 
 impl StreamSnapshot {
@@ -34,6 +43,27 @@ impl StreamSnapshot {
             0.0
         } else {
             self.queries as f64 / t
+        }
+    }
+
+    /// Mean per-query wall-clock queue wait (zero when idle).
+    pub fn mean_queued(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.queued / self.queries as u32
+        }
+    }
+
+    /// Estimated over actual simulated seconds — `1.0` means the latency
+    /// estimator was perfectly calibrated for this stream, `>1`
+    /// over-estimates, `<1` under-estimates (0 when idle).
+    pub fn estimate_ratio(&self) -> f64 {
+        let actual = self.breakdown.total();
+        if actual <= 0.0 {
+            0.0
+        } else {
+            self.est_sim_seconds / actual
         }
     }
 }
@@ -68,6 +98,11 @@ pub struct DeviceSnapshot {
 /// Point-in-time view of the whole scheduler.
 #[derive(Debug, Clone)]
 pub struct SchedulerStats {
+    /// The queue-ordering policy this scheduler runs.
+    pub policy: crate::policy::QueuePolicy,
+    /// Jobs completed in total (success or error) — the source of
+    /// [`crate::JobReport::completion_index`] stamps.
+    pub completed: u64,
     /// The classic (CPU bulk) stream.
     pub classic: StreamSnapshot,
     /// The Approximate & Refine stream.
@@ -99,6 +134,8 @@ pub(crate) struct StreamAccum {
     queries: AtomicU64,
     busy_nanos: AtomicU64,
     queued_nanos: AtomicU64,
+    max_queued_nanos: AtomicU64,
+    est_sim_nanos: AtomicU64,
     ledger: SharedLedger,
 }
 
@@ -109,12 +146,17 @@ impl StreamAccum {
         traffic: &TrafficBytes,
         wall: Duration,
         queued: Duration,
+        est_seconds: f64,
     ) {
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.busy_nanos
             .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
         self.queued_nanos
             .fetch_add(queued.as_nanos() as u64, Ordering::Relaxed);
+        self.max_queued_nanos
+            .fetch_max(queued.as_nanos() as u64, Ordering::Relaxed);
+        self.est_sim_nanos
+            .fetch_add((est_seconds.max(0.0) * 1e9) as u64, Ordering::Relaxed);
         self.ledger.charge(
             Component::Device,
             "stream.query",
@@ -142,6 +184,8 @@ impl StreamAccum {
             traffic: self.ledger.traffic(),
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
             queued: Duration::from_nanos(self.queued_nanos.load(Ordering::Relaxed)),
+            max_queued: Duration::from_nanos(self.max_queued_nanos.load(Ordering::Relaxed)),
+            est_sim_seconds: self.est_sim_nanos.load(Ordering::Relaxed) as f64 / 1e9,
         }
     }
 }

@@ -71,6 +71,16 @@ pub struct ThroughputReport {
     pub ar_host_bytes_per_query: u64,
     /// Wall-clock seconds the combined (concurrent) phase took.
     pub combined_wall_seconds: f64,
+    /// Mean per-query scheduler queue wait of the classic stream during
+    /// the combined phase, wall-clock seconds.
+    pub cpu_mean_queue_wait_seconds: f64,
+    /// Mean per-query scheduler queue wait of the A&R stream during the
+    /// combined phase, wall-clock seconds.
+    pub ar_mean_queue_wait_seconds: f64,
+    /// Estimated over actual simulated seconds for the A&R stream in the
+    /// combined phase ([`crate::StreamSnapshot::estimate_ratio`]) — how
+    /// well the SJF latency estimator was calibrated on this workload.
+    pub ar_estimate_ratio: f64,
     /// Device-memory high-water mark across the whole experiment (the
     /// maximum over the pool's devices).
     pub device_peak_bytes: u64,
@@ -139,7 +149,7 @@ pub fn run_throughput_with(
 
     // --- Combined: both streams submitted concurrently. ---
     let max_threads = *thread_steps.iter().max().unwrap_or(&1);
-    let (cpu_full_qps, combined_wall_seconds) = {
+    let (cpu_full_qps, combined_wall_seconds, combined_stats) = {
         let sched = Scheduler::new(Arc::clone(&db), config);
         let cpu_session = sched.session();
         let ar_session = sched.session();
@@ -176,7 +186,11 @@ pub fn run_throughput_with(
             t.wait()?;
         }
         let wall = started.elapsed().as_secs_f64();
-        (opts.queries_per_step as f64 / cpu_sim.max(1e-12), wall)
+        (
+            opts.queries_per_step as f64 / cpu_sim.max(1e-12),
+            wall,
+            sched.stats(),
+        )
     };
 
     // The A&R stream's measured host-bandwidth demand steals from the CPU
@@ -200,6 +214,9 @@ pub fn run_throughput_with(
         cumulative: cpu_with_ar + ar_only,
         ar_host_bytes_per_query,
         combined_wall_seconds,
+        cpu_mean_queue_wait_seconds: combined_stats.classic.mean_queued().as_secs_f64(),
+        ar_mean_queue_wait_seconds: combined_stats.approx_refine.mean_queued().as_secs_f64(),
+        ar_estimate_ratio: combined_stats.approx_refine.estimate_ratio(),
         device_peak_bytes: device_peaks.iter().copied().max().unwrap_or(0),
         device_peaks,
     })

@@ -10,12 +10,14 @@ pub mod bits;
 pub mod date;
 pub mod error;
 pub mod hash;
+pub mod rng;
 pub mod value;
 
 pub use bits::{bits_for_value, bits_for_width, low_mask};
 pub use date::Date;
 pub use error::{BwdError, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use rng::SplitMix64;
 pub use value::{DataType, Value};
 
 /// A tuple identifier ("object id" in MonetDB terminology).

@@ -70,6 +70,13 @@ fn main() -> Result<()> {
         report.combined_wall_seconds * 1e3,
         report.device_peak_bytes >> 20,
     );
+    println!(
+        "combined-phase queue waits: classic {:.2} ms, A&R {:.2} ms mean; \
+         A&R latency estimator est/actual {:.2}",
+        report.cpu_mean_queue_wait_seconds * 1e3,
+        report.ar_mean_queue_wait_seconds * 1e3,
+        report.ar_estimate_ratio,
+    );
 
     // --- One concurrent burst with per-component accounting. ---
     let sched = Scheduler::new(Arc::clone(&db), SchedConfig::default());

@@ -10,6 +10,7 @@ use waste_not::core::plan::ArPlan;
 use waste_not::data::{gen_lineitem, gen_part, TpchConfig};
 use waste_not::device::DeviceSpec;
 use waste_not::engine::{ArExecOptions, Database, ExecMode};
+use waste_not::sched::workload::Gate;
 use waste_not::sched::{SchedConfig, Scheduler, SubmitOptions};
 use waste_not::sql::{bind, parse, BoundStatement};
 use waste_not::storage::Column;
@@ -178,16 +179,16 @@ fn admission_queues_and_never_exceeds_capacity() {
         },
     );
 
-    // Deterministic queueing: block the card with a manual reservation so
-    // the submitted query *must* wait, then release and watch it finish.
-    let blocker = mem.alloc(mem.available()).unwrap();
+    // Deterministic queueing, via the scheduler test harness: the gate
+    // reserves every free byte of the card so the submitted query *must*
+    // block inside admission (waiting on state, not on time), then
+    // releases and the query finishes.
+    let gate = Gate::block(sched.database(), 0).unwrap();
     let session = sched.session();
     let ticket = session.submit(plan.clone(), ExecMode::ApproxRefine);
-    while mem.queued() == 0 {
-        std::thread::yield_now();
-    }
+    gate.wait_admission_blocked(1);
     assert!(ticket.poll().is_none(), "query must be queued, not failed");
-    drop(blocker);
+    gate.release();
     assert_eq!(ticket.wait().unwrap().rows, expected);
 
     // Stress: 12 more A&R queries race for a card that admits one at a
