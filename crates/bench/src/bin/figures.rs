@@ -6,7 +6,7 @@
 //!
 //!   ids: all (default) | fig1 | fig8a | fig8b | fig8c | fig8d | fig8e
 //!        | fig8f | fig9 | tab1 | fig10a | fig10b | fig10c | fig11
-//!        | bench-arexec | bench-multidev | bench-sjf
+//!        | bench-arexec | bench-multidev | bench-sjf | bench-scan
 //! ```
 //!
 //! `bench-arexec` measures the morsel-parallel A&R pipeline's *wall
@@ -18,7 +18,10 @@
 //! `bench-sjf` drains the identical seeded short/long mix under each
 //! queue policy and fails unless shortest-job-first strictly beats FIFO
 //! on short-query waits with bit-identical answers and no starved long
-//! scan. None of the three is part of `all`.
+//! scan. `bench-scan` sweeps the packed-domain selection paths over
+//! width × selectivity (scalar vs SWAR, index vs bitmap), writes the
+//! `BENCH_scan.json` baseline and fails on any bit-identity violation.
+//! None of the four is part of `all`.
 //!
 //! Defaults are laptop-friendly scales; `--full` switches to the paper's
 //! scales (100 M microbenchmark tuples, 250 M GPS fixes, TPC-H SF-10 —
@@ -169,6 +172,32 @@ fn main() -> ExitCode {
                             return ExitCode::FAILURE;
                         }
                         Ok(vec![bwd_bench::arexec::figure(&report)])
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            "bench-scan" => {
+                // Packed-domain selection sweep: defaults to the 4M-row
+                // workload the committed BENCH_scan.json records.
+                let n = if args.micro_explicit {
+                    args.micro_n
+                } else {
+                    1 << 22
+                };
+                match bwd_bench::scan::measure(n, 3) {
+                    Ok(report) => {
+                        let path = std::path::Path::new("BENCH_scan.json");
+                        match bwd_bench::scan::write_json(&report, path) {
+                            Ok(()) => eprintln!("wrote {}", path.display()),
+                            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+                        }
+                        match bwd_bench::scan::check(&report) {
+                            Ok(()) => Ok(vec![bwd_bench::scan::figure(&report)]),
+                            Err(e) => {
+                                println!("{}", bwd_bench::scan::figure(&report).render());
+                                Err(e.to_string())
+                            }
+                        }
                     }
                     Err(e) => Err(e.to_string()),
                 }

@@ -6,6 +6,9 @@
 //!   Q1/Q6/Q14), Fig 11 (multi-stream throughput), Fig 1 (motivation);
 //! * [`arexec`] — wall-clock baseline of the morsel-parallel A&R pipeline
 //!   (`figures -- bench-arexec` writes `BENCH_arexec.json`);
+//! * [`scan`] — width × selectivity sweep of the packed-domain selection
+//!   paths: scalar vs SWAR, index vs bitmap, bit-identity enforced
+//!   (`figures -- bench-scan` writes `BENCH_scan.json`);
 //! * [`multidev`] — 1-device vs 2-device A&R scheduling sweep
 //!   (`figures -- bench-multidev`);
 //! * [`sjf`] — queue-policy sweep (FIFO vs shortest-job-first vs
@@ -20,4 +23,5 @@ pub mod evaluation;
 pub mod micro;
 pub mod multidev;
 pub mod report;
+pub mod scan;
 pub mod sjf;

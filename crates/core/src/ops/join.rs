@@ -181,7 +181,8 @@ pub fn charge_fk_project_refine(
     ledger: &mut CostLedger,
 ) {
     if charge_download {
-        let bytes = (n_cands as u64 * dim_col.meta().stored_width() as u64).div_ceil(8);
+        let bytes =
+            bwd_device::units::packed_stream_bytes(dim_col.meta().stored_width(), n_cands as u64);
         env.charge_download("join.fk.refine.download", bytes, ledger);
     }
     if dim_col.meta().fully_device_resident() {

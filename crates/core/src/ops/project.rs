@@ -82,7 +82,8 @@ pub fn charge_project_refine(
     ledger: &mut CostLedger,
 ) {
     if charge_download {
-        let bytes = (n_cands as u64 * col.meta().stored_width() as u64).div_ceil(8);
+        let bytes =
+            bwd_device::units::packed_stream_bytes(col.meta().stored_width(), n_cands as u64);
         env.charge_download("project.refine.download", bytes, ledger);
     }
     let merge_bytes = n_cands as u64 * 4;

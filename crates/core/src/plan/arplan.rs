@@ -11,17 +11,12 @@
 use crate::plan::logical::{AggExpr, ScalarExpr};
 use crate::relax::RangePred;
 
-/// Bytes one materialized candidate occupies in device memory: a `u32`
-/// oid plus a worst-case 64-bit approximation value. Shared unit between
-/// the executor's transient working-set accounting and the scheduler's
-/// admission estimates — both must bill candidates identically or
-/// budgets and reservations silently drift apart.
-pub const CANDIDATE_PAIR_BYTES: u64 = 12;
-
-/// Bytes per value the device fast path gathers per candidate when
-/// staging aggregation inputs (worst-case 64-bit payload). Same
-/// shared-unit contract as [`CANDIDATE_PAIR_BYTES`].
-pub const GATHER_VALUE_BYTES: u64 = 8;
+// The executor's transient working-set accounting and the scheduler's
+// admission estimates both bill candidates through these units; they are
+// *defined* in `bwd_device::units` (one layer below the kernels, which
+// also charge through them) and re-exported here under their historical
+// plan-adjacent paths.
+pub use bwd_device::units::{CANDIDATE_PAIR_BYTES, GATHER_VALUE_BYTES};
 
 /// A selection bound to a column, with the predicate already translated to
 /// the payload domain (dates resolved to day counts, decimals rescaled,

@@ -27,6 +27,7 @@ pub mod device;
 pub mod ledger;
 pub mod memory;
 pub mod spec;
+pub mod units;
 
 pub use device::{Device, DevicePool, Env};
 pub use ledger::{Breakdown, Component, CostEvent, CostLedger, SharedLedger, TrafficBytes};

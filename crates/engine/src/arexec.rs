@@ -23,8 +23,9 @@ use crate::aggregate::{compute_aggregates_morsel, compute_projection_morsel, Gro
 use crate::database::Database;
 use crate::eval::{payload_to_value, ColumnSlot, RowBlock};
 use crate::morsel::{
-    gather_stored, group_rows, partition_ranges, partition_ranges_min, refine_filter,
-    refine_payloads, run_parts, run_parts_mut, translucent_starts, ResidualSrc, ScratchPool,
+    gather_stored, group_rows, partition_mask_ranges, partition_ranges, partition_ranges_min,
+    refine_filter, refine_payloads, run_parts, run_parts_mut, translucent_starts, ResidualSrc,
+    ScratchPool,
 };
 use crate::result::{ApproxAnswer, QueryResult};
 use bwd_core::ops::join::{charge_fk_project_refine, FkIndex};
@@ -38,16 +39,46 @@ use bwd_kernels::group::hash_group_multi;
 use bwd_kernels::scan::{
     cache_worthwhile, charge_select_indirect, charge_select_on, charge_select_on_indirect,
     charge_select_scan, scan_block_ranges, select_range_indirect_partition,
-    select_range_on_indirect_partition, select_range_on_partition, select_range_partition,
+    select_range_mask_partition, select_range_on_indirect_partition,
+    select_range_on_mask_partition, select_range_on_partition, select_range_partition,
 };
-use bwd_kernels::{Candidates, ScanOptions};
+use bwd_kernels::{Candidates, ScanOptions, SelMask, SelVec};
 use bwd_types::{BwdError, Oid, Result, Value};
+
+/// How the approximate-selection chain materializes its candidates.
+///
+/// Representation only: results, candidate order and simulated costs are
+/// bit-identical under every variant (asserted by
+/// `tests/packed_selection.rs`); what changes is the real work the host
+/// simulation performs per selection step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateRep {
+    /// Pick per selection: the positional bitmap for direct (fact-side)
+    /// predicates whose relaxed stored-domain selectivity estimate is at
+    /// least [`BITMAP_MIN_SELECTIVITY`], materialized indices otherwise.
+    #[default]
+    Auto,
+    /// Always materialize (oid, approximation) pairs — the classic path.
+    Indices,
+    /// Force the bitmap for every direct selection.
+    Bitmap,
+}
+
+/// [`CandidateRep::Auto`]'s switch point: below ~2% estimated selectivity
+/// the sparse index list is smaller than one bit per input row and the
+/// mask→index conversion would touch nearly as many 64-row blocks as the
+/// survivors themselves; above it the bitmap's constant ⅛ byte per row
+/// and its AND-refinement (which skips already-empty 64-row groups) win.
+pub const BITMAP_MIN_SELECTIVITY: f64 = 0.02;
 
 /// Execution options for the A&R path.
 #[derive(Debug, Clone)]
 pub struct ArExecOptions {
     /// Device scan tuning.
     pub scan: ScanOptions,
+    /// Candidate representation policy for the approximate-selection
+    /// chain (bitmap vs indices; see [`CandidateRep`]).
+    pub candidates: CandidateRep,
     /// Capture the approximate answer after the approximation subplan.
     pub approximate_answer: bool,
     /// Real OS threads fanning the refinement-side stages (approximate
@@ -74,6 +105,7 @@ impl Default for ArExecOptions {
     fn default() -> Self {
         ArExecOptions {
             scan: ScanOptions::default(),
+            candidates: CandidateRep::default(),
             approximate_answer: false,
             morsels: 1,
             device_budget: None,
@@ -169,12 +201,23 @@ pub fn run_ar_in(
     };
 
     // ======================= Approximation subplan =======================
-    let mut sel_outputs: Vec<Candidates> = Vec::with_capacity(plan.selections.len());
+    let mut sel_outputs: Vec<SelVec> = Vec::with_capacity(plan.selections.len());
     let mut interleaved_survivors: Option<Vec<Oid>> = None;
 
     if plan.pushdown {
-        for sel in &plan.selections {
+        for (i, sel) in plan.selections.iter().enumerate() {
             let c = resolve(&sel.column)?;
+            // A bitmap chains through *direct* predicates only (the AND
+            // refinement is positional); if this step reaches through
+            // the FK link, materialize the running bitmap now —
+            // bit-identically — so the indirect filter consumes an
+            // index list.
+            if c.is_dim {
+                if let Some(sv @ SelVec::Bitmap(_)) = sel_outputs.last_mut() {
+                    let prev = resolve(&plan.selections[i - 1].column)?;
+                    *sv = SelVec::Indices(sv.to_candidates(prev.bound.approx()));
+                }
+            }
             let cands = approx_select_step(
                 env,
                 &c,
@@ -183,6 +226,7 @@ pub fn run_ar_in(
                 sel_outputs.last(),
                 &opts.scan,
                 morsels,
+                opts.candidates,
                 &pool,
                 &mut ledger,
             )?;
@@ -191,7 +235,10 @@ pub fn run_ar_in(
         }
     } else {
         // Ablation: approximate *and refine* each selection before the
-        // next — survivors re-cross PCI-E per predicate.
+        // next — survivors re-cross PCI-E per predicate. Every step's
+        // candidates are materialized for the immediate refinement
+        // anyway, so the chain runs on indices regardless of the
+        // representation policy.
         let mut surv: Option<Vec<Oid>> = None;
         for sel in &plan.selections {
             let c = resolve(&sel.column)?;
@@ -210,7 +257,7 @@ pub fn run_ar_in(
                     dense: false,
                 };
                 cand.refresh_flags();
-                cand
+                SelVec::Indices(cand)
             });
             let cands = approx_select_step(
                 env,
@@ -220,6 +267,7 @@ pub fn run_ar_in(
                 input.as_ref(),
                 &opts.scan,
                 morsels,
+                CandidateRep::Indices,
                 &pool,
                 &mut ledger,
             )?;
@@ -228,7 +276,7 @@ pub fn run_ar_in(
                 env,
                 &c,
                 fk,
-                &cands,
+                cands.as_indices().expect("ablation chain runs on indices"),
                 None,
                 &sel.range,
                 morsels,
@@ -241,10 +289,18 @@ pub fn run_ar_in(
         interleaved_survivors = Some(surv.unwrap_or_else(|| (0..n as Oid).collect()));
     }
 
+    // The gather boundary: downstream operators (device pre-grouping,
+    // projection gathers, refinement downloads) need positions and
+    // values, so a bitmap materializes here — lazily, and bit-identically
+    // to what the index path would have carried all along.
     let final_cands: Candidates = if plan.selections.is_empty() {
         Candidates::dense_all(n)
     } else {
-        sel_outputs.last().unwrap().clone()
+        let last = resolve(&plan.selections.last().unwrap().column)?;
+        sel_outputs
+            .last()
+            .unwrap()
+            .to_candidates(last.bound.approx())
     };
 
     // Approximate pre-grouping (device) where the keys allow it.
@@ -318,11 +374,26 @@ pub fn run_ar_in(
         let mut surv: Option<Vec<Oid>> = None;
         for (i, sel) in plan.selections.iter().enumerate().rev() {
             let c = resolve(&sel.column)?;
+            // Bitmap outputs materialize at this download boundary; the
+            // last selection's list was already materialized as
+            // `final_cands`, so reuse it instead of converting twice.
+            let owned;
+            let approx_out: &Candidates = if i + 1 == sel_outputs.len() {
+                &final_cands
+            } else {
+                match &sel_outputs[i] {
+                    SelVec::Indices(cands) => cands,
+                    SelVec::Bitmap(m) => {
+                        owned = m.to_candidates(c.bound.approx());
+                        &owned
+                    }
+                }
+            };
             let refined = refine_selection(
                 env,
                 &c,
                 fk,
-                &sel_outputs[i],
+                approx_out,
                 surv.as_deref(),
                 &sel.range,
                 morsels,
@@ -447,28 +518,34 @@ pub fn run_ar_in(
 }
 
 /// One approximate selection step (full scan / chained, direct / through
-/// the FK link), fanned out over `morsels` real threads.
+/// the FK link), fanned out over `morsels` real threads, producing the
+/// representation the policy picks.
 ///
-/// Full scans distribute contiguous chunks of the simulated thread-block
-/// sequence (in its bit-reversed emission order); chained filters
-/// distribute contiguous candidate partitions. Concatenating worker
-/// outputs in chunk order reproduces the serial kernel's permutation byte
-/// for byte, and the cost is charged once from the merged totals via the
-/// kernels' own charge functions.
+/// Index-producing steps distribute contiguous chunks of the simulated
+/// thread-block sequence (in its bit-reversed emission order) or
+/// contiguous candidate partitions; concatenating worker outputs in
+/// chunk order reproduces the serial kernel's permutation byte for byte.
+/// Bitmap-producing steps distribute word-aligned mask ranges — every
+/// partition boundary is a mask-word boundary, so workers fill disjoint
+/// words of one shared buffer and the parallel path needs no
+/// synchronization at all. The cost is charged once from the merged
+/// totals via the kernels' own charge functions, identically in both
+/// representations.
 #[allow(clippy::too_many_arguments)]
 fn approx_select_step(
     env: &Env,
     col: &ColRef<'_>,
     fk: Option<&FkIndex>,
     range: &RangePred,
-    input: Option<&Candidates>,
+    input: Option<&SelVec>,
     scan: &ScanOptions,
     morsels: usize,
+    rep: CandidateRep,
     pool: &ScratchPool,
     ledger: &mut CostLedger,
-) -> Result<Candidates> {
+) -> Result<SelVec> {
     let Some((lo, hi)) = relax_to_stored(col.bound.meta(), range) else {
-        return Ok(Candidates::empty());
+        return Ok(SelVec::Indices(Candidates::empty()));
     };
     let arr = col.bound.approx();
     let link = if col.is_dim {
@@ -478,6 +555,57 @@ fn approx_select_step(
         )
     } else {
         None
+    };
+
+    // Bitmap-producing paths (direct predicates only; the executor
+    // materializes a bitmap before handing it to an indirect step).
+    if link.is_none() {
+        match input {
+            None if bitmap_worthwhile(rep, lo, hi, arr.width()) => {
+                let n = arr.len();
+                let mut words = vec![0u64; n.div_ceil(64)];
+                let ranges = partition_mask_ranges(words.len(), morsels);
+                run_parts_mut(&mut words, &ranges, |_, r, chunk| {
+                    select_range_mask_partition(arr, r.start, lo, hi, chunk);
+                });
+                let mask = SelMask::from_words(words, n, scan);
+                charge_select_scan(env, arr, mask.count(), scan, ledger);
+                return Ok(SelVec::Bitmap(mask));
+            }
+            Some(SelVec::Bitmap(m)) => {
+                // AND-refinement: only mask words that still hold
+                // candidates touch this column's bits.
+                let mut words = vec![0u64; m.words().len()];
+                let ranges = partition_mask_ranges(words.len(), morsels);
+                let in_words = m.words();
+                run_parts_mut(&mut words, &ranges, |_, r, chunk| {
+                    select_range_on_mask_partition(
+                        arr,
+                        &in_words[r.clone()],
+                        r.start,
+                        lo,
+                        hi,
+                        chunk,
+                    );
+                });
+                let out = m.like(words);
+                charge_select_on(env, arr, m.count(), out.count(), ledger);
+                return Ok(SelVec::Bitmap(out));
+            }
+            _ => {}
+        }
+    }
+    let input = match input {
+        None => None,
+        Some(SelVec::Indices(c)) => Some(c),
+        Some(SelVec::Bitmap(_)) => {
+            // The executor converts bitmaps before indirect steps; a
+            // bitmap reaching an index-producing direct step would mean
+            // the chain invariant broke.
+            return Err(BwdError::Exec(
+                "bitmap candidates reached an index-producing selection step".into(),
+            ));
+        }
     };
     let (oids, approx) = match input {
         None => {
@@ -536,7 +664,25 @@ fn approx_select_step(
         dense: false,
     };
     c.refresh_flags();
-    Ok(c)
+    Ok(SelVec::Indices(c))
+}
+
+/// Whether a full-scan selection step should produce the bitmap
+/// representation under `rep`'s policy: forced either way, or — under
+/// [`CandidateRep::Auto`] — when the relaxed bounds' uniform
+/// stored-domain selectivity estimate clears
+/// [`BITMAP_MIN_SELECTIVITY`]. The estimate needs no binder statistics:
+/// `[lo, hi]` is exactly the interval the relaxed scan filters by, and
+/// the stored domain is `2^width`.
+fn bitmap_worthwhile(rep: CandidateRep, lo: u64, hi: u64, width: u32) -> bool {
+    match rep {
+        CandidateRep::Indices => false,
+        CandidateRep::Bitmap => true,
+        CandidateRep::Auto => {
+            let est = ((hi - lo) as f64 + 1.0) / (width as f64).exp2();
+            est >= BITMAP_MIN_SELECTIVITY
+        }
+    }
 }
 
 /// Concatenate per-worker candidate buffers in partition order, recycling

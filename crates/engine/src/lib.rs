@@ -23,7 +23,7 @@ pub mod eval;
 pub(crate) mod morsel;
 pub mod result;
 
-pub use arexec::{run_ar, run_ar_in, ArExecOptions};
+pub use arexec::{run_ar, run_ar_in, ArExecOptions, CandidateRep, BITMAP_MIN_SELECTIVITY};
 pub use catalog::{Catalog, FkDecl, Table};
 pub use classic::{run_classic, run_classic_morsel};
 pub use database::{Database, DecompositionReport, ExecMode};

@@ -49,6 +49,16 @@ pub(crate) fn partition_ranges(len: usize, morsels: usize) -> Vec<Range<usize>> 
     partition_ranges_min(len, morsels, MIN_MORSEL_ROWS)
 }
 
+/// Split a match-bitmap's `nwords` mask words into contiguous worker
+/// ranges. Partitioning the *words* keeps every partition boundary on a
+/// 64-row boundary, so bitmap-producing workers write disjoint words of
+/// one shared buffer — the parallel mask path needs no synchronization
+/// beyond the scoped join. The per-partition minimum matches
+/// [`MIN_MORSEL_ROWS`] in row terms.
+pub(crate) fn partition_mask_ranges(nwords: usize, morsels: usize) -> Vec<Range<usize>> {
+    partition_ranges_min(nwords, morsels, MIN_MORSEL_ROWS.div_ceil(64))
+}
+
 /// [`partition_ranges`] with an explicit per-partition minimum size.
 ///
 /// Partitions are *balanced*: sizes differ by at most one (the remainder

@@ -64,10 +64,10 @@ impl Candidates {
     }
 
     /// Bytes this list occupies when shipped across PCI-E: 4-byte oid plus
-    /// the packed approximation payload per candidate.
+    /// the packed approximation payload per candidate (the same shared
+    /// unit the selection kernels charge for their compacted output).
     pub fn transfer_bytes(&self, approx_width_bits: u32) -> u64 {
-        let per_tuple_bits = 32 + approx_width_bits as u64;
-        (self.len() as u64 * per_tuple_bits).div_ceil(8)
+        bwd_device::units::candidate_stream_bytes(approx_width_bits, self.len() as u64)
     }
 
     /// Charge the device→host transfer of this candidate list.

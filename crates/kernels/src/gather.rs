@@ -10,7 +10,7 @@
 
 use crate::array::DeviceArray;
 use crate::candidates::Candidates;
-use crate::scan::element_access_bytes;
+use bwd_device::units::{element_access_bytes, packed_stream_bytes};
 use bwd_device::{CostLedger, Env};
 
 /// Fetch `arr[oid]` for every candidate. The result is positionally
@@ -142,7 +142,7 @@ pub fn gather_keys(
 }
 
 fn out_bytes(width_bits: u32, n: usize) -> u64 {
-    (n as u64 * width_bits as u64).div_ceil(8)
+    packed_stream_bytes(width_bits, n as u64)
 }
 
 #[cfg(test)]

@@ -126,7 +126,7 @@ pub fn hash_group_multi(
     // One gather stream per key column + the shared contention model.
     let gather_bytes: u64 = keys
         .iter()
-        .map(|k| cands.len() as u64 * (k.width() as u64).div_ceil(8).max(4))
+        .map(|k| cands.len() as u64 * bwd_device::units::element_access_bytes(k.width()))
         .sum();
     let spec = env.device.spec();
     let conflicts = 1.0 + (WARP - 1.0) / group_keys.len().max(1) as f64;

@@ -9,8 +9,12 @@
 //!
 //! Kernel inventory:
 //!
-//! * [`scan`] — relaxed range selections over packed approximations, with
+//! * [`scan`] — relaxed range selections over packed approximations (SWAR
+//!   word-parallel in the packed domain where the width allows), with
 //!   the block-scrambled output order of a parallel selection;
+//! * [`selvec`] — adaptive candidate representations: positional match
+//!   bitmaps ([`SelMask`]) vs materialized index lists, convertible
+//!   bit-identically;
 //! * [`gather`] — positional lookups (projections) and FK-indexed lookups
 //!   (pre-indexed equi-joins share this code path, §IV-D);
 //! * [`group`] — hash grouping with the write-conflict contention model
@@ -26,6 +30,7 @@ pub mod group;
 pub mod join;
 pub mod reduce;
 pub mod scan;
+pub mod selvec;
 
 pub use array::DeviceArray;
 pub use candidates::Candidates;
@@ -33,3 +38,4 @@ pub use gather::{gather_partition, gather_partition_into};
 pub use group::{GroupResult, MultiGroupResult};
 pub use join::Theta;
 pub use scan::{scan_block_ranges, select_range_partition, ScanOptions};
+pub use selvec::{SelMask, SelVec};

@@ -17,7 +17,7 @@
 use crate::array::DeviceArray;
 use crate::candidates::Candidates;
 use crate::group::GroupResult;
-use crate::scan::element_access_bytes;
+use bwd_device::units::element_access_bytes;
 use bwd_device::{Component, CostLedger, Env};
 
 /// Exact sum of `map(arr[oid])` over the candidates.

@@ -7,6 +7,18 @@
 //! inclusive bounds in the stored domain and emits candidate (oid,
 //! approximation) pairs.
 //!
+//! # Packed-domain evaluation
+//!
+//! For SWAR-applicable widths the predicate itself runs on the packed
+//! words ([`bwd_storage::swar`]): a word-parallel banked compare yields a
+//! per-64-rows match mask without decoding, and decode happens only for
+//! blocks that contain survivors. The mask-producing twins
+//! ([`select_range_mask`], [`select_range_on_mask`]) keep that bitmap as
+//! the candidate representation ([`SelMask`]) — one bit per row instead
+//! of 12 bytes per survivor — and convert to the classic candidate list
+//! lazily, bit-identically, at the boundary where downstream operators
+//! need positions and values.
+//!
 //! # Output order
 //!
 //! A massively parallel selection partitions its input into thread blocks
@@ -21,9 +33,11 @@
 
 use crate::array::DeviceArray;
 use crate::candidates::Candidates;
+use crate::selvec::SelMask;
+use bwd_device::units::{candidate_stream_bytes, element_access_bytes};
 use bwd_device::{CostLedger, Env};
-use bwd_storage::{BlockDecoder, DECODE_BLOCK};
-use bwd_types::Oid;
+use bwd_storage::{swar_applicable, BlockDecoder, RangeMatcher, DECODE_BLOCK};
+use bwd_types::{bits::low_mask, Oid};
 use std::ops::Range;
 
 /// Tuning knobs for the selection kernels.
@@ -96,7 +110,7 @@ pub fn charge_select_scan(
 ) {
     let n = arr.len();
     let nblocks = n.div_ceil(opts.block_size.max(1));
-    let out_bytes = (n_matches as u64 * (32 + arr.width() as u64)).div_ceil(8);
+    let out_bytes = candidate_stream_bytes(arr.width(), n_matches as u64);
     env.charge_kernel(
         "select.approx.scan",
         arr.packed_bytes() + out_bytes,
@@ -152,7 +166,74 @@ pub fn select_range(
 /// callers can fan partitions out across real threads and charge the
 /// merged totals once. [`select_range`] itself is built from these
 /// partitions (one per simulated thread block).
+///
+/// For SWAR-applicable widths ([`bwd_storage::swar_applicable`]) the
+/// predicate is evaluated **in the packed domain**: a word-parallel
+/// banked compare produces a 64-element match mask per group, decode
+/// only happens for 64-blocks that contain at least one survivor (a
+/// selective scan skips most of the relation's decode work entirely),
+/// and survivors are emitted via `trailing_zeros` — bit-identical to
+/// [`select_range_partition_scalar`], the decode-and-compare reference
+/// path used for wide elements.
 pub fn select_range_partition(
+    arr: &DeviceArray,
+    start: usize,
+    end: usize,
+    lo: u64,
+    hi: u64,
+    oids: &mut Vec<Oid>,
+    approx: &mut Vec<u64>,
+) {
+    let data = arr.data();
+    if !swar_applicable(data.width()) {
+        return select_range_partition_scalar(arr, start, end, lo, hi, oids, approx);
+    }
+    let m = RangeMatcher::new(data, lo, hi);
+    if m.is_empty_range() {
+        return;
+    }
+    let mut buf = [0u64; DECODE_BLOCK];
+    let mut i = start;
+    while i < end {
+        let n = (end - i).min(DECODE_BLOCK);
+        let mut bits = m.match_word(i, n);
+        if bits != 0 {
+            if bits == low_mask(n as u32) {
+                // Every element matches: straight bulk decode + append.
+                data.unpack_range(i, &mut buf[..n]);
+                for (k, &v) in buf[..n].iter().enumerate() {
+                    oids.push((i + k) as Oid);
+                    approx.push(v);
+                }
+            } else if bits.count_ones() >= crate::selvec::DENSE_BLOCK_MIN {
+                // Dense block: decode once, then emit set bits.
+                data.unpack_range(i, &mut buf[..n]);
+                while bits != 0 {
+                    let k = bits.trailing_zeros() as usize;
+                    oids.push((i + k) as Oid);
+                    approx.push(buf[k]);
+                    bits &= bits - 1;
+                }
+            } else {
+                // Sparse block: decode only the survivors.
+                while bits != 0 {
+                    let k = bits.trailing_zeros() as usize;
+                    oids.push((i + k) as Oid);
+                    approx.push(data.get(i + k));
+                    bits &= bits - 1;
+                }
+            }
+        }
+        i += n;
+    }
+}
+
+/// The pre-SWAR reference implementation of [`select_range_partition`]:
+/// bulk-decode every element into a stack scratch block and compare one
+/// value at a time. Still the dispatched path for widths where SWAR
+/// lanes don't pay, and the baseline the scan benchmark measures the
+/// packed-domain path against.
+pub fn select_range_partition_scalar(
     arr: &DeviceArray,
     start: usize,
     end: usize,
@@ -177,6 +258,95 @@ pub fn select_range_partition(
             }
         }
         i += n;
+    }
+}
+
+/// Scan the whole array for stored values in `[lo, hi]`, producing the
+/// positional match **bitmap** instead of materialized candidate pairs —
+/// the mask-producing twin of [`select_range`]. The mask records the
+/// scan geometry, so [`SelMask::to_candidates`] later reproduces the
+/// index kernel's block-scrambled output bit for bit.
+///
+/// Charges exactly what [`select_range`] charges for the same match
+/// count: the representation is a host-simulation detail, the simulated
+/// device still prices the paper's candidate-pair output model.
+pub fn select_range_mask(
+    env: &Env,
+    arr: &DeviceArray,
+    lo: u64,
+    hi: u64,
+    opts: &ScanOptions,
+    ledger: &mut CostLedger,
+) -> SelMask {
+    let mut words = vec![0u64; arr.len().div_ceil(64)];
+    select_range_mask_partition(arr, 0, lo, hi, &mut words);
+    let mask = SelMask::from_words(words, arr.len(), opts);
+    charge_select_scan(env, arr, mask.count(), opts, ledger);
+    mask
+}
+
+/// Fill the mask words starting at word index `word_start` (row
+/// `word_start * 64`) for as many rows as `out` covers — the pure,
+/// word-aligned partition form of [`select_range_mask`]. Because every
+/// partition boundary is a mask-word boundary, morsel workers write
+/// disjoint chunks of one shared word buffer with no synchronization.
+pub fn select_range_mask_partition(
+    arr: &DeviceArray,
+    word_start: usize,
+    lo: u64,
+    hi: u64,
+    out: &mut [u64],
+) {
+    let base = word_start * 64;
+    let n = (arr.len() - base).min(out.len() * 64);
+    RangeMatcher::new(arr.data(), lo, hi).fill(base, n, &mut out[..n.div_ceil(64)]);
+}
+
+/// Filter an existing candidate *bitmap* by `[lo, hi]` bounds over
+/// another column — the mask-producing twin of [`select_range_on`]. The
+/// output mask is `input AND match(arr)`, evaluated only for mask words
+/// that still hold candidates (a selective first predicate makes later
+/// predicates skip most of the relation).
+///
+/// Charges exactly what [`select_range_on`] charges for the same input
+/// and survivor counts.
+pub fn select_range_on_mask(
+    env: &Env,
+    arr: &DeviceArray,
+    input: &SelMask,
+    lo: u64,
+    hi: u64,
+    ledger: &mut CostLedger,
+) -> SelMask {
+    let mut words = vec![0u64; input.words().len()];
+    select_range_on_mask_partition(arr, input.words(), 0, lo, hi, &mut words);
+    let out = input.like(words);
+    charge_select_on(env, arr, input.count(), out.count(), ledger);
+    out
+}
+
+/// The pure, word-aligned partition form of [`select_range_on_mask`]:
+/// AND-refine the input mask chunk starting at word index `word_start`
+/// into `out` (`in_words.len() == out.len()`). Zero input words are
+/// skipped without touching the column's bits.
+pub fn select_range_on_mask_partition(
+    arr: &DeviceArray,
+    in_words: &[u64],
+    word_start: usize,
+    lo: u64,
+    hi: u64,
+    out: &mut [u64],
+) {
+    debug_assert_eq!(in_words.len(), out.len());
+    let m = RangeMatcher::new(arr.data(), lo, hi);
+    let rows = arr.len();
+    for (i, (&inw, slot)) in in_words.iter().zip(out.iter_mut()).enumerate() {
+        if inw == 0 {
+            *slot = 0;
+            continue;
+        }
+        let s = (word_start + i) * 64;
+        *slot = inw & m.match_word(s, (rows - s).min(64));
     }
 }
 
@@ -262,7 +432,7 @@ pub fn charge_select_on(
     ledger: &mut CostLedger,
 ) {
     let touched = n_in as u64 * element_access_bytes(arr.width());
-    let out_bytes = (n_out as u64 * (32 + arr.width() as u64)).div_ceil(8);
+    let out_bytes = candidate_stream_bytes(arr.width(), n_out as u64);
     env.charge_kernel_scattered(
         "select.approx.gather-filter",
         touched + out_bytes,
@@ -441,13 +611,6 @@ pub fn charge_select_on_indirect(
     );
 }
 
-/// Bytes a single random element access touches (memory transactions are
-/// word-granular even for narrow packed elements).
-#[inline]
-pub(crate) fn element_access_bytes(width_bits: u32) -> u64 {
-    (width_bits as u64).div_ceil(8).max(4)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,6 +731,40 @@ mod tests {
         let c = select_range(&env, &arr, 100, 200, &ScanOptions::default(), &mut ledger);
         assert!(c.is_empty());
         assert!(c.sorted && c.dense);
+    }
+
+    /// The SWAR-routed partition kernel is bit-identical to the scalar
+    /// reference at every width class (SWAR widths, the 20/21/22 lane
+    /// boundary, wide fallback widths), for partitions that start and
+    /// end off 64-alignment.
+    #[test]
+    fn swar_routed_partition_matches_scalar_reference() {
+        let env = Env::paper_default();
+        for width in [1u32, 4, 8, 12, 16, 20, 21, 22, 24, 32, 40] {
+            let mask = bwd_types::bits::low_mask(width);
+            let vals: Vec<u64> = (0..10_000u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+                .collect();
+            let arr = device_array(&env, width, &vals);
+            let lo = mask / 4;
+            let hi = mask / 2;
+            for (start, end) in [(0usize, 10_000usize), (3, 9_999), (65, 127), (500, 500)] {
+                let (mut o1, mut a1) = (Vec::new(), Vec::new());
+                let (mut o2, mut a2) = (Vec::new(), Vec::new());
+                select_range_partition(&arr, start, end, lo, hi, &mut o1, &mut a1);
+                select_range_partition_scalar(&arr, start, end, lo, hi, &mut o2, &mut a2);
+                assert_eq!(o1, o2, "width={width} start={start} end={end}");
+                assert_eq!(a1, a2, "width={width} start={start} end={end}");
+            }
+            // Empty and all-match bounds too.
+            for (lo, hi) in [(1u64, 0u64), (0, mask), (mask, mask)] {
+                let (mut o1, mut a1) = (Vec::new(), Vec::new());
+                let (mut o2, mut a2) = (Vec::new(), Vec::new());
+                select_range_partition(&arr, 0, vals.len(), lo, hi, &mut o1, &mut a1);
+                select_range_partition_scalar(&arr, 0, vals.len(), lo, hi, &mut o2, &mut a2);
+                assert_eq!((o1, a1), (o2, a2), "width={width} lo={lo} hi={hi}");
+            }
+        }
     }
 
     #[test]

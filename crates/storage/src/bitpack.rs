@@ -240,6 +240,18 @@ impl BitPackedVec {
     pub fn heap_bytes(&self) -> u64 {
         (self.words.capacity() * std::mem::size_of::<u64>()) as u64
     }
+
+    /// The raw backing words (element `i` occupies bits
+    /// `[i*width, (i+1)*width)` of this little-endian bit stream; the
+    /// last word's unused high bits are zero).
+    ///
+    /// This is the low-level surface the packed-domain SWAR predicates
+    /// ([`crate::swar`]) evaluate on without decoding; ordinary consumers
+    /// should use [`BitPackedVec::get`] / [`BitPackedVec::unpack_range`].
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
 }
 
 /// Iterator over a [`BitPackedVec`], buffered through the bulk decoder.

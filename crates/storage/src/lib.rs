@@ -5,6 +5,8 @@
 //! * [`bitpack`] — fixed-width bit-packed vectors, the physical format of
 //!   both decomposition partitions;
 //! * [`encoding`] — order-preserving payload↔unsigned encodings;
+//! * [`swar`] — word-parallel range/point predicates evaluated directly
+//!   on the packed words (no decode in the selection hot loop);
 //! * [`prefix`] — shared-leading-bit compression with a factored base;
 //! * [`decompose`] — the bitwise split of a column into a device-destined
 //!   approximation and a host-resident residual;
@@ -18,9 +20,14 @@ pub mod column;
 pub mod decompose;
 pub mod encoding;
 pub mod prefix;
+pub mod swar;
 
 pub use bat::{Bat, Head};
 pub use bitpack::{BitPackedVec, BlockDecoder, DECODE_BLOCK};
 pub use column::{Column, ColumnData, Dictionary};
 pub use decompose::{DecomposedColumn, DecompositionMeta, DecompositionSpec};
 pub use prefix::{OutOfRange, PrefixBase, PrefixGranularity};
+pub use swar::{
+    mask_count, point_match_mask, range_match_mask, range_match_mask_scalar, swar_applicable,
+    RangeMatcher, SWAR_MAX_WIDTH,
+};

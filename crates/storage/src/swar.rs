@@ -1,0 +1,458 @@
+//! SWAR word-parallel predicates over packed words.
+//!
+//! The approximate selection is the hot loop of the whole system: it
+//! streams the bit-packed approximation and keeps values inside a relaxed
+//! `[lo, hi]` range. The scan kernels used to *decode* every element into
+//! a `u64` scratch buffer and compare one value at a time; this module
+//! evaluates the comparison **in the packed domain** instead
+//! (BitWeaving-style), producing a one-bit-per-element match mask 64
+//! elements at a time and touching no scratch memory at all.
+//!
+//! # How the word-parallel compare works
+//!
+//! For element width `w` (in bits), a group of `K = 64 / (w + 1)` packed
+//! elements is lifted into `K` lanes of `L = w + 1` bits inside one
+//! `u64` — the extra bit per lane is the classic SWAR *spare carry bit*.
+//! With `H` the mask of every lane's top bit (bit `w` of each lane):
+//!
+//! * `((x | H) - rep(lo)) & H` has a lane's top bit set iff
+//!   `x >= lo` — the subtraction borrows out of the spare bit exactly
+//!   when the lane value is too small, and the spare bit stops the
+//!   borrow from rippling into the next lane;
+//! * `!((x | H) - rep(hi + 1)) & H` has the top bit set iff
+//!   `x <= hi` (i.e. not `x >= hi + 1`; `hi + 1 <= 2^w` still fits the
+//!   `w+1`-bit lane).
+//!
+//! ANDing the two and compacting the `K` strided top bits yields `K`
+//! match bits per a handful of word ops, branch-free. Lane lifting reads
+//! the packed stream directly through a two-word window, so each backing
+//! word is loaded once — like [`BitPackedVec::unpack_range`] — but
+//! nothing is ever written back to memory.
+//!
+//! Lanes stop paying once they get too wide: past
+//! [`SWAR_MAX_WIDTH`] bits only two lanes fit a word and the lift/compact
+//! bookkeeping costs as much as two scalar compares, so
+//! [`range_match_mask`] falls back to a decode-and-compare loop there
+//! (and for `width == 0`, where no bits exist to compare). Every path is
+//! exhaustively checked equivalent to [`BitPackedVec::get`]-based
+//! evaluation.
+
+use crate::bitpack::{BitPackedVec, DECODE_BLOCK};
+use bwd_types::bits::low_mask;
+
+/// Widest element (bits) the SWAR lanes still pay for. At `w = 21` the
+/// `w+1 = 22`-bit lanes fit two per word (one word op tests two values);
+/// past that the lift overhead eats the win and the scalar fallback is
+/// used.
+pub const SWAR_MAX_WIDTH: u32 = 21;
+
+/// Whether [`range_match_mask`] takes the word-parallel path for
+/// `width`-bit elements (widths outside `1..=`[`SWAR_MAX_WIDTH`] use the
+/// scalar fallback — with identical results either way).
+#[inline]
+pub fn swar_applicable(width: u32) -> bool {
+    (1..=SWAR_MAX_WIDTH).contains(&width)
+}
+
+/// A range predicate compiled against one packed vector: the bound
+/// classification (empty / all-match / SWAR / scalar) and the SWAR lane
+/// constants are computed once, then [`RangeMatcher::match_word`] tests
+/// up to 64 elements per call. This is the unit the mask-producing scan
+/// kernels build on — chained mask refinements call `match_word` only
+/// for mask words that still have candidates.
+pub struct RangeMatcher<'a> {
+    v: &'a BitPackedVec,
+    kind: MatchKind,
+}
+
+enum MatchKind {
+    /// `lo > hi`, or `lo` beyond the width's maximum: nothing matches.
+    Empty,
+    /// `[lo, hi]` covers the whole stored domain: everything matches.
+    All,
+    /// Word-parallel banked compare (widths `1..=SWAR_MAX_WIDTH`).
+    Swar {
+        width: usize,
+        lane: usize,
+        k: usize,
+        elem_mask: u64,
+        h: u64,
+        lo_rep: u64,
+        hi1_rep: u64,
+    },
+    /// Decode-and-compare fallback (wide elements).
+    Scalar { lo: u64, hi: u64 },
+}
+
+impl<'a> RangeMatcher<'a> {
+    /// Compile `lo <= x <= hi` against `v`'s width. An empty range
+    /// (`lo > hi`) matches nothing; `hi` past the width's maximum value
+    /// is clamped.
+    pub fn new(v: &'a BitPackedVec, lo: u64, hi: u64) -> Self {
+        let width = v.width();
+        let max = low_mask(width);
+        let kind = if lo > hi || lo > max {
+            MatchKind::Empty
+        } else {
+            let hi = hi.min(max);
+            if lo == 0 && hi == max {
+                MatchKind::All
+            } else if swar_applicable(width) {
+                let width = width as usize;
+                let lane = width + 1;
+                let k = 64 / lane; // >= 2 for width <= 21
+                                   // rep(1): bit j*lane set for every lane j. Multiplying a
+                                   // lane-sized value by this replicates it into every lane
+                                   // (terms cannot overlap, so nothing carries between
+                                   // lanes).
+                let mut ones = 0u64;
+                for j in 0..k {
+                    ones |= 1u64 << (j * lane);
+                }
+                MatchKind::Swar {
+                    width,
+                    lane,
+                    k,
+                    elem_mask: low_mask(width as u32),
+                    h: ones << width, // every lane's spare top bit
+                    lo_rep: lo * ones,
+                    hi1_rep: (hi + 1) * ones, // hi+1 <= 2^width fits a lane
+                }
+            } else {
+                MatchKind::Scalar { lo, hi }
+            }
+        };
+        RangeMatcher { v, kind }
+    }
+
+    /// Whether no value can match (callers may skip the scan entirely).
+    #[inline]
+    pub fn is_empty_range(&self) -> bool {
+        matches!(self.kind, MatchKind::Empty)
+    }
+
+    /// Match bits for elements `start..start + n` (`n <= 64`): bit `k`
+    /// set iff element `start + k` is inside the range; bits `n..` zero.
+    ///
+    /// # Panics
+    /// Panics (debug) if `n > 64` or the range is out of bounds.
+    #[inline]
+    pub fn match_word(&self, start: usize, n: usize) -> u64 {
+        debug_assert!(n <= 64 && start + n <= self.v.len());
+        if n == 0 {
+            return 0;
+        }
+        let full = low_mask(n as u32);
+        match self.kind {
+            MatchKind::Empty => 0,
+            MatchKind::All => full,
+            MatchKind::Swar {
+                width,
+                lane,
+                k,
+                elem_mask,
+                h,
+                lo_rep,
+                hi1_rep,
+            } => {
+                let words = self.v.words();
+                let mut bits = 0u64;
+                let mut j = 0usize;
+                while j < n {
+                    let g = (n - j).min(k);
+                    // A two-word window holds the whole g-element group:
+                    // g * width <= k * width < 64 bits.
+                    let bit = (start + j) as u64 * width as u64;
+                    let wi = (bit / 64) as usize;
+                    let sh = (bit % 64) as u32;
+                    let win = if sh == 0 {
+                        words[wi]
+                    } else {
+                        (words[wi] >> sh) | (words.get(wi + 1).copied().unwrap_or(0) << (64 - sh))
+                    };
+                    // Lift: lane t moves from bit t*width to t*lane (one
+                    // spare bit inserted per element); unused high lanes
+                    // stay zero.
+                    let mut lanes = win & elem_mask;
+                    for t in 1..g {
+                        lanes |= (win & (elem_mask << (t * width))) << t;
+                    }
+                    // The banked compare described in the module docs.
+                    let ge_lo = (lanes | h).wrapping_sub(lo_rep);
+                    let le_hi = !(lanes | h).wrapping_sub(hi1_rep);
+                    let tops = ge_lo & le_hi & h;
+                    // Compact the strided top bits (bit t*lane + width)
+                    // into g adjacent match bits.
+                    let strided = tops >> width;
+                    let mut group = 0u64;
+                    for t in 0..g {
+                        group |= ((strided >> (t * lane)) & 1) << t;
+                    }
+                    bits |= group << j;
+                    j += g;
+                }
+                bits
+            }
+            MatchKind::Scalar { lo, hi } => {
+                let mut buf = [0u64; DECODE_BLOCK];
+                self.v.unpack_range(start, &mut buf[..n]);
+                let mut bits = 0u64;
+                for (kk, &x) in buf[..n].iter().enumerate() {
+                    bits |= u64::from(x >= lo && x <= hi) << kk;
+                }
+                bits
+            }
+        }
+    }
+
+    /// Fill a whole mask slice: bit `k % 64` of `mask[k / 64]` set iff
+    /// element `start + k` matches, for `k` in `0..n`.
+    pub fn fill(&self, start: usize, n: usize, mask: &mut [u64]) {
+        assert!(
+            start.checked_add(n).is_some_and(|end| end <= self.v.len()),
+            "range {start}.. +{n} out of bounds (len {})",
+            self.v.len()
+        );
+        assert_eq!(mask.len(), n.div_ceil(64), "mask word count");
+        let mut idx = 0usize;
+        for m in mask.iter_mut() {
+            let c = (n - idx).min(64);
+            *m = self.match_word(start + idx, c);
+            idx += c;
+        }
+    }
+}
+
+/// Evaluate `lo <= v[start + k] <= hi` for `k` in `0..n`, writing one
+/// match bit per element into `mask` (bit `k % 64` of `mask[k / 64]`;
+/// bits at `n` and beyond are zero).
+///
+/// Dispatches to the word-parallel SWAR compare when
+/// [`swar_applicable`]`(v.width())`, and to a bulk-decode scalar loop
+/// otherwise; both produce identical masks. `lo > hi` (an empty range)
+/// matches nothing; `hi` past the width's maximum value is clamped.
+///
+/// # Panics
+/// Panics if `start + n > v.len()` or `mask.len() != n.div_ceil(64)`.
+pub fn range_match_mask(
+    v: &BitPackedVec,
+    start: usize,
+    n: usize,
+    lo: u64,
+    hi: u64,
+    mask: &mut [u64],
+) {
+    RangeMatcher::new(v, lo, hi).fill(start, n, mask);
+}
+
+/// [`range_match_mask`] for a point predicate (`v[i] == x`).
+#[inline]
+pub fn point_match_mask(v: &BitPackedVec, start: usize, n: usize, x: u64, mask: &mut [u64]) {
+    range_match_mask(v, start, n, x, x, mask);
+}
+
+/// Matches in a mask (the candidate count of a mask-producing selection).
+#[inline]
+pub fn mask_count(mask: &[u64]) -> usize {
+    mask.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// The scalar fallback: bulk-decode 64 elements at a time and compare.
+/// Public under a spelled-out name so the scan benchmark can pit the two
+/// paths against each other at any width.
+pub fn range_match_mask_scalar(
+    v: &BitPackedVec,
+    start: usize,
+    n: usize,
+    lo: u64,
+    hi: u64,
+    mask: &mut [u64],
+) {
+    assert!(
+        start.checked_add(n).is_some_and(|end| end <= v.len()),
+        "range {start}.. +{n} out of bounds (len {})",
+        v.len()
+    );
+    assert_eq!(mask.len(), n.div_ceil(64), "mask word count");
+    fill_scalar(v, start, n, lo, hi, mask);
+}
+
+fn fill_scalar(v: &BitPackedVec, start: usize, n: usize, lo: u64, hi: u64, mask: &mut [u64]) {
+    let mut buf = [0u64; DECODE_BLOCK];
+    for (mw, m) in mask.iter_mut().enumerate() {
+        let base = mw * 64;
+        let c = (n - base).min(64);
+        v.unpack_range(start + base, &mut buf[..c]);
+        let mut bits = 0u64;
+        for (k, &x) in buf[..c].iter().enumerate() {
+            bits |= u64::from(x >= lo && x <= hi) << k;
+        }
+        *m = bits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reference_mask(v: &BitPackedVec, start: usize, n: usize, lo: u64, hi: u64) -> Vec<u64> {
+        let mut mask = vec![0u64; n.div_ceil(64)];
+        for kk in 0..n {
+            let x = v.get(start + kk);
+            if x >= lo && x <= hi {
+                mask[kk / 64] |= 1u64 << (kk % 64);
+            }
+        }
+        mask
+    }
+
+    fn pseudo_vals(width: u32, n: usize, seed: u64) -> Vec<u64> {
+        let mask = low_mask(width);
+        (0..n as u64)
+            .map(|i| (i.wrapping_add(seed)).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+            .collect()
+    }
+
+    /// Exhaustive equivalence against `get`-based evaluation: every width
+    /// class (SWAR widths incl. the lane-boundary trio 20/21/22, the
+    /// scalar fallback, width 0 and 64), start offsets that straddle
+    /// words, and bound shapes from empty to all-match.
+    #[test]
+    fn matches_get_based_evaluation_everywhere() {
+        for width in [
+            0u32, 1, 2, 3, 5, 7, 8, 12, 13, 16, 20, 21, 22, 24, 31, 32, 33, 63, 64,
+        ] {
+            let vals = pseudo_vals(width, 331, width as u64);
+            let v = BitPackedVec::from_slice(width, &vals);
+            let max = low_mask(width);
+            let mid = max / 2;
+            let bounds = [
+                (0, 0),
+                (0, max),
+                (max, max),
+                (mid / 2, mid),
+                (1, 0),                            // empty range (lo > hi)
+                (max, 0),                          // empty range
+                (mid, mid),                        // point
+                (max.saturating_add(1), u64::MAX), // lo past the domain (or at its edge for width 64)
+                (0, u64::MAX),                     // hi clamped
+            ];
+            for &(lo, hi) in &bounds {
+                for &(start, n) in &[
+                    (0usize, 331usize),
+                    (1, 330),
+                    (63, 130),
+                    (64, 64),
+                    (65, 63),
+                    (330, 1),
+                    (7, 0),
+                ] {
+                    let mut mask = vec![0u64; n.div_ceil(64)];
+                    range_match_mask(&v, start, n, lo, hi, &mut mask);
+                    assert_eq!(
+                        mask,
+                        reference_mask(&v, start, n, lo, hi),
+                        "width={width} lo={lo} hi={hi} start={start} n={n}"
+                    );
+                    // The scalar path agrees at every width too (it *is*
+                    // the dispatcher's choice outside 1..=21, but must
+                    // also agree where SWAR is chosen).
+                    let mut scalar = vec![0u64; n.div_ceil(64)];
+                    range_match_mask_scalar(&v, start, n, lo, hi, &mut scalar);
+                    assert_eq!(
+                        mask, scalar,
+                        "scalar disagrees: width={width} lo={lo} hi={hi}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn width_zero_matches_iff_range_contains_zero() {
+        let v = BitPackedVec::from_slice(0, &vec![0u64; 100]);
+        let mut mask = vec![0u64; 2];
+        range_match_mask(&v, 0, 100, 0, 0, &mut mask);
+        assert_eq!(mask_count(&mask), 100);
+        assert_eq!(mask[1], low_mask(36)); // tail bits clear
+        range_match_mask(&v, 0, 100, 1, 5, &mut mask);
+        assert_eq!(mask_count(&mask), 0);
+    }
+
+    #[test]
+    fn all_and_none_match_fast_paths() {
+        let vals = pseudo_vals(12, 1000, 7);
+        let v = BitPackedVec::from_slice(12, &vals);
+        let mut mask = vec![0u64; 1000usize.div_ceil(64)];
+        range_match_mask(&v, 0, 1000, 0, low_mask(12), &mut mask);
+        assert_eq!(mask_count(&mask), 1000);
+        range_match_mask(&v, 0, 1000, 5, 4, &mut mask);
+        assert_eq!(mask_count(&mask), 0);
+    }
+
+    #[test]
+    fn point_mask_is_range_of_one() {
+        let vals: Vec<u64> = (0..500).map(|i| i % 17).collect();
+        let v = BitPackedVec::from_slice(5, &vals);
+        let mut point = vec![0u64; 500usize.div_ceil(64)];
+        let mut range = point.clone();
+        point_match_mask(&v, 0, 500, 9, &mut point);
+        range_match_mask(&v, 0, 500, 9, 9, &mut range);
+        assert_eq!(point, range);
+        assert_eq!(mask_count(&point), vals.iter().filter(|&&x| x == 9).count());
+    }
+
+    proptest! {
+        /// SWAR == scalar == `get` for arbitrary widths (0..=64, so both
+        /// dispatcher arms and the 20/21/22 lane boundary are hit),
+        /// arbitrary sub-ranges (word straddles included) and arbitrary
+        /// bounds, including empty and clamped ranges.
+        #[test]
+        fn prop_swar_equals_scalar_and_get(
+            width in 0u32..=64,
+            raw in proptest::collection::vec(any::<u64>(), 0..400),
+            start_frac in 0u32..1000,
+            len_frac in 0u32..=1000,
+            lo_frac in 0u32..=1100,
+            span_frac in 0u32..=1100,
+        ) {
+            let mask_w = low_mask(width);
+            let vals: Vec<u64> = raw.iter().map(|v| v & mask_w).collect();
+            let v = BitPackedVec::from_slice(width, &vals);
+            let start = vals.len() * start_frac as usize / 1000;
+            let n = (vals.len() - start) * len_frac as usize / 1000;
+            // Bounds sweep past the domain edge on purpose (frac > 1000)
+            // to exercise clamping and lo-past-max emptiness.
+            let domain = mask_w as u128 + 1;
+            let lo = ((domain * lo_frac as u128) / 1000).min(u64::MAX as u128) as u64;
+            let hi = lo.saturating_add(((domain * span_frac as u128) / 1000) as u64);
+            let mut got = vec![0u64; n.div_ceil(64)];
+            range_match_mask(&v, start, n, lo, hi, &mut got);
+            prop_assert_eq!(&got, &reference_mask(&v, start, n, lo, hi),
+                "width={} start={} n={} lo={} hi={}", width, start, n, lo, hi);
+            let mut scalar = vec![0u64; n.div_ceil(64)];
+            range_match_mask_scalar(&v, start, n, lo, hi, &mut scalar);
+            prop_assert_eq!(&got, &scalar);
+        }
+
+        /// Lane-boundary widths get a dedicated dense sweep: 20 (2 spare
+        /// word bits), 21 (the last SWAR width) and 22 (first fallback).
+        #[test]
+        fn prop_lane_boundary_widths(
+            width_idx in 0u32..3,
+            seed in any::<u64>(),
+            lo in any::<u64>(),
+            hi in any::<u64>(),
+        ) {
+            let width = 20 + width_idx;
+            let vals = pseudo_vals(width, 200, seed);
+            let v = BitPackedVec::from_slice(width, &vals);
+            let lo = lo & low_mask(width + 1);
+            let hi = hi & low_mask(width + 1);
+            let mut got = vec![0u64; 200usize.div_ceil(64)];
+            range_match_mask(&v, 0, 200, lo, hi, &mut got);
+            prop_assert_eq!(got, reference_mask(&v, 0, 200, lo, hi));
+        }
+    }
+}
