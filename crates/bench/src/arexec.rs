@@ -17,11 +17,11 @@ use crate::report::Figure;
 use bwd_core::plan::{AggExpr, AggFunc, ArPlan, BinOp, LogicalPlan, Predicate, ScalarExpr as E};
 use bwd_data::micro;
 use bwd_engine::{ArExecOptions, Database, ExecMode};
+use bwd_obs::{Clock, Recorder, RecorderConfig, TraceCtx, NO_SPAN};
 use bwd_storage::Column;
 use bwd_types::{Result, Value};
 use std::fmt::Write as _;
 use std::path::Path;
-use std::time::Instant;
 
 /// Fraction of rows the selection keeps.
 pub const SELECTIVITY: f64 = 0.10;
@@ -63,6 +63,17 @@ pub struct ArexecReport {
     /// Whether every parallel run matched the serial rows, survivors and
     /// simulated costs exactly.
     pub bit_identical: bool,
+    /// Best wall-clock seconds with a *live* recorder threaded through
+    /// the engine (at the sweep's largest morsel count).
+    pub traced_best_seconds: f64,
+    /// `traced best / untraced best` at the same morsel count — the
+    /// wall-clock cost of recording (1.0 = free; wall-clock noise on a
+    /// shared machine easily dominates this).
+    pub trace_overhead_ratio: f64,
+    /// Whether the traced runs produced the same rows, survivors and
+    /// simulated costs as the untraced serial run — tracing must be
+    /// invisible to results and to the cost model.
+    pub traced_identical: bool,
     /// Timings, one per swept morsel count.
     pub samples: Vec<MorselSample>,
 }
@@ -125,9 +136,36 @@ pub fn run_once(db: &Database, plan: &ArPlan, morsels: usize) -> Result<bwd_engi
     )
 }
 
+/// Run one A&R query at `morsels` real threads with a live recorder
+/// threaded through the engine (the traced-overhead / traced-identity
+/// arm of the baseline).
+pub fn run_once_traced(
+    db: &Database,
+    plan: &ArPlan,
+    morsels: usize,
+    recorder: &Recorder,
+) -> Result<bwd_engine::QueryResult> {
+    let mut env = db.env().clone();
+    env.trace = TraceCtx::new(recorder.clone(), NO_SPAN, "bench");
+    db.run_bound_in(
+        plan,
+        ExecMode::ApproxRefineWith(ArExecOptions {
+            morsels,
+            ..Default::default()
+        }),
+        &env,
+        morsels,
+    )
+}
+
 /// Measure the morsel sweep: `reps` timed runs per count after one
 /// warm-up, verifying bit-identity against the serial run throughout.
 pub fn measure(n: usize, reps: usize) -> Result<ArexecReport> {
+    measure_with(n, reps, &Clock::monotonic())
+}
+
+/// [`measure`] with an explicit wall clock (injectable in tests).
+pub fn measure_with(n: usize, reps: usize, clock: &Clock) -> Result<ArexecReport> {
     let (db, plan) = build_workload(n)?;
     let serial = run_once(&db, &plan, 1)?;
     let mut bit_identical = true;
@@ -138,9 +176,8 @@ pub fn measure(n: usize, reps: usize) -> Result<ArexecReport> {
         let mut best = f64::INFINITY;
         let mut total = 0.0;
         for _ in 0..reps.max(1) {
-            let t0 = Instant::now();
-            let r = run_once(&db, &plan, m)?;
-            let dt = t0.elapsed().as_secs_f64();
+            let (r, dt) = clock.time(|| run_once(&db, &plan, m));
+            let r = r?;
             best = best.min(dt);
             total += dt;
             bit_identical &= r.rows == serial.rows
@@ -158,6 +195,27 @@ pub fn measure(n: usize, reps: usize) -> Result<ArexecReport> {
             speedup_vs_serial: serial_best / best,
         });
     }
+    // Traced arm: same workload at the sweep's largest morsel count,
+    // each rep on a fresh recorder (rings stay small, spans stay per
+    // query). Tracing must not change results or simulated costs.
+    let traced_morsels = *MORSEL_SWEEP.last().unwrap_or(&1);
+    let mut traced_identical = true;
+    let mut traced_best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let recorder = Recorder::new(RecorderConfig::default());
+        let (r, dt) = clock.time(|| run_once_traced(&db, &plan, traced_morsels, &recorder));
+        let r = r?;
+        traced_best = traced_best.min(dt);
+        traced_identical &= r.rows == serial.rows
+            && r.survivors == serial.survivors
+            && r.breakdown == serial.breakdown
+            && r.traffic == serial.traffic;
+    }
+    let untraced_best = samples
+        .iter()
+        .find(|s| s.morsels == traced_morsels)
+        .map(|s| s.best_seconds)
+        .unwrap_or(serial_best);
     Ok(ArexecReport {
         rows: n,
         selectivity: SELECTIVITY,
@@ -166,6 +224,9 @@ pub fn measure(n: usize, reps: usize) -> Result<ArexecReport> {
         simulated_seconds: serial.breakdown.total(),
         survivors: serial.survivors,
         bit_identical,
+        traced_best_seconds: traced_best,
+        trace_overhead_ratio: traced_best / untraced_best.max(1e-12),
+        traced_identical,
         samples,
     })
 }
@@ -207,6 +268,10 @@ pub fn figure(report: &ArexecReport) -> Figure {
         "bit-identical across morsel counts: {}",
         report.bit_identical
     ));
+    fig.note(format!(
+        "tracing enabled: identical results/costs = {}, best wall {:.6} s ({:.2}x of untraced)",
+        report.traced_identical, report.traced_best_seconds, report.trace_overhead_ratio
+    ));
     if report.host_parallelism == 1 {
         fig.note("single-core machine: real-thread speedup cannot materialize here");
     }
@@ -230,6 +295,17 @@ pub fn to_json(report: &ArexecReport) -> String {
     );
     let _ = writeln!(s, "  \"survivors\": {},", report.survivors);
     let _ = writeln!(s, "  \"bit_identical\": {},", report.bit_identical);
+    let _ = writeln!(
+        s,
+        "  \"traced_best_seconds\": {:.9},",
+        report.traced_best_seconds
+    );
+    let _ = writeln!(
+        s,
+        "  \"trace_overhead_ratio\": {:.4},",
+        report.trace_overhead_ratio
+    );
+    let _ = writeln!(s, "  \"traced_identical\": {},", report.traced_identical);
     let _ = writeln!(s, "  \"samples\": [");
     for (i, m) in report.samples.iter().enumerate() {
         let _ = writeln!(
@@ -260,11 +336,14 @@ mod tests {
     fn small_sweep_is_bit_identical_and_serializes() {
         let report = measure(20_000, 1).unwrap();
         assert!(report.bit_identical);
+        assert!(report.traced_identical, "tracing changed results or costs");
+        assert!(report.traced_best_seconds > 0.0);
         assert_eq!(report.samples.len(), MORSEL_SWEEP.len());
         assert!(report.survivors > 0);
         let json = to_json(&report);
         assert!(json.contains("\"bench\": \"arexec_morsels\""));
         assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.contains("\"traced_identical\": true"));
         let fig = figure(&report);
         assert_eq!(fig.rows.len(), MORSEL_SWEEP.len());
     }

@@ -7,6 +7,7 @@
 //!   ids: all (default) | fig1 | fig8a | fig8b | fig8c | fig8d | fig8e
 //!        | fig8f | fig9 | tab1 | fig10a | fig10b | fig10c | fig11
 //!        | bench-arexec | bench-multidev | bench-sjf | bench-scan
+//!        | trace
 //! ```
 //!
 //! `bench-arexec` measures the morsel-parallel A&R pipeline's *wall
@@ -21,7 +22,10 @@
 //! scan. `bench-scan` sweeps the packed-domain selection paths over
 //! width × selectivity (scalar vs SWAR, index vs bitmap), writes the
 //! `BENCH_scan.json` baseline and fails on any bit-identity violation.
-//! None of the four is part of `all`.
+//! `trace` runs a seeded scheduler batch with query-lifecycle tracing
+//! on, validates every trace, writes the Chrome `trace_event` export to
+//! `TRACE_workload.json` and prints one query's EXPLAIN ANALYZE tree.
+//! None of the five is part of `all`.
 //!
 //! Defaults are laptop-friendly scales; `--full` switches to the paper's
 //! scales (100 M microbenchmark tuples, 250 M GPS fixes, TPC-H SF-10 —
@@ -163,6 +167,10 @@ fn main() -> ExitCode {
                 match bwd_bench::arexec::measure(n, 3) {
                     Ok(report) => {
                         let path = std::path::Path::new("BENCH_arexec.json");
+                        if let Err(e) = check_arexec_baseline(path, &report) {
+                            eprintln!("bench-arexec: {e}");
+                            return ExitCode::FAILURE;
+                        }
                         match bwd_bench::arexec::write_json(&report, path) {
                             Ok(()) => eprintln!("wrote {}", path.display()),
                             Err(e) => eprintln!("could not write {}: {e}", path.display()),
@@ -171,11 +179,35 @@ fn main() -> ExitCode {
                             eprintln!("bench-arexec: morsel runs were NOT bit-identical");
                             return ExitCode::FAILURE;
                         }
+                        if !report.traced_identical {
+                            eprintln!("bench-arexec: tracing changed results or simulated costs");
+                            return ExitCode::FAILURE;
+                        }
                         Ok(vec![bwd_bench::arexec::figure(&report)])
                     }
                     Err(e) => Err(e.to_string()),
                 }
             }
+            "trace" => match bwd_bench::trace::measure(6, 2, Default::default()) {
+                Ok(report) => {
+                    let path = std::path::Path::new("TRACE_workload.json");
+                    match bwd_bench::trace::write_json(&report, path) {
+                        Ok(()) => eprintln!("wrote {}", path.display()),
+                        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+                    }
+                    match bwd_bench::trace::check(&report) {
+                        Ok(()) => {
+                            println!("{}", report.explain);
+                            Ok(vec![bwd_bench::trace::figure(&report)])
+                        }
+                        Err(e) => {
+                            println!("{}", bwd_bench::trace::figure(&report).render());
+                            Err(e.to_string())
+                        }
+                    }
+                }
+                Err(e) => Err(e.to_string()),
+            },
             "bench-scan" => {
                 // Packed-domain selection sweep: defaults to the 4M-row
                 // workload the committed BENCH_scan.json records.
@@ -256,6 +288,64 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Zero-overhead guard: compare the fresh sweep — which runs with the
+/// recorder *disabled*, the default — against the committed
+/// `BENCH_arexec.json`, when one exists for the same workload size
+/// (CI's scaled-down smoke never matches the committed 1M-row
+/// baseline, so this never flakes across machines). Wall clock on a
+/// shared machine is noisy, so only a systemic regression — every
+/// morsel count slower than the baseline beyond the noise factor —
+/// fails; per-count deltas are always printed.
+fn check_arexec_baseline(
+    path: &std::path::Path,
+    report: &bwd_bench::arexec::ArexecReport,
+) -> Result<(), String> {
+    const NOISE_FACTOR: f64 = 2.0;
+    let Ok(old) = std::fs::read_to_string(path) else {
+        return Ok(());
+    };
+    let Ok(doc) = bwd_obs::json::parse(&old) else {
+        eprintln!(
+            "existing {} is not valid JSON; skipping baseline comparison",
+            path.display()
+        );
+        return Ok(());
+    };
+    if doc.get("rows").and_then(|v| v.as_num()) != Some(report.rows as f64) {
+        return Ok(());
+    }
+    let Some(samples) = doc.get("samples").and_then(|v| v.as_arr()) else {
+        return Ok(());
+    };
+    let mut compared = 0;
+    let mut regressed = 0;
+    for s in samples {
+        let (Some(m), Some(base)) = (
+            s.get("morsels").and_then(|v| v.as_num()),
+            s.get("best_seconds").and_then(|v| v.as_num()),
+        ) else {
+            continue;
+        };
+        if let Some(cur) = report.samples.iter().find(|c| c.morsels == m as usize) {
+            let ratio = cur.best_seconds / base.max(1e-12);
+            eprintln!(
+                "bench-arexec: {} morsels best {:.6}s vs baseline {:.6}s ({ratio:.2}x)",
+                cur.morsels, cur.best_seconds, base
+            );
+            compared += 1;
+            if ratio > NOISE_FACTOR {
+                regressed += 1;
+            }
+        }
+    }
+    if compared > 0 && regressed == compared {
+        return Err(format!(
+            "disabled-recorder sweep regressed beyond {NOISE_FACTOR}x on every morsel count"
+        ));
+    }
+    Ok(())
 }
 
 /// Table I: the spatial benchmark definition, executed verbatim (schema,

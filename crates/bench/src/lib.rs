@@ -13,6 +13,10 @@
 //!   (`figures -- bench-multidev`);
 //! * [`sjf`] — queue-policy sweep (FIFO vs shortest-job-first vs
 //!   priority) over a seeded short/long mix (`figures -- bench-sjf`);
+//! * [`trace`] — query-lifecycle tracing on a seeded scheduler batch:
+//!   validates every trace, checks phase walls against the job report,
+//!   and exports Chrome `trace_event` JSON (`figures -- trace` writes
+//!   `TRACE_workload.json`);
 //! * [`report`] — table rendering and CSV output.
 //!
 //! Run `cargo run --release -p bwd-bench --bin figures -- all` (or a
@@ -25,3 +29,4 @@ pub mod multidev;
 pub mod report;
 pub mod scan;
 pub mod sjf;
+pub mod trace;

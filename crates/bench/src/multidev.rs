@@ -17,11 +17,11 @@ use crate::report::Figure;
 use bwd_core::plan::ArPlan;
 use bwd_device::{DeviceSpec, Env};
 use bwd_engine::{Database, ExecMode};
+use bwd_obs::Clock;
 use bwd_sched::{estimate_working_set, EstimateConfig, SchedConfig, Scheduler};
 use bwd_sql::{bind, parse, BoundStatement};
 use bwd_types::{BwdError, Result};
 use std::sync::Arc;
-use std::time::Instant;
 
 const QUERY: &str = "select b, count(*) as n, sum(a) as s from t \
      where a between 100 and 999 group by b";
@@ -110,7 +110,8 @@ pub fn measure(rows: usize, queries: usize) -> Result<MultiDevReport> {
             },
         );
         let session = sched.session();
-        let started = Instant::now();
+        let clock = Clock::monotonic();
+        let started = clock.now_seconds();
         let tickets: Vec<_> = (0..queries)
             .map(|_| session.submit(plan.clone(), ExecMode::ApproxRefine))
             .collect();
@@ -118,7 +119,7 @@ pub fn measure(rows: usize, queries: usize) -> Result<MultiDevReport> {
             let r = t.wait()?;
             bit_identical &= r.rows == reference.rows && r.breakdown == reference.breakdown;
         }
-        let wall_seconds = started.elapsed().as_secs_f64();
+        let wall_seconds = clock.now_seconds() - started;
         let stats = sched.stats();
         sched.shutdown();
         for d in &stats.devices {

@@ -25,11 +25,11 @@ use crate::report::Figure;
 use bwd_device::{CostLedger, Env};
 use bwd_kernels::scan::{select_range_partition, select_range_partition_scalar};
 use bwd_kernels::{DeviceArray, ScanOptions, SelMask};
+use bwd_obs::Clock;
 use bwd_storage::{mask_count, BitPackedVec, RangeMatcher};
 use bwd_types::{Result, SplitMix64};
 use std::fmt::Write as _;
 use std::path::Path;
-use std::time::Instant;
 
 /// Element widths swept: the narrow TPC-H range where SWAR lanes are
 /// deep (4–16), the last SWAR width (21) and one scalar-fallback width
@@ -109,12 +109,13 @@ fn bounds_for(width: u32, sel: f64) -> (u64, u64) {
 }
 
 fn best_of<F: FnMut() -> usize>(reps: usize, mut f: F) -> (f64, usize) {
+    let clock = Clock::monotonic();
     let mut best = f64::INFINITY;
     let mut out = 0;
     for _ in 0..reps.max(1) {
-        let t0 = Instant::now();
-        out = f();
-        best = best.min(t0.elapsed().as_secs_f64());
+        let (o, dt) = clock.time(&mut f);
+        out = o;
+        best = best.min(dt);
     }
     (best, out)
 }

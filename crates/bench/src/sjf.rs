@@ -19,12 +19,12 @@
 //! so starvation hangs it into the CI step timeout instead of returning.
 
 use crate::report::Figure;
+use bwd_obs::Clock;
 use bwd_sched::{
     Gate, JobKind, JobReport, QueuePolicy, SchedConfig, Scheduler, WorkloadGen, WorkloadSpec,
 };
 use bwd_types::{BwdError, Result};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// One policy's measurements over the shared workload.
 #[derive(Debug, Clone)]
@@ -140,7 +140,8 @@ pub fn measure(long_rows: usize, shorts: usize, longs: usize) -> Result<SjfRepor
             .iter()
             .map(|q| session.submit_with(q.plan.clone(), q.mode.clone(), q.submit_options(1)))
             .collect();
-        let started = Instant::now();
+        let clock = Clock::monotonic();
+        let started = clock.now_seconds();
         gate.release();
 
         let mut reports: Vec<(JobKind, JobReport)> = Vec::with_capacity(batch.len());
@@ -150,7 +151,7 @@ pub fn measure(long_rows: usize, shorts: usize, longs: usize) -> Result<SjfRepor
                 result.rows == reference[i].rows && result.breakdown == reference[i].breakdown;
             reports.push((batch[i].kind, report));
         }
-        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let wall_ms = (clock.now_seconds() - started) * 1e3;
         gate_ticket.wait()?;
         sched.shutdown();
 

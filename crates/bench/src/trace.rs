@@ -1,0 +1,236 @@
+//! Query-lifecycle trace export: a seeded scheduler workload run with
+//! tracing on, validated end to end and exported as a Chrome
+//! `trace_event` JSON file.
+//!
+//! `figures -- trace` drives this: it runs a deterministic short/long
+//! batch from [`bwd_sched::workload`] on a 2-worker tracing scheduler,
+//! checks every answer bit-identical against serial reference execution
+//! (tracing must be invisible to results), validates every captured
+//! [`QueryTrace`] (spans close, parents precede children, per-worker
+//! sequences are monotone), checks the per-phase wall times of each
+//! `exec` span account for (and never exceed) the job's measured exec
+//! wall, writes `TRACE_workload.json` — load it in `chrome://tracing` or
+//! Perfetto — and prints one query's EXPLAIN ANALYZE tree.
+
+use crate::report::Figure;
+use bwd_obs::chrome::{chrome_trace, validate_chrome_trace};
+use bwd_obs::{EventKind, QueryTrace, SpanNode};
+use bwd_sched::workload::{WorkloadGen, WorkloadSpec};
+use bwd_sched::{SchedConfig, Scheduler};
+use bwd_types::{BwdError, Result};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Seed of the exported workload (same generator stream as `bench-sjf`).
+pub const SEED: u64 = 0xB0B5_CA1E;
+
+/// Wall-clock slack for the phase-sum check: scheduling gaps between
+/// phases are expected, so the phases may *undershoot* the exec wall
+/// freely, but they may not overshoot it by more than this fraction
+/// plus an absolute epsilon (clock-read granularity).
+pub const PHASE_SUM_SLACK: f64 = 0.10;
+const PHASE_SUM_EPS_SECONDS: f64 = 0.005;
+
+/// Outcome of one traced workload run.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Queries executed (shorts + longs).
+    pub queries: usize,
+    /// Whether every traced answer matched its serial reference
+    /// bit-for-bit (rows and simulated cost breakdown).
+    pub bit_identical: bool,
+    /// Events captured across all traces.
+    pub total_events: usize,
+    /// Ring-overflow drops across all traces (0 at default capacity).
+    pub dropped_events: u64,
+    /// Worst `sum(direct exec-phase walls) / exec-span wall` over the
+    /// batch — ≤ `1 + PHASE_SUM_SLACK` by the check.
+    pub max_phase_sum_ratio: f64,
+    /// The Chrome `trace_event` JSON document.
+    pub chrome_json: String,
+    /// Events in the exported document (validated).
+    pub chrome_events: usize,
+    /// EXPLAIN ANALYZE tree of the batch's slowest query.
+    pub explain: String,
+}
+
+/// Find the `exec` span in a trace's forest, if any.
+fn find_exec(nodes: &[SpanNode]) -> Option<&SpanNode> {
+    for n in nodes {
+        if n.kind == EventKind::Exec {
+            return Some(n);
+        }
+        if let Some(hit) = find_exec(&n.children) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+/// Run the seeded batch with tracing on and collect every artifact.
+///
+/// Fails if any answer deviates from its reference, any trace fails
+/// [`QueryTrace::validate`], the exec phases overshoot the job's exec
+/// wall beyond [`PHASE_SUM_SLACK`], or the Chrome export does not
+/// validate.
+pub fn measure(shorts: usize, longs: usize, spec: WorkloadSpec) -> Result<TraceReport> {
+    let reference: Vec<_> = {
+        let mut gen = WorkloadGen::new(SEED, spec)?;
+        let batch = gen.mixed(shorts, longs);
+        batch
+            .iter()
+            .map(|q| gen.reference(q))
+            .collect::<Result<_>>()?
+    };
+
+    let mut gen = WorkloadGen::new(SEED, spec)?;
+    let batch = gen.mixed(shorts, longs);
+    let sched = Scheduler::new(
+        Arc::clone(gen.db()),
+        SchedConfig {
+            workers: 2,
+            tracing: true,
+            ..SchedConfig::default()
+        },
+    );
+    let session = sched.session();
+    let tickets: Vec<_> = batch
+        .iter()
+        .map(|q| session.submit_with(q.plan.clone(), q.mode.clone(), q.submit_options(0)))
+        .collect();
+
+    let mut bit_identical = true;
+    let mut labeled: Vec<(String, QueryTrace)> = Vec::with_capacity(batch.len());
+    let mut total_events = 0;
+    let mut dropped_events = 0;
+    let mut max_phase_sum_ratio = 0.0f64;
+    let mut slowest: Option<(f64, String)> = None;
+    for (i, t) in tickets.into_iter().enumerate() {
+        let (result, report, trace) = t.wait_traced()?;
+        bit_identical &=
+            result.rows == reference[i].rows && result.breakdown == reference[i].breakdown;
+        trace
+            .validate()
+            .map_err(|e| BwdError::Exec(format!("query {i}: invalid trace: {e}")))?;
+        total_events += trace.events.len();
+        dropped_events += trace.dropped;
+        if let Some(exec) = find_exec(&trace.roots()) {
+            let exec_wall = exec.wall_seconds();
+            // The exec span runs inside the worker's measured exec wall.
+            if exec_wall
+                > report.exec.as_secs_f64() * (1.0 + PHASE_SUM_SLACK) + PHASE_SUM_EPS_SECONDS
+            {
+                return Err(BwdError::Exec(format!(
+                    "query {i}: exec span wall {exec_wall:.6}s exceeds report exec wall {:.6}s",
+                    report.exec.as_secs_f64()
+                )));
+            }
+            // Direct phases are sequential on the worker thread, so
+            // their walls must account for at most the exec wall.
+            let phase_sum: f64 = exec.children.iter().map(SpanNode::wall_seconds).sum();
+            let ratio = phase_sum / exec_wall.max(1e-12);
+            max_phase_sum_ratio = max_phase_sum_ratio.max(ratio);
+            if phase_sum > exec_wall * (1.0 + PHASE_SUM_SLACK) + PHASE_SUM_EPS_SECONDS {
+                return Err(BwdError::Exec(format!(
+                    "query {i}: phase walls sum to {phase_sum:.6}s > exec span wall {exec_wall:.6}s"
+                )));
+            }
+        } else {
+            return Err(BwdError::Exec(format!("query {i}: trace has no exec span")));
+        }
+        let wall = report.exec.as_secs_f64();
+        if slowest.as_ref().map(|(w, _)| wall > *w).unwrap_or(true) {
+            slowest = Some((wall, trace.explain()));
+        }
+        labeled.push((format!("q{i}-{:?}", batch[i].kind).to_lowercase(), trace));
+    }
+    sched.shutdown();
+
+    let chrome_json = chrome_trace(&labeled);
+    let chrome_events = validate_chrome_trace(&chrome_json)
+        .map_err(|e| BwdError::Exec(format!("invalid chrome trace: {e}")))?;
+    Ok(TraceReport {
+        queries: batch.len(),
+        bit_identical,
+        total_events,
+        dropped_events,
+        max_phase_sum_ratio,
+        chrome_json,
+        chrome_events,
+        explain: slowest.map(|(_, e)| e).unwrap_or_default(),
+    })
+}
+
+/// Hard-fail on anything the export must guarantee.
+pub fn check(report: &TraceReport) -> Result<()> {
+    if !report.bit_identical {
+        return Err(BwdError::Exec(
+            "traced answers were NOT bit-identical to reference execution".into(),
+        ));
+    }
+    if report.chrome_events == 0 {
+        return Err(BwdError::Exec("chrome export contains no events".into()));
+    }
+    Ok(())
+}
+
+/// Write the Chrome trace JSON at `path`.
+pub fn write_json(report: &TraceReport, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, &report.chrome_json)
+}
+
+/// Render the run as a console figure.
+pub fn figure(report: &TraceReport) -> Figure {
+    let mut fig = Figure::new(
+        "trace",
+        format!(
+            "query-lifecycle tracing ({} queries, seeded workload)",
+            report.queries
+        ),
+        "metric",
+        vec!["value"],
+    );
+    fig.raw_units = true;
+    fig.push("captured events", vec![report.total_events as f64]);
+    fig.push("dropped events", vec![report.dropped_events as f64]);
+    fig.push("chrome events", vec![report.chrome_events as f64]);
+    fig.push(
+        "max phase-sum / exec wall",
+        vec![(report.max_phase_sum_ratio * 1000.0).round() / 1000.0],
+    );
+    fig.note(format!(
+        "bit-identical to untraced reference: {}",
+        report.bit_identical
+    ));
+    fig.note("TRACE_workload.json loads in chrome://tracing or Perfetto");
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_batch_traces_validate_and_export() {
+        let spec = WorkloadSpec {
+            long_rows: 20_000,
+            short_rows: 2_000,
+            ..WorkloadSpec::default()
+        };
+        let report = measure(3, 1, spec).unwrap();
+        check(&report).unwrap();
+        assert_eq!(report.queries, 4);
+        assert!(report.bit_identical);
+        assert_eq!(report.dropped_events, 0);
+        assert!(report.total_events > 0);
+        assert!(report.explain.contains("query"), "{}", report.explain);
+        assert!(report.explain.contains("exec"), "{}", report.explain);
+        assert!(
+            report.max_phase_sum_ratio <= 1.0 + PHASE_SUM_SLACK,
+            "{}",
+            report.max_phase_sum_ratio
+        );
+        let fig = figure(&report);
+        assert_eq!(fig.rows.len(), 4);
+    }
+}

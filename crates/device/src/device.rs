@@ -156,6 +156,10 @@ pub struct Env {
     /// Host threads the current execution may use (1 for the paper's
     /// single-query latency experiments; up to 32 in Figure 11).
     pub host_threads: u32,
+    /// Trace context of the current execution. Disabled by default (one
+    /// branch per recorded event); the scheduler swaps in the query's
+    /// recorder on the per-query `Env` clone it hands the executor.
+    pub trace: bwd_obs::TraceCtx,
 }
 
 impl Env {
@@ -180,6 +184,7 @@ impl Env {
             cpu: CpuSpec::default(),
             pcie: PcieSpec::default(),
             host_threads: 1,
+            trace: bwd_obs::TraceCtx::disabled(),
         }
     }
 
@@ -208,6 +213,7 @@ impl Env {
             cpu: self.cpu.clone(),
             pcie: self.pcie.clone(),
             host_threads: self.host_threads,
+            trace: self.trace.clone(),
         })
     }
 

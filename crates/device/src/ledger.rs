@@ -104,6 +104,13 @@ pub struct TrafficBytes {
     pub pcie: u64,
 }
 
+impl TrafficBytes {
+    /// Total bytes across all components.
+    pub fn total(&self) -> u64 {
+        self.device + self.host + self.pcie
+    }
+}
+
 /// An accumulating record of simulated costs.
 #[derive(Debug, Clone, Default)]
 pub struct CostLedger {

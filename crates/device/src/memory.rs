@@ -19,10 +19,35 @@
 //!   scheduler run more concurrent co-processor queries than the card
 //!   could hold at once without ever exceeding capacity.
 
+use bwd_obs::metrics::{Counter, Gauge, Registry};
 use bwd_types::{BwdError, Result};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Handles into the process-wide metrics registry, resolved once per
+/// memory system (updates are single relaxed atomics on alloc/free).
+#[derive(Debug)]
+struct MemMetrics {
+    alloc_total: Counter,
+    alloc_bytes_total: Counter,
+    free_bytes_total: Counter,
+    wait_total: Counter,
+    peak_bytes: Gauge,
+}
+
+impl MemMetrics {
+    fn from_global() -> MemMetrics {
+        let r = Registry::global();
+        MemMetrics {
+            alloc_total: r.counter("bwd_device_mem_alloc_total"),
+            alloc_bytes_total: r.counter("bwd_device_mem_alloc_bytes_total"),
+            free_bytes_total: r.counter("bwd_device_mem_free_bytes_total"),
+            wait_total: r.counter("bwd_device_mem_wait_total"),
+            peak_bytes: r.gauge("bwd_device_mem_peak_bytes"),
+        }
+    }
+}
 
 #[derive(Debug, Default)]
 struct MemoryState {
@@ -40,10 +65,11 @@ struct MemoryState {
     total_waits: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct MemoryInner {
     state: Mutex<MemoryState>,
     freed: Condvar,
+    metrics: MemMetrics,
 }
 
 /// The memory system of one simulated device. Cheap to clone (shared).
@@ -62,6 +88,7 @@ impl DeviceMemory {
                     ..MemoryState::default()
                 }),
                 freed: Condvar::new(),
+                metrics: MemMetrics::from_global(),
             }),
         }
     }
@@ -109,6 +136,7 @@ impl DeviceMemory {
         let ticket = m.next_ticket;
         m.wait_queue.push_back(ticket);
         m.total_waits += 1;
+        self.inner.metrics.wait_total.inc();
         loop {
             if m.wait_queue.front() == Some(&ticket) && bytes <= m.capacity - m.allocated {
                 m.wait_queue.pop_front();
@@ -143,6 +171,10 @@ impl DeviceMemory {
         m.peak = m.peak.max(m.allocated);
         m.live_buffers += 1;
         m.next_id += 1;
+        let metrics = &self.inner.metrics;
+        metrics.alloc_total.inc();
+        metrics.alloc_bytes_total.add(bytes);
+        metrics.peak_bytes.max(m.allocated as i64);
         DeviceBuffer {
             id: m.next_id,
             bytes,
@@ -213,6 +245,7 @@ impl Drop for DeviceBuffer {
         m.allocated -= self.bytes;
         m.live_buffers -= 1;
         drop(m);
+        self.mem.metrics.free_bytes_total.add(self.bytes);
         // Wake every queued reservation: the largest waiter may not fit,
         // but a smaller one behind it might.
         self.mem.freed.notify_all();

@@ -43,6 +43,7 @@ use bwd_kernels::scan::{
     select_range_on_mask_partition, select_range_on_partition, select_range_partition,
 };
 use bwd_kernels::{Candidates, ScanOptions, SelMask, SelVec};
+use bwd_obs::{EventKind, SpanId, WorkerHandle, NO_SPAN};
 use bwd_types::{BwdError, Oid, Result, Value};
 
 /// How the approximate-selection chain materializes its candidates.
@@ -141,6 +142,57 @@ impl TransientBudget {
     }
 }
 
+/// A phase span over the ledger: snapshots simulated seconds and traffic
+/// at `begin`, records the deltas (plus the output cardinality and a
+/// kind-specific discriminant) into the span's `End` payload. All cost
+/// when tracing is disabled: one branch at begin and one at end — in
+/// particular the ledger snapshots are never taken.
+struct Probe {
+    span: SpanId,
+    kind: EventKind,
+    sim0: f64,
+    bytes0: u64,
+}
+
+impl Probe {
+    fn begin(
+        obs: &WorkerHandle,
+        kind: EventKind,
+        parent: SpanId,
+        ledger: &CostLedger,
+        a: u64,
+        b: u64,
+    ) -> Probe {
+        if !obs.enabled() {
+            return Probe {
+                span: NO_SPAN,
+                kind,
+                sim0: 0.0,
+                bytes0: 0,
+            };
+        }
+        Probe {
+            span: obs.begin(kind, parent, a, b),
+            kind,
+            sim0: ledger.breakdown().total(),
+            bytes0: ledger.traffic().total(),
+        }
+    }
+
+    fn end(self, obs: &WorkerHandle, ledger: &CostLedger, out: u64) {
+        self.end_with(obs, ledger, out, 0);
+    }
+
+    fn end_with(self, obs: &WorkerHandle, ledger: &CostLedger, out: u64, d: u64) {
+        if self.span == NO_SPAN {
+            return;
+        }
+        let dsim = ledger.breakdown().total() - self.sim0;
+        let dbytes = ledger.traffic().total() - self.bytes0;
+        obs.end(self.kind, self.span, dsim.to_bits(), dbytes, out, d);
+    }
+}
+
 /// A resolved column reference.
 struct ColRef<'a> {
     bound: &'a BoundColumn,
@@ -168,6 +220,8 @@ pub fn run_ar_in(
     env: &Env,
 ) -> Result<QueryResult> {
     let mut ledger = CostLedger::new();
+    let obs = env.trace.recorder.worker(&env.trace.lane);
+    let phase_parent = env.trace.parent;
     let fact = db.catalog().table(&plan.table)?;
     let n = fact.len();
     let morsels = opts.morsels.max(1);
@@ -218,6 +272,15 @@ pub fn run_ar_in(
                     *sv = SelVec::Indices(sv.to_candidates(prev.bound.approx()));
                 }
             }
+            let input_len = sel_outputs.last().map_or(n, SelVec::len) as u64;
+            let probe = Probe::begin(
+                &obs,
+                EventKind::ApproxSelect,
+                phase_parent,
+                &ledger,
+                input_len,
+                i as u64,
+            );
             let cands = approx_select_step(
                 env,
                 &c,
@@ -227,9 +290,12 @@ pub fn run_ar_in(
                 &opts.scan,
                 morsels,
                 opts.candidates,
+                probe.span,
                 &pool,
                 &mut ledger,
             )?;
+            let rep_bit = u64::from(matches!(cands, SelVec::Bitmap(_)));
+            probe.end_with(&obs, &ledger, cands.len() as u64, rep_bit);
             transient.charge(cands.len() as u64 * CANDIDATE_PAIR_BYTES)?;
             sel_outputs.push(cands);
         }
@@ -240,7 +306,7 @@ pub fn run_ar_in(
         // anyway, so the chain runs on indices regardless of the
         // representation policy.
         let mut surv: Option<Vec<Oid>> = None;
-        for sel in &plan.selections {
+        for (i, sel) in plan.selections.iter().enumerate() {
             let c = resolve(&sel.column)?;
             let input = surv.map(|oids| {
                 // Upload the refined oid list back to the device.
@@ -259,6 +325,15 @@ pub fn run_ar_in(
                 cand.refresh_flags();
                 SelVec::Indices(cand)
             });
+            let input_len = input.as_ref().map_or(n, SelVec::len) as u64;
+            let probe = Probe::begin(
+                &obs,
+                EventKind::ApproxSelect,
+                phase_parent,
+                &ledger,
+                input_len,
+                i as u64,
+            );
             let cands = approx_select_step(
                 env,
                 &c,
@@ -268,10 +343,20 @@ pub fn run_ar_in(
                 &opts.scan,
                 morsels,
                 CandidateRep::Indices,
+                probe.span,
                 &pool,
                 &mut ledger,
             )?;
+            probe.end(&obs, &ledger, cands.len() as u64);
             transient.charge(cands.len() as u64 * CANDIDATE_PAIR_BYTES)?;
+            let probe = Probe::begin(
+                &obs,
+                EventKind::Refine,
+                phase_parent,
+                &ledger,
+                cands.len() as u64,
+                i as u64,
+            );
             let refined = refine_selection(
                 env,
                 &c,
@@ -283,6 +368,7 @@ pub fn run_ar_in(
                 &pool,
                 &mut ledger,
             )?;
+            probe.end(&obs, &ledger, refined.len() as u64);
             surv = Some(refined);
             sel_outputs.push(cands);
         }
@@ -389,6 +475,14 @@ pub fn run_ar_in(
                     }
                 }
             };
+            let probe = Probe::begin(
+                &obs,
+                EventKind::Refine,
+                phase_parent,
+                &ledger,
+                surv.as_ref().map_or(approx_out.len(), Vec::len) as u64,
+                i as u64,
+            );
             let refined = refine_selection(
                 env,
                 &c,
@@ -400,6 +494,7 @@ pub fn run_ar_in(
                 &pool,
                 &mut ledger,
             )?;
+            probe.end(&obs, &ledger, refined.len() as u64);
             surv = Some(refined);
         }
         surv
@@ -409,7 +504,7 @@ pub fn run_ar_in(
         Vec::len,
     );
 
-    let (block, grouping) = if all_resident {
+    let (block, grouping, groupagg_probe) = if all_resident {
         // The device fast path gathers every needed column over the
         // candidates into device scratch before aggregating. Bill the
         // *distinct* columns (`needed` is only consecutively deduped) so
@@ -422,13 +517,40 @@ pub fn run_ar_in(
             names.len() as u64
         };
         transient.charge(final_cands.len() as u64 * distinct_gathered * GATHER_VALUE_BYTES)?;
-        build_device_block(env, &needed_cols, fk, &final_cands, morsels, &mut ledger)?
-            .with_grouping(env, plan, &group_cols, device_group.as_ref(), &final_cands)?
+        let probe = Probe::begin(
+            &obs,
+            EventKind::Gather,
+            phase_parent,
+            &ledger,
+            final_cands.len() as u64,
+            0,
+        );
+        let dblock = build_device_block(env, &needed_cols, fk, &final_cands, morsels, &mut ledger)?;
+        probe.end(&obs, &ledger, final_cands.len() as u64);
+        let groupagg = Probe::begin(
+            &obs,
+            EventKind::GroupAgg,
+            phase_parent,
+            &ledger,
+            final_cands.len() as u64,
+            1,
+        );
+        let (block, grouping) =
+            dblock.with_grouping(env, plan, &group_cols, device_group.as_ref(), &final_cands)?;
+        (block, grouping, groupagg)
     } else {
         let surv_slice: Vec<Oid> = match &survivors {
             Some(s) => s.clone(),
             None => (0..n as Oid).collect(),
         };
+        let probe = Probe::begin(
+            &obs,
+            EventKind::Gather,
+            phase_parent,
+            &ledger,
+            surv_slice.len() as u64,
+            0,
+        );
         let block = build_host_block(
             env,
             &needed_cols,
@@ -438,8 +560,17 @@ pub fn run_ar_in(
             morsels,
             &mut ledger,
         )?;
+        probe.end(&obs, &ledger, block.len() as u64);
+        let groupagg = Probe::begin(
+            &obs,
+            EventKind::GroupAgg,
+            phase_parent,
+            &ledger,
+            block.len() as u64,
+            0,
+        );
         let grouping = host_grouping(env, plan, &block, morsels, &pool, &mut ledger)?;
-        (block, grouping)
+        (block, grouping, groupagg)
     };
 
     // Aggregation / projection arithmetic.
@@ -502,6 +633,7 @@ pub fn run_ar_in(
         // Per-group results cross the bus (tiny).
         env.charge_download("aggregate.download", rows.len() as u64 * 16, &mut ledger);
     }
+    groupagg_probe.end(&obs, &ledger, rows.len() as u64);
 
     Ok(QueryResult {
         columns,
@@ -541,9 +673,25 @@ fn approx_select_step(
     scan: &ScanOptions,
     morsels: usize,
     rep: CandidateRep,
+    stage: SpanId,
     pool: &ScratchPool,
     ledger: &mut CostLedger,
 ) -> Result<SelVec> {
+    // One morsel span per fanned-out partition, recorded from the worker
+    // thread itself onto its own lane. The enabled check happens *before*
+    // the lane label is built, so the disabled path allocates nothing.
+    let morsel_enabled = env.trace.recorder.is_enabled();
+    let morsel_begin = |part: usize, input_len: usize| {
+        let t = if morsel_enabled {
+            env.trace
+                .recorder
+                .worker(&format!("{}/m{}", env.trace.lane, part))
+        } else {
+            bwd_obs::Recorder::disabled().worker("")
+        };
+        let span = t.begin(EventKind::Morsel, stage, input_len as u64, part as u64);
+        (t, span)
+    };
     let Some((lo, hi)) = relax_to_stored(col.bound.meta(), range) else {
         return Ok(SelVec::Indices(Candidates::empty()));
     };
@@ -565,8 +713,15 @@ fn approx_select_step(
                 let n = arr.len();
                 let mut words = vec![0u64; n.div_ceil(64)];
                 let ranges = partition_mask_ranges(words.len(), morsels);
-                run_parts_mut(&mut words, &ranges, |_, r, chunk| {
+                run_parts_mut(&mut words, &ranges, |p, r, chunk| {
+                    let (t, span) = morsel_begin(p, r.len());
                     select_range_mask_partition(arr, r.start, lo, hi, chunk);
+                    let out = if morsel_enabled {
+                        chunk.iter().map(|w| u64::from(w.count_ones())).sum()
+                    } else {
+                        0
+                    };
+                    t.end(EventKind::Morsel, span, 0, 0, out, 0);
                 });
                 let mask = SelMask::from_words(words, n, scan);
                 charge_select_scan(env, arr, mask.count(), scan, ledger);
@@ -578,7 +733,8 @@ fn approx_select_step(
                 let mut words = vec![0u64; m.words().len()];
                 let ranges = partition_mask_ranges(words.len(), morsels);
                 let in_words = m.words();
-                run_parts_mut(&mut words, &ranges, |_, r, chunk| {
+                run_parts_mut(&mut words, &ranges, |p, r, chunk| {
+                    let (t, span) = morsel_begin(p, r.len());
                     select_range_on_mask_partition(
                         arr,
                         &in_words[r.clone()],
@@ -587,6 +743,12 @@ fn approx_select_step(
                         hi,
                         chunk,
                     );
+                    let out = if morsel_enabled {
+                        chunk.iter().map(|w| u64::from(w.count_ones())).sum()
+                    } else {
+                        0
+                    };
+                    t.end(EventKind::Morsel, span, 0, 0, out, 0);
                 });
                 let out = m.like(words);
                 charge_select_on(env, arr, m.count(), out.count(), ledger);
@@ -611,7 +773,8 @@ fn approx_select_step(
         None => {
             let blocks = scan_block_ranges(link.unwrap_or(arr).len(), scan);
             let chunks = partition_ranges_min(blocks.len(), morsels, 1);
-            let outs = run_parts(&chunks, |_, chunk| {
+            let outs = run_parts(&chunks, |p, chunk| {
+                let (t, span) = morsel_begin(p, chunk.len());
                 let mut oids = pool.take_u32();
                 let mut vals = pool.take_u64();
                 for b in &blocks[chunk] {
@@ -624,6 +787,7 @@ fn approx_select_step(
                         ),
                     }
                 }
+                t.end(EventKind::Morsel, span, 0, 0, oids.len() as u64, 0);
                 (oids, vals)
             });
             let merged = merge_candidate_parts(outs, pool);
@@ -636,7 +800,8 @@ fn approx_select_step(
         Some(c) => {
             let ranges = partition_ranges(c.oids.len(), morsels);
             let cached = cache_worthwhile(c.len(), link.unwrap_or(arr).len());
-            let outs = run_parts(&ranges, |_, r| {
+            let outs = run_parts(&ranges, |p, r| {
+                let (t, span) = morsel_begin(p, r.len());
                 let mut oids = pool.take_u32();
                 let mut vals = pool.take_u64();
                 match link {
@@ -647,6 +812,7 @@ fn approx_select_step(
                         arr, l, &c.oids[r], lo, hi, cached, &mut oids, &mut vals,
                     ),
                 }
+                t.end(EventKind::Morsel, span, 0, 0, oids.len() as u64, 0);
                 (oids, vals)
             });
             let merged = merge_candidate_parts(outs, pool);

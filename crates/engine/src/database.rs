@@ -296,13 +296,29 @@ impl Database {
                     Some(j) => Some(self.fk_index(&plan.table, &j.fact_key)?),
                     None => None,
                 };
-                crate::classic::run_classic_morsel(
+                let obs = env.trace.recorder.worker(&env.trace.lane);
+                let span = obs.begin(
+                    bwd_obs::EventKind::Classic,
+                    env.trace.parent,
+                    0,
+                    morsels as u64,
+                );
+                let result = crate::classic::run_classic_morsel(
                     &self.catalog,
                     plan,
                     fk_host.map(|f| f.host_slice()),
                     env,
                     morsels,
-                )
+                )?;
+                obs.end(
+                    bwd_obs::EventKind::Classic,
+                    span,
+                    result.breakdown.total().to_bits(),
+                    result.traffic.total(),
+                    result.rows.len() as u64,
+                    0,
+                );
+                Ok(result)
             }
             ExecMode::ApproxRefine => {
                 let opts = ArExecOptions {

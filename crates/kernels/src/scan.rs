@@ -36,9 +36,33 @@ use crate::candidates::Candidates;
 use crate::selvec::SelMask;
 use bwd_device::units::{candidate_stream_bytes, element_access_bytes};
 use bwd_device::{CostLedger, Env};
+use bwd_obs::metrics::{Counter, Registry};
 use bwd_storage::{swar_applicable, BlockDecoder, RangeMatcher, DECODE_BLOCK};
 use bwd_types::{bits::low_mask, Oid};
 use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Process-wide scan counters (see `bwd_obs::metrics::Registry::global`):
+/// how many 64-element blocks went through the packed-domain SWAR path,
+/// how many of those were skipped whole because no element matched, and
+/// how many blocks fell back to the scalar decode-and-compare path.
+struct ScanMetrics {
+    swar_blocks: Counter,
+    swar_zero_blocks: Counter,
+    scalar_blocks: Counter,
+}
+
+fn scan_metrics() -> &'static ScanMetrics {
+    static METRICS: OnceLock<ScanMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        ScanMetrics {
+            swar_blocks: r.counter("bwd_scan_swar_blocks_total"),
+            swar_zero_blocks: r.counter("bwd_scan_swar_zero_blocks_total"),
+            scalar_blocks: r.counter("bwd_scan_scalar_blocks_total"),
+        }
+    })
+}
 
 /// Tuning knobs for the selection kernels.
 #[derive(Debug, Clone, Copy)]
@@ -194,9 +218,14 @@ pub fn select_range_partition(
     }
     let mut buf = [0u64; DECODE_BLOCK];
     let mut i = start;
+    let (mut blocks, mut zero_blocks) = (0u64, 0u64);
     while i < end {
+        blocks += 1;
         let n = (end - i).min(DECODE_BLOCK);
         let mut bits = m.match_word(i, n);
+        if bits == 0 {
+            zero_blocks += 1;
+        }
         if bits != 0 {
             if bits == low_mask(n as u32) {
                 // Every element matches: straight bulk decode + append.
@@ -226,6 +255,11 @@ pub fn select_range_partition(
         }
         i += n;
     }
+    if blocks > 0 {
+        let metrics = scan_metrics();
+        metrics.swar_blocks.add(blocks);
+        metrics.swar_zero_blocks.add(zero_blocks);
+    }
 }
 
 /// The pre-SWAR reference implementation of [`select_range_partition`]:
@@ -248,7 +282,9 @@ pub fn select_range_partition_scalar(
     let data = arr.data();
     let mut buf = [0u64; DECODE_BLOCK];
     let mut i = start;
+    let mut blocks = 0u64;
     while i < end {
+        blocks += 1;
         let n = (end - i).min(DECODE_BLOCK);
         data.unpack_range(i, &mut buf[..n]);
         for (k, &v) in buf[..n].iter().enumerate() {
@@ -258,6 +294,9 @@ pub fn select_range_partition_scalar(
             }
         }
         i += n;
+    }
+    if blocks > 0 {
+        scan_metrics().scalar_blocks.add(blocks);
     }
 }
 

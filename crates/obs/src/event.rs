@@ -1,0 +1,100 @@
+//! Event identifiers: span ids, lifecycle kinds, begin/end phases.
+
+/// Identifier of one span within a [`crate::Recorder`] (allocated from a
+/// per-recorder counter; `0` is reserved for "no span").
+pub type SpanId = u32;
+
+/// The null span id: roots parent under it, and a disabled recorder
+/// returns it from every span allocation.
+pub const NO_SPAN: SpanId = 0;
+
+/// Whether an event opens a span, closes one, or stands alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Opens span `span` under `parent`.
+    Begin,
+    /// Closes span `span`.
+    End,
+    /// A point event attached to `parent`.
+    Instant,
+}
+
+/// The lifecycle stage an event belongs to.
+///
+/// # Payload conventions
+///
+/// Unless noted otherwise, `End` events carry `a` = `f64::to_bits` of the
+/// simulated seconds the span charged, `b` = bytes the span moved
+/// (simulated traffic delta over all components), `c` = the span's output
+/// cardinality and `d` = a kind-specific discriminant. `Begin` events
+/// carry `a` = input cardinality and `b` = a kind-specific discriminant.
+/// Kind-specific payloads:
+///
+/// | kind          | Begin `a`, `b`              | End `a`–`d` |
+/// |---------------|-----------------------------|-------------|
+/// | `Query`       | session id, priority        | est-seconds bits, actual-sim bits, result rows, 1 on error |
+/// | `Queue`       | est-seconds bits, 0         | queue-wait-seconds bits, 0, 0, 0 |
+/// | `Admission`   | requested bytes, attempt    | 0, reserved bytes, requeues so far, 0 |
+/// | `Exec`        | morsels, host threads       | sim bits, bytes, result rows, 0 |
+/// | `ApproxSelect`| input candidates, step idx  | sim bits, bytes, output candidates, 1 = bitmap [`SelVec`] representation, 0 = indices |
+/// | `Refine`      | input candidates, step idx  | sim bits, bytes, surviving candidates, 0 |
+/// | `Morsel`      | partition length, part idx  | 0, 0, output length, 0 |
+/// | `Placement`   | (instant) `a` device index, `b` estimated bytes |  |
+/// | `Resolve`     | (instant) `a` completion index, `b` 0 |  |
+///
+/// [`SelVec`]: https://docs.rs/bwd-kernels
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Root span of one query, submit → resolve.
+    Query,
+    /// Time spent in the scheduler's policy queue.
+    Queue,
+    /// Device chosen for an A&R query (instant).
+    Placement,
+    /// Device-memory admission (reservation wait + grant), one per
+    /// attempt.
+    Admission,
+    /// The query's occupancy of its worker thread.
+    Exec,
+    /// Result delivery back to the ticket (instant).
+    Resolve,
+    /// One approximate-selection step of the A&R chain.
+    ApproxSelect,
+    /// One selection refinement (last-to-first).
+    Refine,
+    /// The gather boundary: candidate materialization + projection
+    /// gathers (device or host block build).
+    Gather,
+    /// Grouping plus aggregation/projection evaluation.
+    GroupAgg,
+    /// One morsel (contiguous partition) of a fanned-out stage.
+    Morsel,
+    /// The classic pipe's whole selection + aggregation chain.
+    Classic,
+}
+
+impl EventKind {
+    /// Stable lowercase name (used by the Chrome export and `EXPLAIN`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Query => "query",
+            EventKind::Queue => "queue",
+            EventKind::Placement => "placement",
+            EventKind::Admission => "admission",
+            EventKind::Exec => "exec",
+            EventKind::Resolve => "resolve",
+            EventKind::ApproxSelect => "approx-select",
+            EventKind::Refine => "refine",
+            EventKind::Gather => "gather",
+            EventKind::GroupAgg => "group-agg",
+            EventKind::Morsel => "morsel",
+            EventKind::Classic => "classic",
+        }
+    }
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}

@@ -1,0 +1,216 @@
+//! The per-worker lock-free event ring.
+//!
+//! Single-producer (the owning [`crate::WorkerHandle`]), overwriting: a
+//! push never blocks and never allocates; when the ring is full the
+//! *oldest* event is overwritten and the drain reports how many events
+//! were lost. Each slot carries a generation stamp (odd while a write is
+//! in progress, even once committed), so a drain that races a producer
+//! skips torn slots instead of reading garbage.
+
+use crate::event::{EventKind, Phase, SpanId};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One recorded trace event (fixed-size, `Copy` — see the
+/// [crate docs](crate) for the schema and [`EventKind`] for payload
+/// conventions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// The span this event opens/closes, or the span an instant belongs
+    /// to (`0` for instants, which attach via `parent`).
+    pub span: SpanId,
+    /// Enclosing span (`NO_SPAN` for roots).
+    pub parent: SpanId,
+    /// Lifecycle stage.
+    pub kind: EventKind,
+    /// Begin / end / instant.
+    pub phase: Phase,
+    /// Index of the recording lane within its recorder.
+    pub worker: u16,
+    /// Monotone per-lane sequence number.
+    pub seq: u32,
+    /// Nanoseconds since the recorder clock's epoch.
+    pub t_ns: u64,
+    /// Payload word (kind-specific, see [`EventKind`]).
+    pub a: u64,
+    /// Payload word.
+    pub b: u64,
+    /// Payload word.
+    pub c: u64,
+    /// Payload word.
+    pub d: u64,
+}
+
+impl Event {
+    pub(crate) fn zeroed() -> Event {
+        Event {
+            span: 0,
+            parent: 0,
+            kind: EventKind::Query,
+            phase: Phase::Instant,
+            worker: 0,
+            seq: 0,
+            t_ns: 0,
+            a: 0,
+            b: 0,
+            c: 0,
+            d: 0,
+        }
+    }
+}
+
+struct Slot {
+    /// `2*gen + 1` while generation `gen` is being written into this
+    /// slot, `2*(gen + 1)` once committed, `0` when never written.
+    stamp: AtomicU64,
+    ev: UnsafeCell<Event>,
+}
+
+/// One recording lane: a fixed-capacity overwrite ring.
+pub(crate) struct Ring {
+    label: String,
+    worker: u16,
+    slots: Box<[Slot]>,
+    /// Number of pushes ever performed (the next generation index).
+    head: AtomicU64,
+}
+
+// The UnsafeCell is protected by the stamp protocol: the single producer
+// marks a slot odd before writing and even after; readers reject slots
+// whose stamp changed across the copy.
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    pub fn new(label: String, worker: u16, capacity: usize) -> Ring {
+        let capacity = capacity.max(2);
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                stamp: AtomicU64::new(0),
+                ev: UnsafeCell::new(Event::zeroed()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            label,
+            worker,
+            slots,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    pub fn worker(&self) -> u16 {
+        self.worker
+    }
+
+    /// Record one event. Single producer; never blocks, never allocates.
+    /// The lane index and sequence stamp are filled in here.
+    pub fn push(&self, mut ev: Event) {
+        let h = self.head.load(Ordering::Relaxed);
+        ev.worker = self.worker;
+        ev.seq = h as u32;
+        let slot = &self.slots[(h % self.slots.len() as u64) as usize];
+        slot.stamp.store(2 * h + 1, Ordering::Release);
+        // Safety: this lane has exactly one producer (the owning
+        // WorkerHandle is !Sync), and readers validate the stamp.
+        unsafe { *slot.ev.get() = ev };
+        slot.stamp.store(2 * (h + 1), Ordering::Release);
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Copy out the surviving events (oldest first) and the number of
+    /// overwritten (dropped) events. Safe to call while the producer is
+    /// still running: torn slots are skipped and counted as dropped.
+    pub fn drain(&self) -> (Vec<Event>, u64) {
+        let h = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = h.saturating_sub(cap);
+        let mut out = Vec::with_capacity((h - start) as usize);
+        let mut dropped = start;
+        for gen in start..h {
+            let slot = &self.slots[(gen % cap) as usize];
+            let s1 = slot.stamp.load(Ordering::Acquire);
+            let ev = unsafe { *slot.ev.get() };
+            let s2 = slot.stamp.load(Ordering::Acquire);
+            if s1 == s2 && s1 == 2 * (gen + 1) {
+                out.push(ev);
+            } else {
+                dropped += 1;
+            }
+        }
+        (out, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq_hint: u64) -> Event {
+        Event {
+            a: seq_hint,
+            ..Event::zeroed()
+        }
+    }
+
+    #[test]
+    fn push_and_drain_in_order() {
+        let r = Ring::new("w".into(), 3, 8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        let (events, dropped) = r.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.a, i as u64);
+            assert_eq!(e.seq, i as u32);
+            assert_eq!(e.worker, 3);
+        }
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_reports() {
+        let r = Ring::new("w".into(), 0, 4);
+        for i in 0..11 {
+            r.push(ev(i));
+        }
+        let (events, dropped) = r.drain();
+        assert_eq!(dropped, 7, "11 pushes into 4 slots drop the oldest 7");
+        let kept: Vec<u64> = events.iter().map(|e| e.a).collect();
+        assert_eq!(kept, vec![7, 8, 9, 10], "survivors are the newest");
+        // Sequences stay monotone across the drop.
+        for w in events.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+        }
+    }
+
+    #[test]
+    fn concurrent_drain_never_reads_garbage() {
+        use std::sync::Arc;
+        let r = Arc::new(Ring::new("w".into(), 0, 16));
+        let writer = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    r.push(ev(i));
+                }
+            })
+        };
+        // Reader races the producer; every drained event must be one the
+        // producer actually committed (a == some i, seq == i % 2^32).
+        for _ in 0..50 {
+            let (events, _) = r.drain();
+            for e in &events {
+                assert_eq!(e.a, e.seq as u64);
+            }
+        }
+        writer.join().unwrap();
+        let (events, dropped) = r.drain();
+        assert_eq!(events.len() as u64 + dropped, 20_000);
+    }
+}

@@ -1,0 +1,496 @@
+//! [`QueryTrace`]: the drained event set of one query, with integrity
+//! validation, a span tree, and an `EXPLAIN ANALYZE`-style rendering.
+
+use crate::event::{EventKind, Phase, SpanId, NO_SPAN};
+use crate::recorder::Recorder;
+use crate::ring::Event;
+use std::collections::BTreeMap;
+
+/// The recorded events of one query, drained from a [`Recorder`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryTrace {
+    /// All surviving events, sorted by `(t_ns, worker, seq)`.
+    pub events: Vec<Event>,
+    /// Lane labels, indexed by `Event::worker`.
+    pub lanes: Vec<String>,
+    /// Total events lost to ring overflow across all lanes.
+    pub dropped: u64,
+}
+
+impl QueryTrace {
+    /// Drain `recorder` into a time-ordered trace. Non-destructive on
+    /// the recorder; returns an empty trace for a disabled recorder.
+    pub fn capture(recorder: &Recorder) -> QueryTrace {
+        let mut events = Vec::new();
+        let mut lanes = Vec::new();
+        let mut dropped = 0;
+        for (label, lane_events, lane_dropped) in recorder.drain() {
+            lanes.push(label);
+            events.extend(lane_events);
+            dropped += lane_dropped;
+        }
+        events.sort_by_key(|e| (e.t_ns, e.worker, e.seq));
+        QueryTrace {
+            events,
+            lanes,
+            dropped,
+        }
+    }
+
+    /// Check structural integrity; `Err` describes the first violation.
+    ///
+    /// Always checked: per-worker sequence numbers strictly increase,
+    /// and span ids are begun at most once. When `dropped == 0` the
+    /// stronger pairing invariants also hold: every `Begin` has exactly
+    /// one `End` at `t_end ≥ t_begin`, every `End` closes a known span,
+    /// and every non-null parent's `Begin` is at `t ≤` the child's.
+    /// When events were dropped the pairing checks are skipped — an
+    /// overflowed trace is *reported* (via `dropped`), never silently
+    /// treated as complete.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut last_seq: BTreeMap<u16, u32> = BTreeMap::new();
+        for e in &self.events {
+            if let Some(prev) = last_seq.get(&e.worker) {
+                if e.seq <= *prev {
+                    return Err(format!(
+                        "worker {} sequence not monotonic: {} after {}",
+                        e.worker, e.seq, prev
+                    ));
+                }
+            }
+            last_seq.insert(e.worker, e.seq);
+        }
+
+        let mut begins: BTreeMap<SpanId, &Event> = BTreeMap::new();
+        for e in &self.events {
+            if e.phase == Phase::Begin {
+                if e.span == NO_SPAN {
+                    return Err("begin event with null span id".into());
+                }
+                if begins.insert(e.span, e).is_some() {
+                    return Err(format!("span {} begun twice", e.span));
+                }
+            }
+        }
+
+        if self.dropped > 0 {
+            return Ok(());
+        }
+
+        // Pairing checks are order-insensitive: lanes record
+        // independently, so an `End` on one lane may legitimately share
+        // a timestamp with (and sort next to) a `Begin` on another.
+        let mut ends: BTreeMap<SpanId, &Event> = BTreeMap::new();
+        for e in &self.events {
+            match e.phase {
+                Phase::Begin => {
+                    if e.parent != NO_SPAN {
+                        match begins.get(&e.parent) {
+                            None => {
+                                return Err(format!(
+                                    "span {} has unknown parent {}",
+                                    e.span, e.parent
+                                ));
+                            }
+                            Some(p) if p.t_ns > e.t_ns => {
+                                return Err(format!(
+                                    "span {} begins before its parent {}",
+                                    e.span, e.parent
+                                ));
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
+                Phase::End => {
+                    if !begins.contains_key(&e.span) {
+                        return Err(format!("end for unopened span {}", e.span));
+                    }
+                    if ends.insert(e.span, e).is_some() {
+                        return Err(format!("span {} ended twice", e.span));
+                    }
+                }
+                Phase::Instant => {
+                    if e.parent != NO_SPAN && !begins.contains_key(&e.parent) {
+                        return Err(format!("instant under unknown parent {}", e.parent));
+                    }
+                }
+            }
+        }
+        for (span, b) in &begins {
+            match ends.get(span) {
+                None => return Err(format!("span {span} never closed")),
+                Some(e) if e.t_ns < b.t_ns => {
+                    return Err(format!("span {span} ends before it begins"));
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The span forest (roots are spans whose parent is [`NO_SPAN`] or
+    /// was lost to overflow), children in begin-time order.
+    pub fn roots(&self) -> Vec<SpanNode> {
+        let mut nodes: BTreeMap<SpanId, SpanNode> = BTreeMap::new();
+        let mut order: Vec<SpanId> = Vec::new();
+        for e in &self.events {
+            match e.phase {
+                Phase::Begin => {
+                    nodes.insert(
+                        e.span,
+                        SpanNode {
+                            span: e.span,
+                            parent: e.parent,
+                            kind: e.kind,
+                            worker: e.worker,
+                            t_begin_ns: e.t_ns,
+                            t_end_ns: e.t_ns,
+                            begin: *e,
+                            end: None,
+                            instants: Vec::new(),
+                            children: Vec::new(),
+                        },
+                    );
+                    order.push(e.span);
+                }
+                Phase::End => {
+                    if let Some(n) = nodes.get_mut(&e.span) {
+                        n.t_end_ns = e.t_ns;
+                        n.end = Some(*e);
+                    }
+                }
+                Phase::Instant => {
+                    if let Some(n) = nodes.get_mut(&e.parent) {
+                        n.instants.push(*e);
+                    }
+                }
+            }
+        }
+        // Attach children to parents, deepest ids last so a simple
+        // reverse pass moves every subtree intact.
+        let mut roots = Vec::new();
+        for span in order.iter().rev() {
+            let node = nodes.remove(span).expect("walked once");
+            if node.parent != NO_SPAN {
+                if let Some(p) = nodes.get_mut(&node.parent) {
+                    p.children.push(node);
+                    continue;
+                }
+            }
+            roots.push(node);
+        }
+        roots.reverse();
+        for r in &mut roots {
+            sort_children(r);
+        }
+        roots
+    }
+
+    /// Render an `EXPLAIN ANALYZE`-style tree: per-phase wall time,
+    /// simulated seconds, bytes moved and cardinalities, plus the
+    /// estimated-vs-actual summary from the query root's payload.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "-- WARNING: {} events dropped (ring overflow); tree is partial\n",
+                self.dropped
+            ));
+        }
+        for root in self.roots() {
+            render_node(&mut out, &root, &self.lanes, 0);
+        }
+        out
+    }
+}
+
+fn sort_children(n: &mut SpanNode) {
+    n.children.sort_by_key(|c| (c.t_begin_ns, c.worker, c.span));
+    for c in &mut n.children {
+        sort_children(c);
+    }
+}
+
+/// One span of the trace tree (see [`QueryTrace::roots`]).
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span id.
+    pub span: SpanId,
+    /// Parent span id ([`NO_SPAN`] for roots).
+    pub parent: SpanId,
+    /// Lifecycle stage.
+    pub kind: EventKind,
+    /// Lane that opened the span.
+    pub worker: u16,
+    /// Begin timestamp.
+    pub t_begin_ns: u64,
+    /// End timestamp (== begin when the span never closed).
+    pub t_end_ns: u64,
+    /// The opening event.
+    pub begin: Event,
+    /// The closing event, when present.
+    pub end: Option<Event>,
+    /// Instants attached to this span, in time order.
+    pub instants: Vec<Event>,
+    /// Child spans in begin-time order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Wall-clock duration in seconds.
+    pub fn wall_seconds(&self) -> f64 {
+        (self.t_end_ns - self.t_begin_ns) as f64 / 1e9
+    }
+
+    /// Simulated seconds charged by this span (from the `End` payload),
+    /// when the kind carries them.
+    pub fn sim_seconds(&self) -> Option<f64> {
+        let end = self.end.as_ref()?;
+        match self.kind {
+            EventKind::Exec
+            | EventKind::ApproxSelect
+            | EventKind::Refine
+            | EventKind::Gather
+            | EventKind::GroupAgg
+            | EventKind::Classic => Some(f64::from_bits(end.a)),
+            _ => None,
+        }
+    }
+
+    /// Bytes moved by this span (from the `End` payload), when the kind
+    /// carries them.
+    pub fn bytes(&self) -> Option<u64> {
+        let end = self.end.as_ref()?;
+        match self.kind {
+            EventKind::Exec
+            | EventKind::ApproxSelect
+            | EventKind::Refine
+            | EventKind::Gather
+            | EventKind::GroupAgg
+            | EventKind::Classic => Some(end.b),
+            _ => None,
+        }
+    }
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2} KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+fn human_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+fn render_node(out: &mut String, n: &SpanNode, lanes: &[String], depth: usize) {
+    let indent = "  ".repeat(depth);
+    let lane = lanes
+        .get(n.worker as usize)
+        .map(String::as_str)
+        .unwrap_or("?");
+    out.push_str(&format!(
+        "{indent}{} [{}]  wall={}",
+        n.kind,
+        lane,
+        human_seconds(n.wall_seconds())
+    ));
+    if let Some(sim) = n.sim_seconds() {
+        out.push_str(&format!("  sim={}", human_seconds(sim)));
+    }
+    if let Some(b) = n.bytes() {
+        if b > 0 {
+            out.push_str(&format!("  bytes={}", human_bytes(b)));
+        }
+    }
+    match (n.kind, n.end.as_ref()) {
+        (EventKind::Query, Some(end)) => {
+            let est = f64::from_bits(end.a);
+            let actual = f64::from_bits(end.b);
+            out.push_str(&format!(
+                "  rows={}  est={}  actual={}",
+                end.c,
+                human_seconds(est),
+                human_seconds(actual)
+            ));
+            if actual > 0.0 {
+                out.push_str(&format!("  est/actual={:.2}", est / actual));
+            }
+            if end.d != 0 {
+                out.push_str("  ERROR");
+            }
+        }
+        (EventKind::Queue, Some(end)) => {
+            out.push_str(&format!(
+                "  waited={}",
+                human_seconds(f64::from_bits(end.a))
+            ));
+        }
+        (EventKind::Admission, Some(end)) => {
+            out.push_str(&format!(
+                "  requested={}  reserved={}  requeues={}",
+                human_bytes(n.begin.a),
+                human_bytes(end.b),
+                end.c
+            ));
+        }
+        (EventKind::ApproxSelect, Some(end)) => {
+            out.push_str(&format!(
+                "  in={}  out={}  rep={}",
+                n.begin.a,
+                end.c,
+                if end.d == 1 { "bitmap" } else { "indices" }
+            ));
+        }
+        (EventKind::Refine | EventKind::Morsel, Some(end)) => {
+            out.push_str(&format!("  in={}  out={}", n.begin.a, end.c));
+        }
+        (
+            EventKind::Exec | EventKind::Gather | EventKind::GroupAgg | EventKind::Classic,
+            Some(end),
+        ) if end.c > 0 => {
+            out.push_str(&format!("  out={}", end.c));
+        }
+        _ => {}
+    }
+    if n.end.is_none() {
+        out.push_str("  (unclosed)");
+    }
+    out.push('\n');
+    for i in &n.instants {
+        let iindent = "  ".repeat(depth + 1);
+        match i.kind {
+            EventKind::Placement => {
+                out.push_str(&format!(
+                    "{iindent}@placement device={} est-bytes={}\n",
+                    i.a,
+                    human_bytes(i.b)
+                ));
+            }
+            EventKind::Resolve => {
+                out.push_str(&format!("{iindent}@resolve completion-index={}\n", i.a));
+            }
+            _ => {
+                out.push_str(&format!("{iindent}@{} a={} b={}\n", i.kind, i.a, i.b));
+            }
+        }
+    }
+    for c in &n.children {
+        render_node(out, c, lanes, depth + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::recorder::{Recorder, RecorderConfig};
+
+    fn sample_trace() -> QueryTrace {
+        let (clock, ctl) = Clock::mock();
+        let r = Recorder::new(RecorderConfig {
+            ring_capacity: 64,
+            clock,
+        });
+        let s = r.worker("session");
+        let w = r.worker("worker-0");
+        let root = s.begin(EventKind::Query, NO_SPAN, 1, 0);
+        let q = s.begin(EventKind::Queue, root, 0, 0);
+        ctl.advance_ns(1_000);
+        w.end(EventKind::Queue, q, 0.000001f64.to_bits(), 0, 0, 0);
+        let exec = w.begin(EventKind::Exec, root, 4, 1);
+        w.instant(EventKind::Placement, exec, 0, 4096);
+        ctl.advance_ns(5_000);
+        let sel = w.begin(EventKind::ApproxSelect, exec, 1000, 0);
+        ctl.advance_ns(2_000);
+        w.end(EventKind::ApproxSelect, sel, 0.5f64.to_bits(), 2048, 100, 1);
+        w.end(EventKind::Exec, exec, 0.75f64.to_bits(), 4096, 100, 0);
+        w.instant(EventKind::Resolve, root, 0, 0);
+        s.end(
+            EventKind::Query,
+            root,
+            0.8f64.to_bits(),
+            0.75f64.to_bits(),
+            100,
+            0,
+        );
+        QueryTrace::capture(&r)
+    }
+
+    #[test]
+    fn capture_orders_and_validates() {
+        let t = sample_trace();
+        assert_eq!(t.dropped, 0);
+        assert_eq!(t.lanes, vec!["session".to_string(), "worker-0".to_string()]);
+        t.validate().expect("sample trace is well-formed");
+        for w in t.events.windows(2) {
+            assert!(w[0].t_ns <= w[1].t_ns, "time-ordered");
+        }
+    }
+
+    #[test]
+    fn tree_shape_and_explain() {
+        let t = sample_trace();
+        let roots = t.roots();
+        assert_eq!(roots.len(), 1);
+        let q = &roots[0];
+        assert_eq!(q.kind, EventKind::Query);
+        assert_eq!(q.children.len(), 2, "queue + exec");
+        assert_eq!(q.children[0].kind, EventKind::Queue);
+        assert_eq!(q.children[1].kind, EventKind::Exec);
+        assert_eq!(q.children[1].children.len(), 1);
+        assert_eq!(q.children[1].children[0].kind, EventKind::ApproxSelect);
+        assert!((q.children[1].sim_seconds().unwrap() - 0.75).abs() < 1e-12);
+
+        let text = t.explain();
+        assert!(text.contains("query [session]"), "{text}");
+        assert!(text.contains("approx-select"), "{text}");
+        assert!(text.contains("rep=bitmap"), "{text}");
+        assert!(text.contains("@resolve"), "{text}");
+        assert!(text.contains("est/actual=1.07"), "{text}");
+    }
+
+    #[test]
+    fn validate_catches_unclosed_span() {
+        let r = Recorder::new(RecorderConfig::default());
+        let w = r.worker("w");
+        let _open = w.begin(EventKind::Exec, NO_SPAN, 0, 0);
+        let t = QueryTrace::capture(&r);
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("never closed"), "{err}");
+    }
+
+    #[test]
+    fn overflow_is_reported_not_fatal() {
+        let r = Recorder::new(RecorderConfig {
+            ring_capacity: 4,
+            clock: Clock::monotonic(),
+        });
+        let w = r.worker("w");
+        for _ in 0..16 {
+            let s = w.begin(EventKind::Morsel, NO_SPAN, 1, 0);
+            w.end(EventKind::Morsel, s, 0, 0, 1, 0);
+        }
+        let t = QueryTrace::capture(&r);
+        assert!(t.dropped > 0);
+        t.validate()
+            .expect("overflowed trace still passes relaxed validation");
+        assert!(
+            t.explain().contains("WARNING"),
+            "overflow surfaces in explain"
+        );
+    }
+}

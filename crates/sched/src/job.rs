@@ -2,6 +2,7 @@
 
 use bwd_core::plan::ArPlan;
 use bwd_engine::{ExecMode, QueryResult};
+use bwd_obs::{QueryTrace, Recorder, SpanId};
 use bwd_types::{BwdError, Result};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -26,6 +27,11 @@ pub struct SubmitOptions {
     /// arrival order). Ignored by the other policies; aging still bounds
     /// how long a low-priority job can be bypassed. Defaults to `0`.
     pub priority: i32,
+    /// Per-query tracing override: `Some(true)` records a full
+    /// [`QueryTrace`] for this job even when the scheduler default is
+    /// off, `Some(false)` suppresses it, `None` inherits
+    /// [`crate::SchedConfig::tracing`].
+    pub trace: Option<bool>,
 }
 
 impl SubmitOptions {
@@ -55,6 +61,14 @@ pub(crate) struct Job {
     pub est_seconds: f64,
     pub reply: mpsc::Sender<(Result<QueryResult>, JobReport)>,
     pub submitted: Instant,
+    /// The per-query recorder (disabled when tracing is off for this job
+    /// — every instrumentation site then costs one branch).
+    pub recorder: Recorder,
+    /// The root `query` span, opened at submission on the `session` lane.
+    pub root: SpanId,
+    /// The `queue` span opened at submission; the worker that dequeues
+    /// the job closes it.
+    pub queue_span: SpanId,
 }
 
 /// Per-job scheduling telemetry, delivered alongside the query result.
@@ -64,7 +78,7 @@ pub(crate) struct Job {
 /// a test driving a one-worker scheduler can assert the exact execution
 /// order a [`crate::QueuePolicy`] produced — no wall-clock sleeps, no
 /// timestamp comparisons.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct JobReport {
     /// Wall-clock time the job waited in the scheduler queue before a
     /// worker picked it up.
@@ -83,6 +97,11 @@ pub struct JobReport {
     pub actual_sim_seconds: f64,
     /// The priority the job was submitted with.
     pub priority: i32,
+    /// The query's lifecycle trace, when the job ran with tracing
+    /// enabled (see [`SubmitOptions::trace`] /
+    /// [`crate::SchedConfig::tracing`]); render it with
+    /// [`bwd_obs::QueryTrace::explain`].
+    pub trace: Option<QueryTrace>,
 }
 
 /// The handle a submission returns; resolves to the query's result.
@@ -116,6 +135,26 @@ impl Ticket {
             Ok((Err(e), _)) => Err(e),
             Err(_) => Err(BwdError::Exec(
                 "scheduler shut down before the query completed".into(),
+            )),
+        }
+    }
+
+    /// Block until the query completes, returning the result, the
+    /// scheduling report, and the query's lifecycle trace.
+    ///
+    /// Errors with [`BwdError::InvalidArgument`] if the job ran without
+    /// tracing (enable it per query via [`SubmitOptions::trace`] or
+    /// scheduler-wide via [`crate::SchedConfig::tracing`]); the trace is
+    /// also left attached as [`JobReport::trace`] for callers that want
+    /// result + report + trace in one move.
+    pub fn wait_traced(self) -> Result<(QueryResult, JobReport, QueryTrace)> {
+        let (result, report) = self.wait_report()?;
+        match report.trace.clone() {
+            Some(trace) => Ok((result, report, trace)),
+            None => Err(BwdError::InvalidArgument(
+                "query ran without tracing; submit with SubmitOptions { trace: Some(true), .. } \
+                 or enable SchedConfig::tracing"
+                    .into(),
             )),
         }
     }

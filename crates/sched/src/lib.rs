@@ -97,7 +97,7 @@ pub use estimate::{estimate_working_set, EstimateConfig, WorkingSetEstimate};
 pub use job::{JobReport, SubmitOptions, Ticket};
 pub use placement::PlacementPolicy;
 pub use policy::{PolicyQueue, QueuePolicy};
-pub use scheduler::{SchedConfig, Scheduler};
+pub use scheduler::{SchedConfig, Scheduler, TraceRecord};
 pub use session::Session;
 pub use stats::{DeviceSnapshot, SchedulerStats, StreamSnapshot};
 pub use throughput::{run_throughput, run_throughput_with, ThroughputOptions, ThroughputReport};

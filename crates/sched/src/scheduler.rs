@@ -7,6 +7,8 @@ use crate::policy::{PolicyQueue, QueuePolicy};
 use crate::session::Session;
 use crate::stats::{DeviceSnapshot, SchedulerStats, StreamAccum};
 use bwd_engine::{ArExecOptions, Database, ExecMode, QueryResult};
+use bwd_obs::metrics::{Counter, Histogram, Registry};
+use bwd_obs::{EventKind, QueryTrace, SpanId, TraceCtx, WorkerHandle};
 use bwd_types::{BwdError, Result};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -37,6 +39,15 @@ pub struct SchedConfig {
     /// may be bypassed by younger work before it becomes un-overtakable
     /// (see [`crate::policy`]). `0` forbids reordering entirely.
     pub aging_threshold: u32,
+    /// Record a [`QueryTrace`] for every job (default `false`; per-query
+    /// [`crate::SubmitOptions::trace`] overrides in either direction).
+    /// Tracing never changes results or simulated costs — only the
+    /// report gains a trace.
+    pub tracing: bool,
+    /// Capacity (events) of each per-worker trace ring. Overflow drops
+    /// the oldest events and is reported on the captured trace, never
+    /// blocking the recording thread.
+    pub trace_ring_capacity: usize,
 }
 
 impl Default for SchedConfig {
@@ -52,6 +63,51 @@ impl Default for SchedConfig {
             estimate: EstimateConfig::default(),
             policy: QueuePolicy::default(),
             aging_threshold: 32,
+            tracing: false,
+            trace_ring_capacity: 1024,
+        }
+    }
+}
+
+/// One completed job's captured trace, as drained from the scheduler.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// The submitting session's id.
+    pub session: u64,
+    /// The job's global completion stamp.
+    pub completion_index: u64,
+    /// Short label for display (the plan's table).
+    pub label: String,
+    /// The captured lifecycle trace.
+    pub trace: QueryTrace,
+}
+
+/// Scheduler-owned metric handles (resolved once at construction; hot
+/// paths touch atomics only).
+pub(crate) struct SchedMetrics {
+    pub registry: Registry,
+    pub queries_classic: Counter,
+    pub queries_ar: Counter,
+    pub errors: Counter,
+    pub queue_wait_us: Histogram,
+    pub exec_wall_us: Histogram,
+    /// Calibration samples: per-job `estimate/actual` latency ratio in
+    /// thousandths (1000 = perfect), observed only for jobs with a
+    /// non-zero actual simulated cost.
+    pub estimate_ratio_milli: Histogram,
+}
+
+impl SchedMetrics {
+    fn new() -> SchedMetrics {
+        let registry = Registry::new();
+        SchedMetrics {
+            queries_classic: registry.counter("bwd_sched_queries_total{mode=\"classic\"}"),
+            queries_ar: registry.counter("bwd_sched_queries_total{mode=\"approx_refine\"}"),
+            errors: registry.counter("bwd_sched_errors_total"),
+            queue_wait_us: registry.histogram("bwd_sched_queue_wait_us"),
+            exec_wall_us: registry.histogram("bwd_sched_exec_wall_us"),
+            estimate_ratio_milli: registry.histogram("bwd_sched_estimate_ratio_milli"),
+            registry,
         }
     }
 }
@@ -79,6 +135,12 @@ pub(crate) struct Shared {
     pub completions: AtomicU64,
     pub next_session: AtomicU64,
     pub max_morsels: usize,
+    /// Scheduler-wide tracing default (see [`SchedConfig::tracing`]).
+    pub tracing: bool,
+    pub trace_ring_capacity: usize,
+    /// Captured traces of completed jobs ([`Scheduler::drain_traces`]).
+    pub traces: Mutex<Vec<TraceRecord>>,
+    pub metrics: SchedMetrics,
 }
 
 /// A multi-session query scheduler over one shared [`Database`] and its
@@ -166,13 +228,17 @@ impl Scheduler {
             completions: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
             max_morsels: config.max_morsels.max(1),
+            tracing: config.tracing,
+            trace_ring_capacity: config.trace_ring_capacity.max(4),
+            traces: Mutex::new(Vec::new()),
+            metrics: SchedMetrics::new(),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("bwd-sched-{i}"))
-                    .spawn(move || worker_loop(shared))
+                    .spawn(move || worker_loop(shared, i))
                     .expect("spawn scheduler worker")
             })
             .collect();
@@ -233,6 +299,55 @@ impl Scheduler {
         }
     }
 
+    /// Take (and clear) the traces of every traced job completed so far,
+    /// in completion order. Only jobs that ran with tracing enabled
+    /// deposit a record here; the same trace is also attached to the
+    /// job's [`JobReport`].
+    pub fn drain_traces(&self) -> Vec<TraceRecord> {
+        let mut t = self.shared.traces.lock().unwrap();
+        let mut out = std::mem::take(&mut *t);
+        drop(t);
+        out.sort_by_key(|r| r.completion_index);
+        out
+    }
+
+    /// A Prometheus-style text snapshot of every metric this scheduler
+    /// owns (queue waits, exec walls, per-mode query counts, estimate
+    /// calibration), the per-device admission gauges derived from
+    /// [`Scheduler::stats`], and the process-wide registry (device
+    /// memory, kernel block counters).
+    pub fn metrics_snapshot(&self) -> String {
+        let mut out = self.shared.metrics.registry.render();
+        for (i, dev) in self.stats().devices.iter().enumerate() {
+            out.push_str(&format!(
+                "bwd_sched_device_queries_total{{device=\"{i}\"}} {}\n",
+                dev.queries
+            ));
+            out.push_str(&format!(
+                "bwd_sched_device_requeues_total{{device=\"{i}\"}} {}\n",
+                dev.requeues
+            ));
+            out.push_str(&format!(
+                "bwd_sched_device_admission_waits_total{{device=\"{i}\"}} {}\n",
+                dev.admission_waits
+            ));
+            out.push_str(&format!(
+                "bwd_sched_device_used_bytes{{device=\"{i}\"}} {}\n",
+                dev.used_bytes
+            ));
+            out.push_str(&format!(
+                "bwd_sched_device_peak_bytes{{device=\"{i}\"}} {}\n",
+                dev.peak_bytes
+            ));
+            out.push_str(&format!(
+                "bwd_sched_device_capacity_bytes{{device=\"{i}\"}} {}\n",
+                dev.capacity_bytes
+            ));
+        }
+        out.push_str(&Registry::global().render());
+        out
+    }
+
     /// Close the queue and join the workers. Queued-but-unstarted jobs
     /// are discarded; their tickets resolve to a shutdown error.
     pub fn shutdown(self) {
@@ -256,7 +371,8 @@ impl Drop for Scheduler {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>) {
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    let lane = format!("worker-{index}");
     loop {
         let job = {
             let mut q = shared.queue.lock().unwrap();
@@ -271,47 +387,104 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         };
         let queued = job.submitted.elapsed();
+        // This worker's lane on the job's recorder (a no-op handle when
+        // the job runs untraced). The queue span was opened at
+        // submission on the session lane; the dequeueing worker closes
+        // it, then wraps the execution in an `exec` span.
+        let obs = job.recorder.worker(&lane);
+        obs.end(
+            EventKind::Queue,
+            job.queue_span,
+            queued.as_secs_f64().to_bits(),
+            0,
+            0,
+            0,
+        );
         let started = Instant::now();
         // A panicking query must not kill the worker: the pool would
         // silently shrink and queued jobs would hang forever. Convert the
         // unwind into a per-query error instead.
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(&shared, &job)))
-                .unwrap_or_else(|payload| {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".into());
-                    Err(bwd_types::BwdError::Exec(format!(
-                        "query panicked during execution: {msg}"
-                    )))
-                });
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(&shared, &job, &obs, &lane)
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(bwd_types::BwdError::Exec(format!(
+                "query panicked during execution: {msg}"
+            )))
+        });
         let wall = started.elapsed();
         let accum = match job.mode {
             ExecMode::Classic => &shared.classic,
             _ => &shared.approx_refine,
         };
+        let actual_sim = result.as_ref().map(|r| r.breakdown.total()).unwrap_or(0.0);
+        let rows = result.as_ref().map(|r| r.rows.len() as u64).unwrap_or(0);
         match &result {
-            Ok(r) => accum.record(&r.breakdown, &r.traffic, wall, queued, job.est_seconds),
+            Ok(r) => {
+                accum.record(&r.breakdown, &r.traffic, wall, queued, job.est_seconds);
+                match job.mode {
+                    ExecMode::Classic => shared.metrics.queries_classic.inc(),
+                    _ => shared.metrics.queries_ar.inc(),
+                }
+            }
             Err(_) => {
                 shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.errors.inc();
             }
         }
+        shared
+            .metrics
+            .queue_wait_us
+            .observe(queued.as_micros() as u64);
+        shared.metrics.exec_wall_us.observe(wall.as_micros() as u64);
+        // Estimate-calibration sample (satellite of the estimator): the
+        // est/actual ratio in thousandths, queryable as a histogram.
+        if actual_sim > 0.0 {
+            let milli = (job.est_seconds / actual_sim * 1000.0).clamp(0.0, u64::MAX as f64);
+            shared.metrics.estimate_ratio_milli.observe(milli as u64);
+        }
+        let completion_index = shared.completions.fetch_add(1, Ordering::Relaxed);
+        obs.instant(EventKind::Resolve, job.root, completion_index, 0);
+        obs.end(
+            EventKind::Query,
+            job.root,
+            job.est_seconds.to_bits(),
+            actual_sim.to_bits(),
+            rows,
+            u64::from(result.is_err()),
+        );
+        let trace = if job.recorder.is_enabled() {
+            let trace = QueryTrace::capture(&job.recorder);
+            shared.traces.lock().unwrap().push(TraceRecord {
+                session: job.session,
+                completion_index,
+                label: job.plan.table.clone(),
+                trace: trace.clone(),
+            });
+            Some(trace)
+        } else {
+            None
+        };
         let report = JobReport {
             queue_wait: queued,
             exec: wall,
-            completion_index: shared.completions.fetch_add(1, Ordering::Relaxed),
+            completion_index,
             est_seconds: job.est_seconds,
-            actual_sim_seconds: result.as_ref().map(|r| r.breakdown.total()).unwrap_or(0.0),
+            actual_sim_seconds: actual_sim,
             priority: job.opts.priority,
+            trace,
         };
         // The submitter may have dropped its ticket; that's fine.
         let _ = job.reply.send((result, report));
     }
 }
 
-fn run_job(shared: &Shared, job: &Job) -> Result<QueryResult> {
+fn run_job(shared: &Shared, job: &Job, obs: &WorkerHandle, lane: &str) -> Result<QueryResult> {
     let db = &shared.db;
     let mut env = db.env().clone();
     // Same clamp the submission-time latency estimate used
@@ -327,10 +500,32 @@ fn run_job(shared: &Shared, job: &Job) -> Result<QueryResult> {
         .morsels
         .unwrap_or(env.host_threads as usize)
         .clamp(1, shared.max_morsels);
-    match &job.mode {
+    let exec = obs.begin(
+        EventKind::Exec,
+        job.root,
+        morsels as u64,
+        env.host_threads as u64,
+    );
+    // Hand the per-query recorder to the engine: its phase spans
+    // (approx-select, refine, gather, group/agg, morsels, classic) nest
+    // under this worker's exec span on the same lane.
+    env.trace = TraceCtx::new(job.recorder.clone(), exec, lane);
+    let result = match &job.mode {
         ExecMode::Classic => db.run_bound_in(&job.plan, job.mode.clone(), &env, morsels),
-        mode => run_ar_job(shared, job, mode, &env, morsels),
+        mode => run_ar_job(shared, job, mode, &env, morsels, obs, exec),
+    };
+    match &result {
+        Ok(r) => obs.end(
+            EventKind::Exec,
+            exec,
+            r.breakdown.total().to_bits(),
+            r.traffic.total(),
+            r.rows.len() as u64,
+            0,
+        ),
+        Err(_) => obs.end(EventKind::Exec, exec, 0, 0, 0, 1),
     }
+    result
 }
 
 /// Place, admit and execute one A&R query, handling the underestimate
@@ -341,6 +536,8 @@ fn run_ar_job(
     mode: &ExecMode,
     env: &bwd_device::Env,
     morsels: usize,
+    obs: &WorkerHandle,
+    exec: SpanId,
 ) -> Result<QueryResult> {
     let db = &shared.db;
     let est = estimate_working_set(db, &job.plan, &shared.estimate);
@@ -356,6 +553,7 @@ fn run_ar_job(
         }
         None => place(&shared.devices, shared.placement, &shared.rr_cursor),
     };
+    obs.instant(EventKind::Placement, exec, idx as u64, est.estimated);
     let slot = &shared.devices[idx];
     let env = env.on_device(idx)?;
 
@@ -375,14 +573,32 @@ fn run_ar_job(
         opts.device_budget = Some(est.data_budget());
     }
 
+    let mut attempt: u64 = 0;
+    let mut requeues: u64 = 0;
     loop {
+        attempt += 1;
         // Reserve on the chosen device. The pending guard keeps the
         // not-yet-admitted estimate visible to the placement policy and
         // drops as soon as the blocking reservation resolves either way.
+        let admission = obs.begin(EventKind::Admission, exec, request, attempt);
         let permit = {
             let _pending = slot.begin_pending(request);
-            slot.admission.admit(request)?
+            match slot.admission.admit(request) {
+                Ok(p) => p,
+                Err(e) => {
+                    obs.end(EventKind::Admission, admission, 0, 0, requeues, 1);
+                    return Err(e);
+                }
+            }
         };
+        obs.end(
+            EventKind::Admission,
+            admission,
+            0,
+            permit.bytes(),
+            requeues,
+            0,
+        );
         let result = db.run_bound_in(
             &job.plan,
             ExecMode::ApproxRefineWith(opts.clone()),
@@ -401,6 +617,7 @@ fn run_ar_job(
                 // the transient failure.
                 drop(permit);
                 slot.requeues.fetch_add(1, Ordering::Relaxed);
+                requeues += 1;
                 opts.device_budget = None;
                 request = est.worst_case;
                 continue;
@@ -485,6 +702,78 @@ mod tests {
         assert_eq!(stats.devices[0].queries, 1);
         assert!(stats.devices[0].breakdown.device > 0.0);
         assert_eq!(stats.admission_requeues, 0);
+    }
+
+    #[test]
+    fn traced_job_attaches_query_trace() {
+        use crate::job::SubmitOptions;
+
+        let (db, plan) = served_db();
+        let sched = Scheduler::new(
+            db,
+            SchedConfig {
+                workers: 1,
+                tracing: true,
+                ..SchedConfig::default()
+            },
+        );
+        let session = sched.session();
+        let (result, report, trace) = session
+            .submit(plan.clone(), ExecMode::ApproxRefine)
+            .wait_traced()
+            .unwrap();
+        assert_eq!(result.rows[0][0], Value::Int(400));
+        assert!(report.trace.is_some());
+        trace.validate().unwrap();
+        let text = trace.explain();
+        assert!(text.contains("query"), "{text}");
+        assert!(text.contains("queue"), "{text}");
+        assert!(text.contains("exec"), "{text}");
+        assert!(text.contains("approx-select"), "{text}");
+        assert!(text.contains("@placement"), "{text}");
+        assert!(text.contains("admission"), "{text}");
+        assert!(text.contains("@resolve"), "{text}");
+
+        // A per-query opt-out wins over the scheduler-wide default.
+        let err = session
+            .submit_with(
+                plan,
+                ExecMode::Classic,
+                SubmitOptions {
+                    trace: Some(false),
+                    ..SubmitOptions::default()
+                },
+            )
+            .wait_traced()
+            .unwrap_err();
+        assert!(err.to_string().contains("without tracing"), "{err}");
+
+        let records = sched.drain_traces();
+        assert_eq!(records.len(), 1, "only the traced job deposits a record");
+        assert_eq!(records[0].label, "t");
+        assert!(sched.drain_traces().is_empty(), "drain clears");
+
+        let metrics = sched.metrics_snapshot();
+        assert!(
+            metrics.contains("bwd_sched_queue_wait_us_count 2"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("bwd_sched_queries_total{mode=\"approx_refine\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("bwd_sched_queries_total{mode=\"classic\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("bwd_sched_estimate_ratio_milli_count"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("bwd_sched_device_peak_bytes{device=\"0\"}"),
+            "{metrics}"
+        );
     }
 
     #[test]

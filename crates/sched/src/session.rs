@@ -55,6 +55,26 @@ impl Session {
         )
         .seconds();
         let priority = opts.priority;
+        // Per-query recorder: the whole lifecycle (queue wait included)
+        // lands on one timeline because every recorder shares the
+        // process-wide monotonic epoch.
+        let recorder = if opts.trace.unwrap_or(self.shared.tracing) {
+            bwd_obs::Recorder::new(bwd_obs::RecorderConfig {
+                ring_capacity: self.shared.trace_ring_capacity,
+                ..bwd_obs::RecorderConfig::default()
+            })
+        } else {
+            bwd_obs::Recorder::disabled()
+        };
+        let session_lane = recorder.worker("session");
+        let root = session_lane.begin(
+            bwd_obs::EventKind::Query,
+            bwd_obs::NO_SPAN,
+            self.id,
+            priority as u64,
+        );
+        let queue_span =
+            session_lane.begin(bwd_obs::EventKind::Queue, root, est_seconds.to_bits(), 0);
         let job = Job {
             plan,
             mode,
@@ -63,6 +83,9 @@ impl Session {
             est_seconds,
             reply: tx,
             submitted: Instant::now(),
+            recorder,
+            root,
+            queue_span,
         };
         let mut q = self.shared.queue.lock().unwrap();
         if q.closed {

@@ -57,13 +57,18 @@ impl StreamSnapshot {
 
     /// Estimated over actual simulated seconds — `1.0` means the latency
     /// estimator was perfectly calibrated for this stream, `>1`
-    /// over-estimates, `<1` under-estimates (0 when idle).
+    /// over-estimates, `<1` under-estimates. A truly idle stream (no
+    /// estimate, no actual) reports `0`; a stream that was *estimated*
+    /// to cost something but accumulated zero actual cost reports
+    /// `+∞` rather than masquerading as idle.
     pub fn estimate_ratio(&self) -> f64 {
         let actual = self.breakdown.total();
-        if actual <= 0.0 {
-            0.0
-        } else {
+        if actual > 0.0 {
             self.est_sim_seconds / actual
+        } else if self.est_sim_seconds > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
         }
     }
 }

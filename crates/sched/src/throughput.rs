@@ -31,9 +31,9 @@ use crate::scheduler::{SchedConfig, Scheduler};
 use crate::session::Session;
 use bwd_core::plan::ArPlan;
 use bwd_engine::{Database, ExecMode};
+use bwd_obs::Clock;
 use bwd_types::Result;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Knobs for [`run_throughput_with`].
 #[derive(Debug, Clone)]
@@ -44,6 +44,9 @@ pub struct ThroughputOptions {
     /// Scheduler worker threads (≥ 2 so the combined phase genuinely
     /// overlaps the two streams).
     pub workers: usize,
+    /// The wall clock stamping the combined phase (the process-wide
+    /// monotonic clock by default; inject [`Clock::mock`] in tests).
+    pub clock: Clock,
 }
 
 impl Default for ThroughputOptions {
@@ -51,6 +54,7 @@ impl Default for ThroughputOptions {
         ThroughputOptions {
             queries_per_step: 3,
             workers: 4,
+            clock: Clock::monotonic(),
         }
     }
 }
@@ -153,7 +157,7 @@ pub fn run_throughput_with(
         let sched = Scheduler::new(Arc::clone(&db), config);
         let cpu_session = sched.session();
         let ar_session = sched.session();
-        let started = Instant::now();
+        let started = opts.clock.now_seconds();
         let cpu_tickets: Vec<_> = (0..opts.queries_per_step)
             .map(|_| {
                 cpu_session.submit_with(
@@ -185,7 +189,7 @@ pub fn run_throughput_with(
         for t in ar_tickets {
             t.wait()?;
         }
-        let wall = started.elapsed().as_secs_f64();
+        let wall = opts.clock.now_seconds() - started;
         (
             opts.queries_per_step as f64 / cpu_sim.max(1e-12),
             wall,

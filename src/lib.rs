@@ -31,6 +31,7 @@ pub use bwd_data as data;
 pub use bwd_device as device;
 pub use bwd_engine as engine;
 pub use bwd_kernels as kernels;
+pub use bwd_obs as obs;
 pub use bwd_sched as sched;
 pub use bwd_sql as sql;
 pub use bwd_storage as storage;
