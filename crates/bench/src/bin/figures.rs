@@ -20,8 +20,10 @@
 //! queue policy and fails unless shortest-job-first strictly beats FIFO
 //! on short-query waits with bit-identical answers and no starved long
 //! scan. `bench-scan` sweeps the packed-domain selection paths over
-//! width × selectivity (scalar vs SWAR, index vs bitmap), writes the
-//! `BENCH_scan.json` baseline and fails on any bit-identity violation.
+//! width × selectivity (scalar vs per-word SWAR vs lane batches, index
+//! vs bitmap), writes the `BENCH_scan.json` baseline and fails on any
+//! bit-identity violation or a lane-speedup collapse against the
+//! committed baseline at the same scale.
 //! `trace` runs a seeded scheduler batch with query-lifecycle tracing
 //! on, validates every trace, writes the Chrome `trace_event` export to
 //! `TRACE_workload.json` and prints one query's EXPLAIN ANALYZE tree.
@@ -219,6 +221,10 @@ fn main() -> ExitCode {
                 match bwd_bench::scan::measure(n, 3) {
                     Ok(report) => {
                         let path = std::path::Path::new("BENCH_scan.json");
+                        if let Err(e) = check_scan_baseline(path, &report) {
+                            eprintln!("bench-scan: {e}");
+                            return ExitCode::FAILURE;
+                        }
                         match bwd_bench::scan::write_json(&report, path) {
                             Ok(()) => eprintln!("wrote {}", path.display()),
                             Err(e) => eprintln!("could not write {}: {e}", path.display()),
@@ -343,6 +349,45 @@ fn check_arexec_baseline(
     if compared > 0 && regressed == compared {
         return Err(format!(
             "disabled-recorder sweep regressed beyond {NOISE_FACTOR}x on every morsel count"
+        ));
+    }
+    Ok(())
+}
+
+/// Mirror of [`check_arexec_baseline`] for the packed-scan sweep: when
+/// the committed `BENCH_scan.json` records the same workload size,
+/// fail if the fresh lane-over-SWAR headline (`best_lane_speedup_w16`)
+/// has collapsed beyond the noise factor against the committed one.
+/// The ratio of two wall-clock paths on the *same* run is far steadier
+/// than raw seconds, but a shared machine still jitters — only a > 2x
+/// collapse fails; the delta is always printed.
+fn check_scan_baseline(
+    path: &std::path::Path,
+    report: &bwd_bench::scan::ScanReport,
+) -> Result<(), String> {
+    const NOISE_FACTOR: f64 = 2.0;
+    let Ok(old) = std::fs::read_to_string(path) else {
+        return Ok(());
+    };
+    let Ok(doc) = bwd_obs::json::parse(&old) else {
+        eprintln!(
+            "existing {} is not valid JSON; skipping baseline comparison",
+            path.display()
+        );
+        return Ok(());
+    };
+    if doc.get("rows").and_then(|v| v.as_num()) != Some(report.rows as f64) {
+        return Ok(());
+    }
+    let Some(base) = doc.get("best_lane_speedup_w16").and_then(|v| v.as_num()) else {
+        return Ok(());
+    };
+    let fresh = report.best_lane_speedup_at_most(16);
+    eprintln!("bench-scan: best lane speedup (w<=16) {fresh:.2}x vs committed baseline {base:.2}x");
+    if fresh < base / NOISE_FACTOR {
+        return Err(format!(
+            "lane-over-SWAR speedup collapsed beyond {NOISE_FACTOR}x against the committed baseline \
+             ({fresh:.2}x vs {base:.2}x)"
         ));
     }
     Ok(())

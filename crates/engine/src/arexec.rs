@@ -24,8 +24,8 @@ use crate::database::Database;
 use crate::eval::{payload_to_value, ColumnSlot, RowBlock};
 use crate::morsel::{
     gather_stored, group_rows, partition_mask_ranges, partition_ranges, partition_ranges_min,
-    refine_filter, refine_payloads, run_parts, run_parts_mut, translucent_starts, ResidualSrc,
-    ScratchPool,
+    refine_filter, refine_filter_mask, refine_payloads, run_parts, run_parts_mut,
+    translucent_starts, ApproxSrc, ResidualSrc, ScratchPool, SocketPlan,
 };
 use crate::result::{ApproxAnswer, QueryResult};
 use bwd_core::ops::join::{charge_fk_project_refine, FkIndex};
@@ -38,8 +38,9 @@ use bwd_kernels::gather::{charge_gather, charge_gather_indirect};
 use bwd_kernels::group::hash_group_multi;
 use bwd_kernels::scan::{
     cache_worthwhile, charge_select_indirect, charge_select_on, charge_select_on_indirect,
-    charge_select_scan, scan_block_ranges, select_range_indirect_partition,
-    select_range_mask_partition, select_range_on_indirect_partition,
+    charge_select_scan, scan_block_ranges, select_range_indirect_mask_partition,
+    select_range_indirect_partition, select_range_mask_partition,
+    select_range_on_indirect_mask_partition, select_range_on_indirect_partition,
     select_range_on_mask_partition, select_range_on_partition, select_range_partition,
 };
 use bwd_kernels::{Candidates, ScanOptions, SelMask, SelVec};
@@ -226,7 +227,10 @@ pub fn run_ar_in(
     let n = fact.len();
     let morsels = opts.morsels.max(1);
     let mut transient = TransientBudget::new(opts.device_budget);
-    let pool = ScratchPool::default();
+    // One scratch bank per modeled host socket: morsel workers recycle
+    // buffers within their own socket's bank only (placement-only; see
+    // `morsel::SocketPlan`).
+    let pool = ScratchPool::with_sockets(env.cpu.sockets as usize);
     let fk: Option<&FkIndex> = match &plan.fk_join {
         Some(j) => Some(db.fk_index(&plan.table, &j.fact_key)?),
         None => None,
@@ -261,17 +265,11 @@ pub fn run_ar_in(
     if plan.pushdown {
         for (i, sel) in plan.selections.iter().enumerate() {
             let c = resolve(&sel.column)?;
-            // A bitmap chains through *direct* predicates only (the AND
-            // refinement is positional); if this step reaches through
-            // the FK link, materialize the running bitmap now —
-            // bit-identically — so the indirect filter consumes an
-            // index list.
-            if c.is_dim {
-                if let Some(sv @ SelVec::Bitmap(_)) = sel_outputs.last_mut() {
-                    let prev = resolve(&plan.selections[i - 1].column)?;
-                    *sv = SelVec::Indices(sv.to_candidates(prev.bound.approx()));
-                }
-            }
+            // Bitmaps chain through *both* direct and dimension-side
+            // predicates: the AND refinement is positional over fact
+            // rows either way (a dim step tests `arr[link[row]]` for
+            // each still-live bit), so no representation round-trip
+            // happens mid-chain.
             let input_len = sel_outputs.last().map_or(n, SelVec::len) as u64;
             let probe = Probe::begin(
                 &obs,
@@ -378,15 +376,13 @@ pub fn run_ar_in(
     // The gather boundary: downstream operators (device pre-grouping,
     // projection gathers, refinement downloads) need positions and
     // values, so a bitmap materializes here — lazily, and bit-identically
-    // to what the index path would have carried all along.
+    // to what the index path would have carried all along (through the
+    // FK link when the last selection was dimension-side).
     let final_cands: Candidates = if plan.selections.is_empty() {
         Candidates::dense_all(n)
     } else {
         let last = resolve(&plan.selections.last().unwrap().column)?;
-        sel_outputs
-            .last()
-            .unwrap()
-            .to_candidates(last.bound.approx())
+        materialize_sel(sel_outputs.last().unwrap(), &last, fk)?
     };
 
     // Approximate pre-grouping (device) where the keys allow it.
@@ -460,40 +456,61 @@ pub fn run_ar_in(
         let mut surv: Option<Vec<Oid>> = None;
         for (i, sel) in plan.selections.iter().enumerate().rev() {
             let c = resolve(&sel.column)?;
-            // Bitmap outputs materialize at this download boundary; the
-            // last selection's list was already materialized as
-            // `final_cands`, so reuse it instead of converting twice.
-            let owned;
-            let approx_out: &Candidates = if i + 1 == sel_outputs.len() {
-                &final_cands
+            // The last selection's output was already materialized as
+            // `final_cands`, so reuse it instead of converting twice;
+            // earlier bitmap outputs are consumed *as masks* — the
+            // refinement tests survivors positionally, with no
+            // index-list round-trip at this boundary.
+            let masked: Option<&SelMask> = if i + 1 == sel_outputs.len() {
+                None
             } else {
                 match &sel_outputs[i] {
-                    SelVec::Indices(cands) => cands,
-                    SelVec::Bitmap(m) => {
-                        owned = m.to_candidates(c.bound.approx());
-                        &owned
-                    }
+                    SelVec::Indices(_) => None,
+                    SelVec::Bitmap(m) => Some(m),
                 }
             };
+            let input_len = surv.as_ref().map_or(sel_outputs[i].len(), Vec::len) as u64;
             let probe = Probe::begin(
                 &obs,
                 EventKind::Refine,
                 phase_parent,
                 &ledger,
-                surv.as_ref().map_or(approx_out.len(), Vec::len) as u64,
+                input_len,
                 i as u64,
             );
-            let refined = refine_selection(
-                env,
-                &c,
-                fk,
-                approx_out,
-                surv.as_deref(),
-                &sel.range,
-                morsels,
-                &pool,
-                &mut ledger,
-            )?;
+            let refined = match masked {
+                Some(m) => refine_selection_mask(
+                    env,
+                    &c,
+                    fk,
+                    m,
+                    surv.as_deref(),
+                    &sel.range,
+                    morsels,
+                    &pool,
+                    &mut ledger,
+                )?,
+                None => {
+                    let approx_out: &Candidates = if i + 1 == sel_outputs.len() {
+                        &final_cands
+                    } else {
+                        sel_outputs[i]
+                            .as_indices()
+                            .expect("non-last, non-bitmap output is indices")
+                    };
+                    refine_selection(
+                        env,
+                        &c,
+                        fk,
+                        approx_out,
+                        surv.as_deref(),
+                        &sel.range,
+                        morsels,
+                        &pool,
+                        &mut ledger,
+                    )?
+                }
+            };
             probe.end(&obs, &ledger, refined.len() as u64);
             surv = Some(refined);
         }
@@ -705,65 +722,89 @@ fn approx_select_step(
         None
     };
 
-    // Bitmap-producing paths (direct predicates only; the executor
-    // materializes a bitmap before handing it to an indirect step).
-    if link.is_none() {
-        match input {
-            None if bitmap_worthwhile(rep, lo, hi, arr.width()) => {
-                let n = arr.len();
-                let mut words = vec![0u64; n.div_ceil(64)];
-                let ranges = partition_mask_ranges(words.len(), morsels);
-                run_parts_mut(&mut words, &ranges, |p, r, chunk| {
-                    let (t, span) = morsel_begin(p, r.len());
-                    select_range_mask_partition(arr, r.start, lo, hi, chunk);
-                    let out = if morsel_enabled {
-                        chunk.iter().map(|w| u64::from(w.count_ones())).sum()
-                    } else {
-                        0
-                    };
-                    t.end(EventKind::Morsel, span, 0, 0, out, 0);
-                });
-                let mask = SelMask::from_words(words, n, scan);
-                charge_select_scan(env, arr, mask.count(), scan, ledger);
-                return Ok(SelVec::Bitmap(mask));
+    // Bitmap-producing paths. The mask is positional over *fact* rows in
+    // both flavors: a direct predicate tests `arr[row]`, a dimension-side
+    // one tests `arr[link[row]]` — so chained predicates AND masks with
+    // no representation round-trip at the dim boundary.
+    match input {
+        None if bitmap_worthwhile(rep, lo, hi, arr.width()) => {
+            let n = link.unwrap_or(arr).len();
+            let mut words = vec![0u64; n.div_ceil(64)];
+            let ranges = partition_mask_ranges(words.len(), morsels);
+            run_parts_mut(&mut words, &ranges, |p, r, chunk| {
+                let (t, span) = morsel_begin(p, r.len());
+                match link {
+                    None => select_range_mask_partition(arr, r.start, lo, hi, chunk),
+                    Some(l) => {
+                        select_range_indirect_mask_partition(arr, l, r.start, lo, hi, chunk);
+                    }
+                }
+                let out = if morsel_enabled {
+                    chunk.iter().map(|w| u64::from(w.count_ones())).sum()
+                } else {
+                    0
+                };
+                t.end(EventKind::Morsel, span, 0, 0, out, 0);
+            });
+            let mask = SelMask::from_words(words, n, scan);
+            match link {
+                None => charge_select_scan(env, arr, mask.count(), scan, ledger),
+                Some(l) => charge_select_indirect(env, arr, l, ledger),
             }
-            Some(SelVec::Bitmap(m)) => {
-                // AND-refinement: only mask words that still hold
-                // candidates touch this column's bits.
-                let mut words = vec![0u64; m.words().len()];
-                let ranges = partition_mask_ranges(words.len(), morsels);
-                let in_words = m.words();
-                run_parts_mut(&mut words, &ranges, |p, r, chunk| {
-                    let (t, span) = morsel_begin(p, r.len());
-                    select_range_on_mask_partition(
+            return Ok(SelVec::Bitmap(mask));
+        }
+        Some(SelVec::Bitmap(m)) => {
+            // AND-refinement: only mask words that still hold
+            // candidates touch this column's bits.
+            let mut words = vec![0u64; m.words().len()];
+            let ranges = partition_mask_ranges(words.len(), morsels);
+            let in_words = m.words();
+            let cached = link.is_some_and(|l| cache_worthwhile(m.count(), l.len()));
+            run_parts_mut(&mut words, &ranges, |p, r, chunk| {
+                let (t, span) = morsel_begin(p, r.len());
+                match link {
+                    None => select_range_on_mask_partition(
                         arr,
                         &in_words[r.clone()],
                         r.start,
                         lo,
                         hi,
                         chunk,
-                    );
-                    let out = if morsel_enabled {
-                        chunk.iter().map(|w| u64::from(w.count_ones())).sum()
-                    } else {
-                        0
-                    };
-                    t.end(EventKind::Morsel, span, 0, 0, out, 0);
-                });
-                let out = m.like(words);
-                charge_select_on(env, arr, m.count(), out.count(), ledger);
-                return Ok(SelVec::Bitmap(out));
+                    ),
+                    Some(l) => select_range_on_indirect_mask_partition(
+                        arr,
+                        l,
+                        &in_words[r.clone()],
+                        r.start,
+                        lo,
+                        hi,
+                        cached,
+                        chunk,
+                    ),
+                }
+                let out = if morsel_enabled {
+                    chunk.iter().map(|w| u64::from(w.count_ones())).sum()
+                } else {
+                    0
+                };
+                t.end(EventKind::Morsel, span, 0, 0, out, 0);
+            });
+            let out = m.like(words);
+            match link {
+                None => charge_select_on(env, arr, m.count(), out.count(), ledger),
+                Some(l) => charge_select_on_indirect(env, arr, l, m.count(), ledger),
             }
-            _ => {}
+            return Ok(SelVec::Bitmap(out));
         }
+        _ => {}
     }
     let input = match input {
         None => None,
         Some(SelVec::Indices(c)) => Some(c),
         Some(SelVec::Bitmap(_)) => {
-            // The executor converts bitmaps before indirect steps; a
-            // bitmap reaching an index-producing direct step would mean
-            // the chain invariant broke.
+            // Bitmap inputs are fully handled by the AND-refinement arm
+            // above (direct and indirect alike); reaching here would
+            // mean the chain invariant broke.
             return Err(BwdError::Exec(
                 "bitmap candidates reached an index-producing selection step".into(),
             ));
@@ -773,10 +814,12 @@ fn approx_select_step(
         None => {
             let blocks = scan_block_ranges(link.unwrap_or(arr).len(), scan);
             let chunks = partition_ranges_min(blocks.len(), morsels, 1);
+            let plan = SocketPlan::new(chunks.len(), pool.sockets());
             let outs = run_parts(&chunks, |p, chunk| {
                 let (t, span) = morsel_begin(p, chunk.len());
-                let mut oids = pool.take_u32();
-                let mut vals = pool.take_u64();
+                let sock = plan.socket_of(p);
+                let mut oids = pool.take_u32(sock);
+                let mut vals = pool.take_u64(sock);
                 for b in &blocks[chunk] {
                     match link {
                         None => select_range_partition(
@@ -790,7 +833,7 @@ fn approx_select_step(
                 t.end(EventKind::Morsel, span, 0, 0, oids.len() as u64, 0);
                 (oids, vals)
             });
-            let merged = merge_candidate_parts(outs, pool);
+            let merged = merge_candidate_parts(outs, pool, &plan);
             match link {
                 None => charge_select_scan(env, arr, merged.0.len(), scan, ledger),
                 Some(l) => charge_select_indirect(env, arr, l, ledger),
@@ -799,11 +842,13 @@ fn approx_select_step(
         }
         Some(c) => {
             let ranges = partition_ranges(c.oids.len(), morsels);
+            let plan = SocketPlan::new(ranges.len(), pool.sockets());
             let cached = cache_worthwhile(c.len(), link.unwrap_or(arr).len());
             let outs = run_parts(&ranges, |p, r| {
                 let (t, span) = morsel_begin(p, r.len());
-                let mut oids = pool.take_u32();
-                let mut vals = pool.take_u64();
+                let sock = plan.socket_of(p);
+                let mut oids = pool.take_u32(sock);
+                let mut vals = pool.take_u64(sock);
                 match link {
                     None => select_range_on_partition(
                         arr, &c.oids[r], lo, hi, cached, &mut oids, &mut vals,
@@ -815,7 +860,7 @@ fn approx_select_step(
                 t.end(EventKind::Morsel, span, 0, 0, oids.len() as u64, 0);
                 (oids, vals)
             });
-            let merged = merge_candidate_parts(outs, pool);
+            let merged = merge_candidate_parts(outs, pool, &plan);
             match link {
                 None => charge_select_on(env, arr, c.len(), merged.0.len(), ledger),
                 Some(l) => charge_select_on_indirect(env, arr, l, c.len(), ledger),
@@ -852,10 +897,11 @@ fn bitmap_worthwhile(rep: CandidateRep, lo: u64, hi: u64, width: u32) -> bool {
 }
 
 /// Concatenate per-worker candidate buffers in partition order, recycling
-/// the buffers.
+/// each buffer into the socket bank it was taken from.
 fn merge_candidate_parts(
     mut outs: Vec<(Vec<Oid>, Vec<u64>)>,
     pool: &ScratchPool,
+    plan: &SocketPlan,
 ) -> (Vec<Oid>, Vec<u64>) {
     if outs.len() == 1 {
         // Single partition: hand the (pool-born) buffers to the caller
@@ -865,11 +911,11 @@ fn merge_candidate_parts(
     let total: usize = outs.iter().map(|(o, _)| o.len()).sum();
     let mut oids = Vec::with_capacity(total);
     let mut vals = Vec::with_capacity(total);
-    for (o, v) in outs {
+    for (p, (o, v)) in outs.into_iter().enumerate() {
         oids.extend_from_slice(&o);
         vals.extend_from_slice(&v);
-        pool.put_u32(o);
-        pool.put_u64(v);
+        pool.put_u32(plan.socket_of(p), o);
+        pool.put_u64(plan.socket_of(p), v);
     }
     (oids, vals)
 }
@@ -924,6 +970,104 @@ fn refine_selection(
     )?;
     let merge_bytes = if survivors.is_some() {
         approx_out.len() as u64 * 4
+    } else {
+        0
+    };
+    if col.bound.meta().fully_device_resident() {
+        env.charge_host_scan(
+            "select.refine.materialize",
+            refined_n as u64 * 4 + merge_bytes,
+            refined_n as u64,
+            ledger,
+        );
+    } else {
+        env.charge_host_scattered(
+            "select.refine",
+            col.bound.residual_access_bytes(refined_n) + merge_bytes,
+            refined_n as u64 * bwd_core::ops::REFINE_OPS_PER_TUPLE,
+            ledger,
+        );
+    }
+    Ok(out)
+}
+
+/// Materialize a selection output at the gather boundary: indices clone
+/// through; bitmaps decode into the bit-identical block-scrambled
+/// candidate list — through the FK link (`arr[link[row]]`) when the
+/// selection was dimension-side.
+fn materialize_sel(sv: &SelVec, col: &ColRef<'_>, fk: Option<&FkIndex>) -> Result<Candidates> {
+    if col.is_dim {
+        let fkx = fk.ok_or_else(|| BwdError::Exec("dim selection without FK".into()))?;
+        Ok(sv.to_candidates_indirect(col.bound.approx(), fkx.device()))
+    } else {
+        Ok(sv.to_candidates(col.bound.approx()))
+    }
+}
+
+/// [`refine_selection`] consuming a selection's *bitmap* output directly:
+/// the refinement tests survivors positionally against the mask (the
+/// translucent join degenerates to O(1) membership) and re-decodes each
+/// survivor's approximation from the host replica of the device array —
+/// no index-list materialization round-trip. Charges are keyed on the
+/// mask's candidate count, which equals the materialized list's length,
+/// so simulated costs are bit-identical to the index path.
+#[allow(clippy::too_many_arguments)]
+fn refine_selection_mask(
+    env: &Env,
+    col: &ColRef<'_>,
+    fk: Option<&FkIndex>,
+    mask: &SelMask,
+    survivors: Option<&[Oid]>,
+    range: &RangePred,
+    morsels: usize,
+    pool: &ScratchPool,
+    ledger: &mut CostLedger,
+) -> Result<Vec<Oid>> {
+    let cand_n = mask.count();
+    if col.bound.meta().fully_device_resident() {
+        env.charge_download("select.refine.download", cand_n as u64 * 4, ledger);
+    } else {
+        // Same bytes `Candidates::download` bills for the equivalent
+        // materialized list.
+        let bytes = bwd_device::units::candidate_stream_bytes(
+            col.bound.meta().stored_width(),
+            cand_n as u64,
+        );
+        ledger.charge(
+            Component::Pcie,
+            "select.refine.download",
+            env.pcie.transfer_seconds(bytes),
+            bytes,
+        );
+    }
+    let refined_n = survivors.map_or(cand_n, <[Oid]>::len);
+    let residual = ResidualSrc::for_column(
+        col.bound,
+        col.is_dim,
+        fk.map(FkIndex::host_slice),
+        refined_n,
+    );
+    let approx = if col.is_dim {
+        ApproxSrc::Linked(
+            col.bound.approx(),
+            fk.ok_or_else(|| BwdError::Exec("dim refinement without FK".into()))?
+                .device(),
+        )
+    } else {
+        ApproxSrc::Direct(col.bound.approx())
+    };
+    let out = refine_filter_mask(
+        col.bound.meta(),
+        residual,
+        mask,
+        approx,
+        survivors,
+        range,
+        morsels,
+        pool,
+    )?;
+    let merge_bytes = if survivors.is_some() {
+        cand_n as u64 * 4
     } else {
         0
     };

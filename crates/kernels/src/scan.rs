@@ -37,7 +37,8 @@ use crate::selvec::SelMask;
 use bwd_device::units::{candidate_stream_bytes, element_access_bytes};
 use bwd_device::{CostLedger, Env};
 use bwd_obs::metrics::{Counter, Registry};
-use bwd_storage::{swar_applicable, BlockDecoder, RangeMatcher, DECODE_BLOCK};
+use bwd_storage::BitPackedVec;
+use bwd_storage::{swar_applicable, BlockDecoder, LaneCount, RangeMatcher, DECODE_BLOCK};
 use bwd_types::{bits::low_mask, Oid};
 use std::ops::Range;
 use std::sync::OnceLock;
@@ -192,11 +193,14 @@ pub fn select_range(
 /// partitions (one per simulated thread block).
 ///
 /// For SWAR-applicable widths ([`bwd_storage::swar_applicable`]) the
-/// predicate is evaluated **in the packed domain**: a word-parallel
-/// banked compare produces a 64-element match mask per group, decode
-/// only happens for 64-blocks that contain at least one survivor (a
-/// selective scan skips most of the relation's decode work entirely),
-/// and survivors are emitted via `trailing_zeros` — bit-identical to
+/// predicate is evaluated **in the packed domain**, batched: the
+/// partition is aligned to a 64-element boundary, the bulk runs through
+/// the fixed-lane batch kernels ([`bwd_storage::lanes`]) a chunk of mask
+/// words at a time, and decode only happens for 64-blocks that contain
+/// at least one survivor (a selective scan skips most of the relation's
+/// decode work entirely). Survivors are emitted via `trailing_zeros` —
+/// bit-identical to [`select_range_partition_per_word`] (the PR 5
+/// one-word-at-a-time SWAR loop) and to
 /// [`select_range_partition_scalar`], the decode-and-compare reference
 /// path used for wide elements.
 pub fn select_range_partition(
@@ -216,49 +220,130 @@ pub fn select_range_partition(
     if m.is_empty_range() {
         return;
     }
+    /// Mask words lane-filled per chunk: big enough to amortize the
+    /// dispatch, small enough to live on the stack and stay cache-hot
+    /// against the emission pass that follows.
+    const FILL_CHUNK: usize = 32;
     let mut buf = [0u64; DECODE_BLOCK];
-    let mut i = start;
+    let mut mask_buf = [0u64; FILL_CHUNK];
     let (mut blocks, mut zero_blocks) = (0u64, 0u64);
-    while i < end {
+    let mut i = start;
+    // Head: reach a 64-element boundary so the bulk is lane-aligned.
+    if !i.is_multiple_of(64) && i < end {
+        let n = (64 - i % 64).min(end - i);
         blocks += 1;
-        let n = (end - i).min(DECODE_BLOCK);
-        let mut bits = m.match_word(i, n);
+        let bits = m.match_word(i, n);
         if bits == 0 {
             zero_blocks += 1;
-        }
-        if bits != 0 {
-            if bits == low_mask(n as u32) {
-                // Every element matches: straight bulk decode + append.
-                data.unpack_range(i, &mut buf[..n]);
-                for (k, &v) in buf[..n].iter().enumerate() {
-                    oids.push((i + k) as Oid);
-                    approx.push(v);
-                }
-            } else if bits.count_ones() >= crate::selvec::DENSE_BLOCK_MIN {
-                // Dense block: decode once, then emit set bits.
-                data.unpack_range(i, &mut buf[..n]);
-                while bits != 0 {
-                    let k = bits.trailing_zeros() as usize;
-                    oids.push((i + k) as Oid);
-                    approx.push(buf[k]);
-                    bits &= bits - 1;
-                }
-            } else {
-                // Sparse block: decode only the survivors.
-                while bits != 0 {
-                    let k = bits.trailing_zeros() as usize;
-                    oids.push((i + k) as Oid);
-                    approx.push(data.get(i + k));
-                    bits &= bits - 1;
-                }
-            }
+        } else {
+            emit_matches(data, i, n, bits, &mut buf, oids, approx);
         }
         i += n;
+    }
+    // Bulk: batch-fill whole mask words, then emit per 64-block.
+    while i + 64 <= end {
+        let nwords = ((end - i) / 64).min(FILL_CHUNK);
+        m.fill(i, nwords * 64, &mut mask_buf[..nwords]);
+        blocks += nwords as u64;
+        for (w, &bits) in mask_buf[..nwords].iter().enumerate() {
+            if bits == 0 {
+                zero_blocks += 1;
+            } else {
+                emit_matches(data, i + w * 64, 64, bits, &mut buf, oids, approx);
+            }
+        }
+        i += nwords * 64;
+    }
+    // Tail: a final partial word.
+    if i < end {
+        let n = end - i;
+        blocks += 1;
+        let bits = m.match_word(i, n);
+        if bits == 0 {
+            zero_blocks += 1;
+        } else {
+            emit_matches(data, i, n, bits, &mut buf, oids, approx);
+        }
     }
     if blocks > 0 {
         let metrics = scan_metrics();
         metrics.swar_blocks.add(blocks);
         metrics.swar_zero_blocks.add(zero_blocks);
+    }
+}
+
+/// Emit the survivors of one matched 64-element group (`n` elements at
+/// row `i`, match bits `bits != 0`): bulk-decode when every element or a
+/// dense subset matches, per-element decode when sparse. Shared by the
+/// lane-batched and per-word partition kernels so the emission policy
+/// cannot drift between them.
+#[inline]
+fn emit_matches(
+    data: &BitPackedVec,
+    i: usize,
+    n: usize,
+    mut bits: u64,
+    buf: &mut [u64; DECODE_BLOCK],
+    oids: &mut Vec<Oid>,
+    approx: &mut Vec<u64>,
+) {
+    if bits == low_mask(n as u32) {
+        // Every element matches: straight bulk decode + append.
+        data.unpack_range(i, &mut buf[..n]);
+        for (k, &v) in buf[..n].iter().enumerate() {
+            oids.push((i + k) as Oid);
+            approx.push(v);
+        }
+    } else if bits.count_ones() >= crate::selvec::DENSE_BLOCK_MIN {
+        // Dense block: decode once, then emit set bits.
+        data.unpack_range(i, &mut buf[..n]);
+        while bits != 0 {
+            let k = bits.trailing_zeros() as usize;
+            oids.push((i + k) as Oid);
+            approx.push(buf[k]);
+            bits &= bits - 1;
+        }
+    } else {
+        // Sparse block: decode only the survivors.
+        while bits != 0 {
+            let k = bits.trailing_zeros() as usize;
+            oids.push((i + k) as Oid);
+            approx.push(data.get(i + k));
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// The PR 5 SWAR partition kernel, pinned to one
+/// [`RangeMatcher::match_word`] call per 64-element group — the baseline
+/// the scan benchmark measures the lane-batched
+/// [`select_range_partition`] against. Bit-identical output.
+pub fn select_range_partition_per_word(
+    arr: &DeviceArray,
+    start: usize,
+    end: usize,
+    lo: u64,
+    hi: u64,
+    oids: &mut Vec<Oid>,
+    approx: &mut Vec<u64>,
+) {
+    let data = arr.data();
+    if !swar_applicable(data.width()) {
+        return select_range_partition_scalar(arr, start, end, lo, hi, oids, approx);
+    }
+    let m = RangeMatcher::new(data, lo, hi);
+    if m.is_empty_range() {
+        return;
+    }
+    let mut buf = [0u64; DECODE_BLOCK];
+    let mut i = start;
+    while i < end {
+        let n = (end - i).min(DECODE_BLOCK);
+        let bits = m.match_word(i, n);
+        if bits != 0 {
+            emit_matches(data, i, n, bits, &mut buf, oids, approx);
+        }
+        i += n;
     }
 }
 
@@ -367,7 +452,8 @@ pub fn select_range_on_mask(
 /// The pure, word-aligned partition form of [`select_range_on_mask`]:
 /// AND-refine the input mask chunk starting at word index `word_start`
 /// into `out` (`in_words.len() == out.len()`). Zero input words are
-/// skipped without touching the column's bits.
+/// skipped without touching the column's bits; runs of live words go
+/// through the lane batch kernels ([`bwd_storage::RangeMatcher::fill_and`]).
 pub fn select_range_on_mask_partition(
     arr: &DeviceArray,
     in_words: &[u64],
@@ -377,15 +463,18 @@ pub fn select_range_on_mask_partition(
     out: &mut [u64],
 ) {
     debug_assert_eq!(in_words.len(), out.len());
-    let m = RangeMatcher::new(arr.data(), lo, hi);
-    let rows = arr.len();
-    for (i, (&inw, slot)) in in_words.iter().zip(out.iter_mut()).enumerate() {
-        if inw == 0 {
-            *slot = 0;
-            continue;
-        }
-        let s = (word_start + i) * 64;
-        *slot = inw & m.match_word(s, (rows - s).min(64));
+    let base = word_start * 64;
+    let n = (arr.len() - base).min(out.len() * 64);
+    let nw = n.div_ceil(64);
+    RangeMatcher::new(arr.data(), lo, hi).fill_and(
+        word_start,
+        n,
+        &in_words[..nw],
+        &mut out[..nw],
+        LaneCount::default(),
+    );
+    for slot in out[nw..].iter_mut() {
+        *slot = 0;
     }
 }
 
@@ -648,6 +737,136 @@ pub fn charge_select_on_indirect(
         2 * n_in as u64,
         ledger,
     );
+}
+
+/// Scan a column through a link array producing the positional match
+/// **bitmap** over the *fact* rows — the mask-producing twin of
+/// [`select_range_indirect`]. Bit `i` is set iff `arr[link[i]]` is in
+/// `[lo, hi]`, so chained dimension predicates AND masks positionally
+/// just like fact-side predicates do, with no index-list round-trip.
+///
+/// Charges exactly what [`select_range_indirect`] charges.
+pub fn select_range_indirect_mask(
+    env: &Env,
+    arr: &DeviceArray,
+    link: &DeviceArray,
+    lo: u64,
+    hi: u64,
+    opts: &ScanOptions,
+    ledger: &mut CostLedger,
+) -> SelMask {
+    let mut words = vec![0u64; link.len().div_ceil(64)];
+    select_range_indirect_mask_partition(arr, link, 0, lo, hi, &mut words);
+    let mask = SelMask::from_words(words, link.len(), opts);
+    charge_select_indirect(env, arr, link, ledger);
+    mask
+}
+
+/// Fill the indirected match-mask words starting at word index
+/// `word_start` for as many fact rows as `out` covers — the pure,
+/// word-aligned partition form of [`select_range_indirect_mask`]. The
+/// link column is streamed through the bulk decoder; the dimension reads
+/// stay per-element (link values land anywhere in the dimension).
+pub fn select_range_indirect_mask_partition(
+    arr: &DeviceArray,
+    link: &DeviceArray,
+    word_start: usize,
+    lo: u64,
+    hi: u64,
+    out: &mut [u64],
+) {
+    let base = word_start * 64;
+    let n = (link.len() - base).min(out.len() * 64);
+    let link_data = link.data();
+    let mut buf = [0u64; DECODE_BLOCK];
+    let mut i = 0usize;
+    for slot in out[..n.div_ceil(64)].iter_mut() {
+        let c = (n - i).min(64);
+        link_data.unpack_range(base + i, &mut buf[..c]);
+        let mut bits = 0u64;
+        for (k, &row) in buf[..c].iter().enumerate() {
+            let v = arr.get(row as usize);
+            bits |= u64::from(v >= lo && v <= hi) << k;
+        }
+        *slot = bits;
+        i += c;
+    }
+    for slot in out[n.div_ceil(64)..].iter_mut() {
+        *slot = 0;
+    }
+}
+
+/// Filter an existing candidate *bitmap* by bounds on an indirected
+/// column (`arr[link[row]]`) — the mask-producing twin of
+/// [`select_range_on_indirect`]. Mask words with no surviving candidates
+/// are skipped without touching either column.
+///
+/// Charges exactly what [`select_range_on_indirect`] charges for the
+/// same input count.
+pub fn select_range_on_indirect_mask(
+    env: &Env,
+    arr: &DeviceArray,
+    link: &DeviceArray,
+    input: &SelMask,
+    lo: u64,
+    hi: u64,
+    ledger: &mut CostLedger,
+) -> SelMask {
+    let mut words = vec![0u64; input.words().len()];
+    select_range_on_indirect_mask_partition(
+        arr,
+        link,
+        input.words(),
+        0,
+        lo,
+        hi,
+        cache_worthwhile(input.count(), link.len()),
+        &mut words,
+    );
+    let out = input.like(words);
+    charge_select_on_indirect(env, arr, link, input.count(), ledger);
+    out
+}
+
+/// The pure, word-aligned partition form of [`select_range_on_indirect_mask`]:
+/// AND-refine the input mask chunk starting at word index `word_start`
+/// into `out` (`in_words.len() == out.len()`). `cached` block-caches the
+/// *link* lookups exactly like [`select_range_on_indirect_partition`]
+/// (surviving rows are ascending, so dense masks hit the same decode
+/// block); the dimension reads stay per-element.
+#[allow(clippy::too_many_arguments)]
+pub fn select_range_on_indirect_mask_partition(
+    arr: &DeviceArray,
+    link: &DeviceArray,
+    in_words: &[u64],
+    word_start: usize,
+    lo: u64,
+    hi: u64,
+    cached: bool,
+    out: &mut [u64],
+) {
+    debug_assert_eq!(in_words.len(), out.len());
+    let mut dec = cached.then(|| BlockDecoder::new(link.data()));
+    for (i, (&inw, slot)) in in_words.iter().zip(out.iter_mut()).enumerate() {
+        if inw == 0 {
+            *slot = 0;
+            continue;
+        }
+        let s = (word_start + i) * 64;
+        let mut bits = inw;
+        let mut keep = 0u64;
+        while bits != 0 {
+            let k = bits.trailing_zeros() as usize;
+            let row = match &mut dec {
+                Some(d) => d.get(s + k) as usize,
+                None => link.get(s + k) as usize,
+            };
+            let v = arr.get(row);
+            keep |= u64::from(v >= lo && v <= hi) << k;
+            bits &= bits - 1;
+        }
+        *slot = keep;
+    }
 }
 
 #[cfg(test)]

@@ -190,6 +190,72 @@ impl SelMask {
         }
     }
 
+    /// Materialize the candidate list of an *indirected* (dimension-side)
+    /// mask: bit `i` covers fact row `i`, and the approximation decoded
+    /// for it is `arr[link[i]]` — bit-identical to what
+    /// [`crate::scan::select_range_indirect`] (or the chained indirect
+    /// filters) would have produced directly.
+    pub fn to_candidates_indirect(&self, arr: &DeviceArray, link: &DeviceArray) -> Candidates {
+        assert_eq!(link.len(), self.rows, "mask/link length mismatch");
+        let mut oids: Vec<Oid> = Vec::with_capacity(self.count);
+        let mut approx: Vec<u64> = Vec::with_capacity(self.count);
+        for r in scan_block_ranges(self.rows, &self.scan_options()) {
+            self.append_block_indirect(arr, link, r, &mut oids, &mut approx);
+        }
+        let mut c = Candidates {
+            oids,
+            approx,
+            sorted: false,
+            dense: false,
+        };
+        c.refresh_flags();
+        c
+    }
+
+    /// [`SelMask::append_block`] through a link array: emit the
+    /// candidates of fact-row range `r` with approximations
+    /// `arr[link[row]]`. Dense segments bulk-decode the *link* block (the
+    /// dimension reads stay per-element — link values land anywhere).
+    pub fn append_block_indirect(
+        &self,
+        arr: &DeviceArray,
+        link: &DeviceArray,
+        r: Range<usize>,
+        oids: &mut Vec<Oid>,
+        approx: &mut Vec<u64>,
+    ) {
+        let link_data = link.data();
+        let mut buf = [0u64; DECODE_BLOCK];
+        let mut s = r.start;
+        while s < r.end {
+            let seg_start = (s / 64) * 64;
+            let e = r.end.min(seg_start + 64);
+            let lo_clip = (s - seg_start) as u32;
+            let hi_clip = (e - seg_start) as u32;
+            let mut bits = self.words[s / 64] & clip_mask(lo_clip, hi_clip);
+            if bits != 0 {
+                let seg_len = (self.rows - seg_start).min(64);
+                if bits.count_ones() >= DENSE_BLOCK_MIN {
+                    link_data.unpack_range(seg_start, &mut buf[..seg_len]);
+                    while bits != 0 {
+                        let k = bits.trailing_zeros() as usize;
+                        oids.push((seg_start + k) as Oid);
+                        approx.push(arr.get(buf[k] as usize));
+                        bits &= bits - 1;
+                    }
+                } else {
+                    while bits != 0 {
+                        let k = bits.trailing_zeros() as usize;
+                        oids.push((seg_start + k) as Oid);
+                        approx.push(arr.get(link.get(seg_start + k) as usize));
+                        bits &= bits - 1;
+                    }
+                }
+            }
+            s = e;
+        }
+    }
+
     /// The set rows in ascending order, without values (diagnostics and
     /// mask→index invariant tests).
     pub fn sorted_oids(&self) -> Vec<Oid> {
@@ -273,6 +339,15 @@ impl SelVec {
         match self {
             SelVec::Indices(c) => c.clone(),
             SelVec::Bitmap(m) => m.to_candidates(arr),
+        }
+    }
+
+    /// [`SelVec::to_candidates`] for a dimension-side selection: bitmap
+    /// approximations decode as `arr[link[row]]`.
+    pub fn to_candidates_indirect(&self, arr: &DeviceArray, link: &DeviceArray) -> Candidates {
+        match self {
+            SelVec::Indices(c) => c.clone(),
+            SelVec::Bitmap(m) => m.to_candidates_indirect(arr, link),
         }
     }
 }

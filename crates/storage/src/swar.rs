@@ -38,6 +38,7 @@
 //! evaluation.
 
 use crate::bitpack::{BitPackedVec, DECODE_BLOCK};
+use crate::lanes::{self, LaneCount, LaneParams};
 use bwd_types::bits::low_mask;
 
 /// Widest element (bits) the SWAR lanes still pay for. At `w = 21` the
@@ -70,15 +71,14 @@ enum MatchKind {
     Empty,
     /// `[lo, hi]` covers the whole stored domain: everything matches.
     All,
-    /// Word-parallel banked compare (widths `1..=SWAR_MAX_WIDTH`).
+    /// Word-parallel banked compare (widths `1..=SWAR_MAX_WIDTH`). The
+    /// bound constants live in a [`LaneParams`] so the 64-aligned bulk of
+    /// a fill goes through the batch kernels in [`crate::lanes`].
     Swar {
         width: usize,
         lane: usize,
         k: usize,
-        elem_mask: u64,
-        h: u64,
-        lo_rep: u64,
-        hi1_rep: u64,
+        p: LaneParams,
     },
     /// Decode-and-compare fallback (wide elements).
     Scalar { lo: u64, hi: u64 },
@@ -113,10 +113,12 @@ impl<'a> RangeMatcher<'a> {
                     width,
                     lane,
                     k,
-                    elem_mask: low_mask(width as u32),
-                    h: ones << width, // every lane's spare top bit
-                    lo_rep: lo * ones,
-                    hi1_rep: (hi + 1) * ones, // hi+1 <= 2^width fits a lane
+                    p: LaneParams {
+                        elem_mask: low_mask(width as u32),
+                        h: ones << width, // every lane's spare top bit
+                        lo_rep: lo * ones,
+                        hi1_rep: (hi + 1) * ones, // hi+1 <= 2^width fits a lane
+                    },
                 }
             } else {
                 MatchKind::Scalar { lo, hi }
@@ -146,15 +148,13 @@ impl<'a> RangeMatcher<'a> {
         match self.kind {
             MatchKind::Empty => 0,
             MatchKind::All => full,
-            MatchKind::Swar {
-                width,
-                lane,
-                k,
-                elem_mask,
-                h,
-                lo_rep,
-                hi1_rep,
-            } => {
+            MatchKind::Swar { width, lane, k, p } => {
+                let LaneParams {
+                    elem_mask,
+                    h,
+                    lo_rep,
+                    hi1_rep,
+                } = p;
                 let words = self.v.words();
                 let mut bits = 0u64;
                 let mut j = 0usize;
@@ -207,13 +207,126 @@ impl<'a> RangeMatcher<'a> {
 
     /// Fill a whole mask slice: bit `k % 64` of `mask[k / 64]` set iff
     /// element `start + k` matches, for `k` in `0..n`.
+    ///
+    /// When `start` is 64-aligned (every mask-producing scan kernel's
+    /// case — partitions are word-aligned) the full blocks run through
+    /// the monomorphized batch kernels in [`crate::lanes`] at the default
+    /// [`LaneCount`]; only a partial tail word (and any unaligned call)
+    /// uses the per-word [`RangeMatcher::match_word`] loop.
     pub fn fill(&self, start: usize, n: usize, mask: &mut [u64]) {
+        self.fill_lanes(start, n, mask, LaneCount::default());
+    }
+
+    /// [`RangeMatcher::fill`] with an explicit batch width (the scan
+    /// benchmark sweeps this; results are identical for every `lc`).
+    pub fn fill_lanes(&self, start: usize, n: usize, mask: &mut [u64], lc: LaneCount) {
+        self.check_fill(start, n, mask.len());
+        if let MatchKind::Swar { width, p, .. } = self.kind {
+            if start.is_multiple_of(64) {
+                let full = n / 64;
+                lanes::fill_blocks(
+                    width as u32,
+                    p,
+                    self.v.words(),
+                    start / 64,
+                    &mut mask[..full],
+                    lc,
+                );
+                if !n.is_multiple_of(64) {
+                    mask[full] = self.match_word(start + full * 64, n % 64);
+                }
+                return;
+            }
+        }
+        self.fill_words(start, n, mask);
+    }
+
+    /// [`RangeMatcher::fill`] pinned to the per-word PR 5 loop — the
+    /// baseline the scan benchmark measures the lane kernels against.
+    pub fn fill_per_word(&self, start: usize, n: usize, mask: &mut [u64]) {
+        self.check_fill(start, n, mask.len());
+        self.fill_words(start, n, mask);
+    }
+
+    /// Match-and-refine: `out[i] = match_word(..) & input[i]`, with
+    /// all-zero input words skipped entirely (no packed-word loads) and
+    /// contiguous runs of live full words batched through the lane
+    /// kernels. `first_word` is the element-space index of the first mask
+    /// word (so elements `first_word * 64 ..` are covered) and must
+    /// address full blocks for all but the last of the `n` elements.
+    ///
+    /// This is the AND-refinement step of a chained mask selection: the
+    /// candidate mask never round-trips through an index list.
+    pub fn fill_and(
+        &self,
+        first_word: usize,
+        n: usize,
+        input: &[u64],
+        out: &mut [u64],
+        lc: LaneCount,
+    ) {
+        let start = first_word * 64;
+        self.check_fill(start, n, out.len());
+        assert_eq!(input.len(), out.len(), "input/output word counts differ");
+        let full = n / 64;
+        match self.kind {
+            MatchKind::Empty => out.fill(0),
+            MatchKind::All => {
+                out.copy_from_slice(input);
+                if !n.is_multiple_of(64) {
+                    out[full] &= low_mask((n % 64) as u32);
+                }
+            }
+            MatchKind::Swar { width, p, .. } => {
+                let words = self.v.words();
+                let mut i = 0usize;
+                while i < full {
+                    if input[i] == 0 {
+                        out[i] = 0;
+                        i += 1;
+                        continue;
+                    }
+                    let mut j = i + 1;
+                    while j < full && input[j] != 0 {
+                        j += 1;
+                    }
+                    lanes::fill_blocks(width as u32, p, words, first_word + i, &mut out[i..j], lc);
+                    for w in i..j {
+                        out[w] &= input[w];
+                    }
+                    i = j;
+                }
+                if !n.is_multiple_of(64) {
+                    out[full] = if input[full] == 0 {
+                        0
+                    } else {
+                        self.match_word(start + full * 64, n % 64) & input[full]
+                    };
+                }
+            }
+            MatchKind::Scalar { .. } => {
+                for (w, m) in out.iter_mut().enumerate() {
+                    let c = (n - w * 64).min(64);
+                    *m = if input[w] == 0 {
+                        0
+                    } else {
+                        self.match_word(start + w * 64, c) & input[w]
+                    };
+                }
+            }
+        }
+    }
+
+    fn check_fill(&self, start: usize, n: usize, mask_words: usize) {
         assert!(
             start.checked_add(n).is_some_and(|end| end <= self.v.len()),
             "range {start}.. +{n} out of bounds (len {})",
             self.v.len()
         );
-        assert_eq!(mask.len(), n.div_ceil(64), "mask word count");
+        assert_eq!(mask_words, n.div_ceil(64), "mask word count");
+    }
+
+    fn fill_words(&self, start: usize, n: usize, mask: &mut [u64]) {
         let mut idx = 0usize;
         for m in mask.iter_mut() {
             let c = (n - idx).min(64);
@@ -401,6 +514,82 @@ mod tests {
         range_match_mask(&v, 0, 500, 9, 9, &mut range);
         assert_eq!(point, range);
         assert_eq!(mask_count(&point), vals.iter().filter(|&&x| x == 9).count());
+    }
+
+    /// The lane-batched fill, the per-word fill, and `fill_and` against
+    /// an all-ones input agree at every width class and batch width.
+    #[test]
+    fn lane_fill_agrees_with_per_word_fill() {
+        for width in [1u32, 3, 7, 12, 16, 20, 21, 22, 32] {
+            let vals = pseudo_vals(width, 1000, u64::from(width));
+            let v = BitPackedVec::from_slice(width, &vals);
+            let max = low_mask(width);
+            let m = RangeMatcher::new(&v, max / 8, max / 2);
+            for &(start, n) in &[
+                (0usize, 1000usize),
+                (0, 993),
+                (64, 640),
+                (128, 65),
+                (3, 900),
+            ] {
+                let words = n.div_ceil(64);
+                let mut per_word = vec![0u64; words];
+                m.fill_per_word(start, n, &mut per_word);
+                for lc in [LaneCount::X4, LaneCount::X8] {
+                    let mut lane = vec![0u64; words];
+                    m.fill_lanes(start, n, &mut lane, lc);
+                    assert_eq!(lane, per_word, "width={width} start={start} n={n} {lc:?}");
+                }
+                if start.is_multiple_of(64) {
+                    let mut anded = vec![0u64; words];
+                    m.fill_and(
+                        start / 64,
+                        n,
+                        &vec![u64::MAX; words],
+                        &mut anded,
+                        LaneCount::X4,
+                    );
+                    let mut expect = per_word.clone();
+                    if !n.is_multiple_of(64) {
+                        *expect.last_mut().unwrap() &= low_mask((n % 64) as u32);
+                    }
+                    assert_eq!(anded, expect, "fill_and width={width} n={n}");
+                }
+            }
+        }
+    }
+
+    /// `fill_and` refines an arbitrary input mask exactly like computing
+    /// the full match mask and ANDing after the fact — including its
+    /// zero-word skip path and the all/empty fast kinds.
+    #[test]
+    fn fill_and_equals_fill_then_and() {
+        for width in [5u32, 13, 21, 24] {
+            let vals = pseudo_vals(width, 777, 99 + u64::from(width));
+            let v = BitPackedVec::from_slice(width, &vals);
+            let max = low_mask(width);
+            for (lo, hi) in [(max / 8, max / 2), (0, max), (3, 1), (0, 0)] {
+                let m = RangeMatcher::new(&v, lo, hi);
+                let n = 777usize;
+                let words = n.div_ceil(64);
+                // A patchy input: zero words, dense words, sparse words.
+                let input: Vec<u64> = (0..words as u64)
+                    .map(|i| match i % 4 {
+                        0 => 0,
+                        1 => u64::MAX,
+                        _ => i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    })
+                    .collect();
+                let mut plain = vec![0u64; words];
+                m.fill(0, n, &mut plain);
+                let expect: Vec<u64> = plain.iter().zip(&input).map(|(a, b)| a & b).collect();
+                for lc in [LaneCount::X4, LaneCount::X8] {
+                    let mut got = vec![0u64; words];
+                    m.fill_and(0, n, &input, &mut got, lc);
+                    assert_eq!(got, expect, "width={width} lo={lo} hi={hi} {lc:?}");
+                }
+            }
+        }
     }
 
     proptest! {

@@ -1,0 +1,182 @@
+//! PR 7 lane-scan invariants: the fixed-lane batch kernels and the
+//! socket-aware morsel placement are **representation and placement
+//! only**. For every socket count in {1, 2, 4}, every candidate
+//! representation (Indices / Bitmap / Auto), and every morsel count in
+//! {1, 2, 8}, the same plans produce the same rows, survivor counts,
+//! PCI-E traffic and simulated component costs as the serial
+//! single-socket index run — including chains where a dimension-side
+//! predicate AND-refines the running bitmap through the FK link. A
+//! storage-level sweep additionally pins both lane counts (X4 / X8) to
+//! the per-word SWAR baseline at every packed width and at straddling,
+//! unaligned spans.
+
+use waste_not::core::plan::ScalarExpr as E;
+use waste_not::core::plan::{AggExpr, AggFunc, ArPlan, BinOp, LogicalPlan, Predicate};
+use waste_not::data::{gen_lineitem, gen_part, micro, TpchConfig};
+use waste_not::engine::{run_ar_in, ArExecOptions, CandidateRep, Database};
+use waste_not::storage::{BitPackedVec, Column, LaneCount, RangeMatcher};
+use waste_not::Value;
+
+const SOCKETS: [u32; 3] = [1, 2, 4];
+const MORSELS: [usize; 3] = [1, 2, 8];
+const REPS: [CandidateRep; 3] = [
+    CandidateRep::Indices,
+    CandidateRep::Bitmap,
+    CandidateRep::Auto,
+];
+
+/// Every (sockets, representation, morsels) cell against the serial
+/// single-socket index run: rows, survivors, simulated costs and traffic
+/// must all be bit-identical.
+fn assert_socket_sweep_bit_identical(db: &Database, plan: &ArPlan, what: &str) {
+    let base_env = db.env().clone();
+    let opts = |rep, morsels| ArExecOptions {
+        candidates: rep,
+        morsels,
+        ..Default::default()
+    };
+    let baseline = run_ar_in(db, plan, &opts(CandidateRep::Indices, 1), &base_env).unwrap();
+    assert!(!baseline.rows.is_empty(), "{what}: degenerate plan");
+    for sockets in SOCKETS {
+        let mut env = base_env.clone();
+        env.cpu.sockets = sockets;
+        for rep in REPS {
+            for m in MORSELS {
+                let r = run_ar_in(db, plan, &opts(rep, m), &env).unwrap();
+                let cell = format!("{what} @ sockets={sockets} {rep:?} morsels={m}");
+                assert_eq!(baseline.rows, r.rows, "{cell}: rows");
+                assert_eq!(baseline.survivors, r.survivors, "{cell}: survivors");
+                assert_eq!(baseline.breakdown, r.breakdown, "{cell}: simulated costs");
+                assert_eq!(baseline.traffic, r.traffic, "{cell}: traffic");
+            }
+        }
+    }
+}
+
+fn micro_db(n: usize) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        vec![
+            ("a".into(), micro::unique_shuffled_column(n, 0x1A9E)),
+            ("g".into(), micro::grouping_keys_column(n, 24, 0x50C)),
+            (
+                "v".into(),
+                Column::from_i32((0..n as i32).map(|i| (i * 29) % 8191).collect()),
+            ),
+        ],
+    )
+    .unwrap();
+    db.bwdecompose("t", "a", 24).unwrap();
+    db.bwdecompose("t", "g", 24).unwrap();
+    db.bwdecompose("t", "v", 24).unwrap();
+    db
+}
+
+/// Chained fact-side predicates with grouped aggregation: the dense
+/// first predicate rides the lane-batch mask kernel, the second
+/// AND-refines it, refinement consumes the mask positionally — identical
+/// across the whole socket × representation × morsel grid.
+#[test]
+fn chained_fact_selections_identical_across_sockets() {
+    let n = 60_000;
+    let db = micro_db(n);
+    let logical = LogicalPlan::scan("t")
+        .filter(Predicate::Between {
+            column: "a".into(),
+            lo: Value::Int(500),
+            hi: Value::Int(n as i64 * 2 / 3),
+        })
+        .filter(Predicate::Between {
+            column: "v".into(),
+            lo: Value::Int(50),
+            hi: Value::Int(6_000),
+        })
+        .aggregate(
+            vec!["g".into()],
+            vec![
+                AggExpr {
+                    func: AggFunc::Count,
+                    arg: None,
+                    alias: "n".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(E::col("v").binary(BinOp::Mul, E::lit(7i64))),
+                    alias: "s".into(),
+                },
+            ],
+        );
+    let plan = db.bind(&logical, &Default::default()).unwrap();
+    assert_socket_sweep_bit_identical(&db, &plan, "chained fact selections");
+}
+
+/// A Q14-shaped fact + dimension chain: the dim predicate AND-refines
+/// the running bitmap *through the FK link* (no index round-trip), and
+/// the mask-consuming refinement reconstructs dim-side payloads via the
+/// host FK index — across the whole socket grid.
+#[test]
+fn dim_chain_identical_across_sockets() {
+    let cfg = TpchConfig::scale(0.02);
+    let mut db = Database::new();
+    db.create_table("lineitem", gen_lineitem(&cfg).into_columns())
+        .unwrap();
+    db.create_table("part", gen_part(&cfg).into_columns())
+        .unwrap();
+    db.declare_fk("lineitem", "l_partkey", "part", "p_partkey")
+        .unwrap();
+    let stmt = waste_not::sql::parse(
+        "select count(*) as promo, sum(l_extendedprice * (1 - l_discount)) as rev \
+         from lineitem, part where l_partkey = p_partkey \
+         and l_shipdate >= date '1995-01-01' \
+         and l_shipdate < date '1995-01-01' + interval '1' year \
+         and p_type like 'PROMO%'",
+    )
+    .unwrap();
+    let waste_not::sql::BoundStatement::Query(logical) =
+        waste_not::sql::bind(&stmt, db.catalog()).unwrap()
+    else {
+        panic!("not a query");
+    };
+    let mut plan = db.bind(&logical, &Default::default()).unwrap();
+    // Fact predicates first, the dim predicate last: the shape where the
+    // running bitmap meets the indirect step.
+    plan.selections
+        .sort_by_key(|s| usize::from(s.column.contains('.')));
+    db.auto_bind(&plan).unwrap();
+    assert_socket_sweep_bit_identical(&db, &plan, "Q14-shaped all-resident");
+    // Space-constrained: residuals exist, so the refinement pipeline
+    // (mask-consuming, socket-banked scratch) actually runs.
+    db.bwdecompose("lineitem", "l_shipdate", 24).unwrap();
+    db.bwdecompose("part", "p_type", 4).unwrap();
+    assert_socket_sweep_bit_identical(&db, &plan, "Q14-shaped space-constrained");
+}
+
+/// Storage-level pin: both lane counts agree with the per-word SWAR
+/// baseline at every packable width (1..=21, the 20/21 group boundaries
+/// included), over unaligned spans whose first and last words are
+/// partially covered.
+#[test]
+fn lane_counts_match_per_word_swar_at_every_width() {
+    let n = 64 * 200 + 17;
+    for width in 1..=21u32 {
+        let max = (1u64 << width) - 1;
+        let vals: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) & max)
+            .collect();
+        let packed = BitPackedVec::from_slice(width, &vals);
+        let (lo, hi) = (max / 5, max - max / 3);
+        let m = RangeMatcher::new(&packed, lo, hi);
+        let spans: [(usize, usize); 4] =
+            [(0, n), (64, n - 64), (0, 64 * 9 + 3), (64 * 3, 64 * 8 + 1)];
+        for (start, len) in spans {
+            let mut base = vec![0u64; len.div_ceil(64)];
+            m.fill_per_word(start, len, &mut base);
+            for lc in [LaneCount::X4, LaneCount::X8] {
+                let mut got = vec![0u64; len.div_ceil(64)];
+                m.fill_lanes(start, len, &mut got, lc);
+                assert_eq!(got, base, "width={width} start={start} len={len} {lc:?}");
+            }
+        }
+    }
+}

@@ -255,9 +255,11 @@ fn tpch_q6_identical_across_reps_resident_and_distributed() {
 }
 
 /// A Q14-shaped join where an FK-joined *dimension* predicate follows a
-/// dense fact predicate in the approximate chain: the running bitmap
-/// must materialize (bit-identically) before the indirect step consumes
-/// it, and the dimension step itself stays on indices.
+/// dense fact predicate in the approximate chain: the dimension step
+/// AND-refines the running bitmap *in place* (testing `arr[link[row]]`
+/// per live bit — no bitmap→indices round-trip at the indirect
+/// boundary), and refinement consumes the dim selection's mask directly.
+/// All of it must stay bit-identical to the index chain.
 #[test]
 fn tpch_q14_dim_predicate_identical_across_reps() {
     let mut db = tpch_db();
@@ -271,8 +273,8 @@ fn tpch_q14_dim_predicate_identical_across_reps() {
     );
     // Pin the chain order: the dense fact predicate first (a bitmap
     // under Auto/Bitmap policy), the dimension predicate second — the
-    // order that forces the bitmap -> indices conversion at the
-    // indirect boundary.
+    // order that exercises the indirect AND-refinement of a running
+    // bitmap.
     plan.selections
         .sort_by_key(|s| usize::from(s.column.contains('.')));
     assert!(
