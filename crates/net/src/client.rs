@@ -1,0 +1,113 @@
+//! A small blocking client over any [`Transport`].
+//!
+//! The server side is strictly non-blocking; clients usually aren't, so
+//! [`NetClient`] wraps a transport with send-all / receive-one-frame
+//! calls that spin through `WouldBlock` (yielding between attempts).
+//! Tests and the example use it against both TCP sockets and in-memory
+//! duplex pipes; it is a convenience, not part of the wire contract —
+//! any byte stream speaking the frame format interoperates.
+
+use crate::frame::{Frame, FrameDecoder, WireMode, DEFAULT_MAX_FRAME_LEN};
+use crate::transport::{IoEvent, TcpTransport, Transport};
+use bwd_engine::QueryResult;
+use bwd_types::{BwdError, Result};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+fn io_err(e: io::Error) -> BwdError {
+    BwdError::Exec(format!("net i/o: {e}"))
+}
+
+/// A blocking request/response client (see the [crate docs](crate)).
+pub struct NetClient {
+    transport: Box<dyn Transport>,
+    decoder: FrameDecoder,
+}
+
+impl NetClient {
+    /// Wrap an established transport.
+    pub fn new(transport: Box<dyn Transport>) -> NetClient {
+        NetClient {
+            transport,
+            decoder: FrameDecoder::with_max_len(DEFAULT_MAX_FRAME_LEN),
+        }
+    }
+
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(NetClient::new(Box::new(TcpTransport::new(stream)?)))
+    }
+
+    /// Send one frame, blocking until it is fully written.
+    pub fn send(&mut self, frame: &Frame) -> Result<()> {
+        let buf = frame.encode();
+        let mut pos = 0;
+        while pos < buf.len() {
+            match self.transport.try_write(&buf[pos..]).map_err(io_err)? {
+                IoEvent::Bytes(n) => pos += n,
+                IoEvent::WouldBlock => std::thread::yield_now(),
+                IoEvent::Eof => {
+                    return Err(BwdError::Exec("net i/o: peer closed".into()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Receive one frame, blocking until a full frame arrives.
+    pub fn recv(&mut self) -> Result<Frame> {
+        loop {
+            if let Some(frame) = self.decoder.next().map_err(BwdError::from)? {
+                return Ok(frame);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.transport.try_read(&mut chunk).map_err(io_err)? {
+                IoEvent::Bytes(n) => self.decoder.feed(&chunk[..n]),
+                IoEvent::WouldBlock => std::thread::yield_now(),
+                IoEvent::Eof => {
+                    self.decoder.finish_eof().map_err(BwdError::from)?;
+                    return Err(BwdError::Exec("net i/o: peer closed".into()));
+                }
+            }
+        }
+    }
+
+    /// One round trip: send `frame`, return the next response frame.
+    pub fn round_trip(&mut self, frame: &Frame) -> Result<Frame> {
+        self.send(frame)?;
+        self.recv()
+    }
+
+    /// Run a SQL query and unwrap the response: `Ok` on a result frame,
+    /// the carried error on an error frame, `Unsupported` retry advice
+    /// on a busy frame.
+    pub fn query(&mut self, sql: &str, mode: WireMode) -> Result<QueryResult> {
+        let resp = self.round_trip(&Frame::Query {
+            mode,
+            sql: sql.to_string(),
+        })?;
+        match resp {
+            Frame::Result(result) => Ok(*result),
+            Frame::Error { error, .. } => Err(error),
+            Frame::Busy { queued } => Err(BwdError::Unsupported(format!(
+                "server busy ({queued} queued); retry later"
+            ))),
+            other => Err(BwdError::Exec(format!(
+                "unexpected response frame {:#04x}",
+                other.type_byte()
+            ))),
+        }
+    }
+
+    /// Liveness check: send ping, expect pong.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.round_trip(&Frame::Ping)? {
+            Frame::Pong => Ok(()),
+            other => Err(BwdError::Exec(format!(
+                "expected pong, got frame {:#04x}",
+                other.type_byte()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Front-door configuration: watermarks, frame caps, pacing.
+
+use std::time::Duration;
+
+/// [`crate::NetServer`] construction knobs.
+///
+/// The two-level backpressure scheme:
+///
+/// * **Read-pause watermark** — when the scheduler's
+///   [`bwd_sched::QueuePressure`] crosses `pause_queued_jobs` or
+///   `pause_admission_waiting`, the reactor stops *reading sockets*.
+///   Demand piles up in transport buffers (kernel receive queues, duplex
+///   pipes) where it costs this process nothing, instead of inflating the
+///   admission queue. Reads resume automatically as workers drain.
+/// * **Hard shed limit** — a request frame that was already decoded while
+///   `shed_queued_jobs` is exceeded (frames arrive in bursts; pausing
+///   cannot retroactively unread them) is answered with a retryable
+///   [`crate::Frame::Busy`] instead of being submitted.
+///
+/// With one request frame per read chunk the queue depth is therefore
+/// provably bounded by `pause_queued_jobs` (the reactor re-probes before
+/// every socket read and before every submission); with batched frames
+/// the bound widens by at most the decoded-but-unsubmitted frames per
+/// connection, which `max_inflight_per_conn` caps.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Pause socket reads when this many jobs sit in the scheduler
+    /// queue.
+    pub pause_queued_jobs: usize,
+    /// Pause socket reads when this many device-memory reservations are
+    /// blocked inside admission (each one is a frozen worker).
+    pub pause_admission_waiting: u64,
+    /// Answer `Busy` instead of submitting once the scheduler queue is
+    /// this deep (`usize::MAX` disables shedding).
+    pub shed_queued_jobs: usize,
+    /// Reject frames whose declared length exceeds this.
+    pub max_frame_len: u32,
+    /// Bytes read from one connection per reactor pass (one syscall's
+    /// worth; fairness across connections).
+    pub read_chunk: usize,
+    /// Requests one connection may have in flight (submitted, not yet
+    /// responded). Further frames wait in the decode buffer.
+    pub max_inflight_per_conn: usize,
+    /// Per-direction byte capacity of in-memory duplex connections
+    /// ([`crate::NetServer::connect`]).
+    pub duplex_capacity: usize,
+    /// How long [`crate::NetServer::serve`] parks when a pass makes no
+    /// progress and no completion wakes it (bounds accept/read latency;
+    /// completions interrupt it early via the ticket waker).
+    pub poll_interval: Duration,
+    /// Record net-lane observability events ([`bwd_obs::EventKind::NetConn`],
+    /// `NetRecv`, `NetSend`) on an internal recorder, drainable via
+    /// [`crate::NetServer::net_trace`].
+    pub tracing: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            pause_queued_jobs: 256,
+            pause_admission_waiting: 64,
+            shed_queued_jobs: 4096,
+            max_frame_len: crate::frame::DEFAULT_MAX_FRAME_LEN,
+            read_chunk: 16 << 10,
+            max_inflight_per_conn: 32,
+            duplex_capacity: 64 << 10,
+            poll_interval: Duration::from_millis(2),
+            tracing: false,
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! The length-prefixed wire protocol and its incremental decoder.
+//!
+//! ```text
+//!  ┌──────────────┬───────────┬────────────────────┐
+//!  │ len: u32 LE  │ type: u8  │ payload (len−1 B)  │
+//!  └──────────────┴───────────┴────────────────────┘
+//! ```
+//!
+//! `len` covers the type byte plus the payload, so the smallest legal
+//! frame is 5 bytes on the wire (`len = 1`, empty payload — [`Frame::Ping`]
+//! and [`Frame::Pong`]). Requests flow client → server
+//! ([`Frame::Query`], [`Frame::RunPlan`], [`Frame::Ping`]); responses flow
+//! server → client ([`Frame::Result`], [`Frame::Error`], [`Frame::Busy`],
+//! [`Frame::Pong`]), **one response per request, in request order**.
+//!
+//! The [`FrameDecoder`] is incremental (feed arbitrary byte chunks, pop
+//! whole frames) and paranoid: an oversized length prefix, an unknown
+//! type byte or a malformed payload is a clean [`FrameError`] — never a
+//! panic, never a read past the frame — and poisons the decoder, because
+//! a stream that lied about one length can never be resynchronized.
+
+use crate::wire::{self, Reader};
+use bwd_engine::{ExecMode, QueryResult};
+use bwd_types::BwdError;
+
+/// Frame-type bytes (`0x0x` requests, `0x8x` responses).
+pub mod frame_type {
+    /// SQL query request.
+    pub const QUERY: u8 = 0x01;
+    /// Registered-plan execution request.
+    pub const RUN_PLAN: u8 = 0x02;
+    /// Liveness probe request.
+    pub const PING: u8 = 0x03;
+    /// Successful query response.
+    pub const RESULT: u8 = 0x81;
+    /// Failed query response.
+    pub const ERROR: u8 = 0x82;
+    /// Load-shed response: retry later.
+    pub const BUSY: u8 = 0x83;
+    /// Liveness probe response.
+    pub const PONG: u8 = 0x84;
+}
+
+/// Execution mode on the wire (a closed two-value enum, unlike
+/// [`ExecMode`] which can carry engine options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// Classic CPU-only execution.
+    Classic,
+    /// Approximate & Refine co-processing.
+    ApproxRefine,
+}
+
+impl WireMode {
+    /// The engine mode this wire mode requests.
+    pub fn exec_mode(self) -> ExecMode {
+        match self {
+            WireMode::Classic => ExecMode::Classic,
+            WireMode::ApproxRefine => ExecMode::ApproxRefine,
+        }
+    }
+
+    fn to_byte(self) -> u8 {
+        match self {
+            WireMode::Classic => 0,
+            WireMode::ApproxRefine => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<WireMode, FrameError> {
+        match b {
+            0 => Ok(WireMode::Classic),
+            1 => Ok(WireMode::ApproxRefine),
+            other => Err(FrameError::Malformed(format!("unknown mode byte {other}"))),
+        }
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Execute one SQL statement in the given mode.
+    Query {
+        /// Execution mode.
+        mode: WireMode,
+        /// The SQL text.
+        sql: String,
+    },
+    /// Execute a plan previously registered on the server
+    /// ([`crate::NetServer::register_plan`]) by id.
+    RunPlan {
+        /// Execution mode.
+        mode: WireMode,
+        /// The server-assigned plan id.
+        plan: u64,
+    },
+    /// Liveness probe; the server answers [`Frame::Pong`] in order with
+    /// the query responses.
+    Ping,
+    /// A completed query's full [`QueryResult`].
+    Result(Box<QueryResult>),
+    /// A failed query's [`BwdError`]. `retryable` marks transient
+    /// conditions (admission timeouts) a client may simply resubmit.
+    Error {
+        /// The error, variant-faithfully round-tripped.
+        error: BwdError,
+        /// Whether resubmitting the identical request may succeed.
+        retryable: bool,
+    },
+    /// The server shed this request before queueing it (admission
+    /// pressure past the hard watermark). Always retryable.
+    Busy {
+        /// Scheduler queue depth observed when shedding — a client-side
+        /// backoff hint.
+        queued: u32,
+    },
+    /// Liveness probe response.
+    Pong,
+}
+
+/// A framing or payload decode failure. Any of these poisons the
+/// decoder: the connection must be closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds the decoder's configured maximum.
+    Oversized {
+        /// The declared frame length.
+        len: u32,
+        /// The configured cap.
+        max: u32,
+    },
+    /// A frame declared length zero (even an empty payload carries its
+    /// type byte).
+    EmptyFrame,
+    /// The type byte is not a known frame type.
+    UnknownType(u8),
+    /// The payload did not parse (truncated field, bad tag, trailing
+    /// bytes, invalid UTF-8).
+    Malformed(String),
+    /// The peer disconnected mid-frame (EOF with a partial frame
+    /// buffered).
+    TruncatedByEof {
+        /// Bytes of the partial frame left in the buffer.
+        buffered: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte cap")
+            }
+            FrameError::EmptyFrame => write!(f, "zero-length frame (missing type byte)"),
+            FrameError::UnknownType(t) => write!(f, "unknown frame type {t:#04x}"),
+            FrameError::Malformed(m) => write!(f, "malformed frame payload: {m}"),
+            FrameError::TruncatedByEof { buffered } => {
+                write!(f, "peer disconnected mid-frame ({buffered} bytes buffered)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for BwdError {
+    fn from(e: FrameError) -> BwdError {
+        BwdError::Exec(format!("wire protocol error: {e}"))
+    }
+}
+
+impl Frame {
+    /// The frame's type byte.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Query { .. } => frame_type::QUERY,
+            Frame::RunPlan { .. } => frame_type::RUN_PLAN,
+            Frame::Ping => frame_type::PING,
+            Frame::Result(_) => frame_type::RESULT,
+            Frame::Error { .. } => frame_type::ERROR,
+            Frame::Busy { .. } => frame_type::BUSY,
+            Frame::Pong => frame_type::PONG,
+        }
+    }
+
+    /// Append this frame's wire encoding (header included) to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let len_at = buf.len();
+        wire::put_u32(buf, 0); // patched below
+        wire::put_u8(buf, self.type_byte());
+        match self {
+            Frame::Query { mode, sql } => {
+                wire::put_u8(buf, mode.to_byte());
+                wire::put_str(buf, sql);
+            }
+            Frame::RunPlan { mode, plan } => {
+                wire::put_u8(buf, mode.to_byte());
+                wire::put_u64(buf, *plan);
+            }
+            Frame::Ping | Frame::Pong => {}
+            Frame::Result(r) => wire::put_query_result(buf, r),
+            Frame::Error { error, retryable } => {
+                wire::put_u8(buf, u8::from(*retryable));
+                wire::put_bwd_error(buf, error);
+            }
+            Frame::Busy { queued } => wire::put_u32(buf, *queued),
+        }
+        let len = (buf.len() - len_at - 4) as u32;
+        buf[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// This frame's wire encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Decode one frame body (`type` byte already split off) from a
+    /// complete payload slice.
+    fn decode_body(ty: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+        let mut r = Reader::new(payload);
+        let frame = match ty {
+            frame_type::QUERY => {
+                let mode = WireMode::from_byte(r.u8().map_err(FrameError::Malformed)?)?;
+                let sql = r.str().map_err(FrameError::Malformed)?;
+                Frame::Query { mode, sql }
+            }
+            frame_type::RUN_PLAN => {
+                let mode = WireMode::from_byte(r.u8().map_err(FrameError::Malformed)?)?;
+                let plan = r.u64().map_err(FrameError::Malformed)?;
+                Frame::RunPlan { mode, plan }
+            }
+            frame_type::PING => Frame::Ping,
+            frame_type::PONG => Frame::Pong,
+            frame_type::RESULT => Frame::Result(Box::new(
+                wire::read_query_result(&mut r).map_err(FrameError::Malformed)?,
+            )),
+            frame_type::ERROR => {
+                let retryable = match r.u8().map_err(FrameError::Malformed)? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(FrameError::Malformed(format!(
+                            "invalid retryable byte {other}"
+                        )))
+                    }
+                };
+                let error = wire::read_bwd_error(&mut r).map_err(FrameError::Malformed)?;
+                Frame::Error { error, retryable }
+            }
+            frame_type::BUSY => Frame::Busy {
+                queued: r.u32().map_err(FrameError::Malformed)?,
+            },
+            other => return Err(FrameError::UnknownType(other)),
+        };
+        r.finish().map_err(FrameError::Malformed)?;
+        Ok(frame)
+    }
+}
+
+/// Default cap on one frame's `len` field: 16 MiB.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Incremental frame decoder over a byte stream.
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted when it outgrows the live
+    /// suffix so long-lived connections don't accrete garbage.
+    pos: usize,
+    max_len: u32,
+    poisoned: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing [`DEFAULT_MAX_FRAME_LEN`].
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::with_max_len(DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// A decoder rejecting frames whose declared length exceeds
+    /// `max_len`.
+    pub fn with_max_len(max_len: u32) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_len: max_len.max(1),
+            poisoned: None,
+        }
+    }
+
+    /// Append raw bytes from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as complete frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether a previous error poisoned this decoder.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// Pop the next complete frame: `Ok(None)` means "need more bytes".
+    /// Any `Err` is sticky — a stream that framed one message wrong
+    /// cannot be trusted about where the next one starts.
+    ///
+    /// Deliberately not `Iterator`: errors are sticky and callers must
+    /// see them, which `Iterator::next`'s `Option` cannot express.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Frame>, FrameError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        match self.try_next() {
+            Ok(f) => Ok(f),
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn try_next(&mut self) -> Result<Option<Frame>, FrameError> {
+        if self.buffered() < 4 {
+            return Ok(None);
+        }
+        let head = &self.buf[self.pos..self.pos + 4];
+        let len = u32::from_le_bytes(head.try_into().unwrap());
+        if len == 0 {
+            return Err(FrameError::EmptyFrame);
+        }
+        if len > self.max_len {
+            return Err(FrameError::Oversized {
+                len,
+                max: self.max_len,
+            });
+        }
+        let total = 4 + len as usize;
+        if self.buffered() < total {
+            return Ok(None);
+        }
+        let ty = self.buf[self.pos + 4];
+        let payload = &self.buf[self.pos + 5..self.pos + total];
+        let frame = Frame::decode_body(ty, payload)?;
+        self.pos += total;
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(frame))
+    }
+
+    /// Signal end-of-stream: a partial frame still buffered means the
+    /// peer disconnected mid-frame.
+    pub fn finish_eof(&mut self) -> Result<(), FrameError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        if self.buffered() > 0 {
+            let e = FrameError::TruncatedByEof {
+                buffered: self.buffered(),
+            };
+            self.poisoned = Some(e.clone());
+            return Err(e);
+        }
+        Ok(())
+    }
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}

@@ -1,0 +1,46 @@
+//! `bwd-net` — the network front door: a dependency-free, poll-based
+//! connection multiplexer over the `bwd-sched` scheduler.
+//!
+//! The paper's co-processing argument assumes a *server*: many sessions
+//! concurrently submitting queries against shared device state, with
+//! admission control deciding what reaches the GPU. This crate supplies
+//! that front door without an async runtime:
+//!
+//! * [`Frame`] / [`FrameDecoder`] — a length-prefixed wire protocol
+//!   (SQL or registered-plan requests in; columnar result, error, busy
+//!   and pong frames out) with an incremental, poisoning decoder that
+//!   never panics or over-reads on corrupt input.
+//! * [`Transport`] — the non-blocking byte-stream contract, implemented
+//!   by [`TcpTransport`] (real sockets) and [`Duplex`] (bounded
+//!   in-memory pipes that make multi-connection tests deterministic).
+//! * [`NetServer`] — a mini-reactor: one thread polls every connection,
+//!   submits decoded queries through non-blocking
+//!   [`bwd_sched::Ticket`]s, and emits responses strictly in request
+//!   order. No connection ever pins a scheduler worker.
+//! * [`NetConfig`] — two-level backpressure: past the read-pause
+//!   watermarks the reactor stops *reading sockets* (demand queues in
+//!   transport buffers, keeping the scheduler queue provably bounded);
+//!   past the hard shed limit already-decoded requests get a retryable
+//!   [`Frame::Busy`].
+//! * [`NetClient`] — a small blocking client for tests and examples.
+//!
+//! Everything is observable: `bwd_net_*` counters/gauges via
+//! [`NetServer::metrics_text`], and net-lane trace events
+//! ([`bwd_obs::EventKind::NetConn`]/`NetRecv`/`NetSend`) via
+//! [`NetServer::net_trace`] when [`NetConfig::tracing`] is on.
+
+#![deny(missing_docs)]
+
+mod client;
+mod config;
+mod conn;
+mod frame;
+mod server;
+mod transport;
+mod wire;
+
+pub use client::NetClient;
+pub use config::NetConfig;
+pub use frame::{frame_type, Frame, FrameDecoder, FrameError, WireMode, DEFAULT_MAX_FRAME_LEN};
+pub use server::{NetServer, NetServerHandle};
+pub use transport::{duplex, Duplex, IoEvent, TcpTransport, Transport};

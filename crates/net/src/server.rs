@@ -1,0 +1,357 @@
+//! The poll-based reactor: one thread, many connections, zero pinned
+//! workers.
+//!
+//! [`NetServer`] owns the [`Scheduler`] and a set of connections over
+//! arbitrary [`Transport`]s (real TCP via [`NetServer::bind`],
+//! deterministic in-memory pipes via [`NetServer::connect`]). A single
+//! [`NetServer::poll`] pass accepts, reads, decodes, submits, resolves
+//! and writes across every connection without blocking; the
+//! [`NetServer::serve`] loop repeats passes, parking on the shared
+//! [`WakeFlag`] between them so completed queries cut the latency short
+//! of the poll interval.
+//!
+//! Crucially, *no connection ever occupies a scheduler worker while it
+//! waits*: queries ride non-blocking [`bwd_sched::Ticket`]s, so a
+//! thousand idle sessions cost a thousand small state machines, not a
+//! thousand threads.
+
+use crate::config::NetConfig;
+use crate::conn::{Conn, ReactorCtx, WakeFlag};
+use crate::transport::{duplex, Duplex, TcpTransport, Transport};
+use bwd_core::plan::ArPlan;
+use bwd_obs::metrics::{Counter, Gauge, Registry};
+use bwd_obs::{QueryTrace, Recorder, RecorderConfig, WorkerHandle};
+use bwd_sched::Scheduler;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Front-door metric handles, registered on the server's own
+/// [`Registry`] so concurrent servers (and tests) don't observe each
+/// other.
+pub(crate) struct NetMetrics {
+    registry: Arc<Registry>,
+    pub(crate) accepted: Counter,
+    pub(crate) closed: Counter,
+    pub(crate) frames_in: Counter,
+    pub(crate) frames_out: Counter,
+    pub(crate) bytes_in: Counter,
+    pub(crate) bytes_out: Counter,
+    pub(crate) queries: Counter,
+    pub(crate) busy_shed: Counter,
+    pub(crate) protocol_errors: Counter,
+    pub(crate) read_pauses: Counter,
+    pub(crate) connections: Gauge,
+    pub(crate) inflight: Gauge,
+    pub(crate) peak_queue_depth: Gauge,
+}
+
+impl NetMetrics {
+    fn new() -> NetMetrics {
+        let registry = Arc::new(Registry::new());
+        NetMetrics {
+            accepted: registry.counter("bwd_net_accepted_total"),
+            closed: registry.counter("bwd_net_closed_total"),
+            frames_in: registry.counter("bwd_net_frames_total{dir=\"in\"}"),
+            frames_out: registry.counter("bwd_net_frames_total{dir=\"out\"}"),
+            bytes_in: registry.counter("bwd_net_bytes_total{dir=\"in\"}"),
+            bytes_out: registry.counter("bwd_net_bytes_total{dir=\"out\"}"),
+            queries: registry.counter("bwd_net_queries_total"),
+            busy_shed: registry.counter("bwd_net_busy_shed_total"),
+            protocol_errors: registry.counter("bwd_net_protocol_errors_total"),
+            read_pauses: registry.counter("bwd_net_read_pauses_total"),
+            connections: registry.gauge("bwd_net_connections"),
+            inflight: registry.gauge("bwd_net_inflight"),
+            peak_queue_depth: registry.gauge("bwd_net_peak_queue_depth"),
+            registry,
+        }
+    }
+}
+
+/// The network front door: a poll-based connection multiplexer over the
+/// scheduler (see the [crate docs](crate)).
+pub struct NetServer {
+    sched: Scheduler,
+    cfg: NetConfig,
+    conns: Vec<Conn>,
+    next_conn_id: u64,
+    listener: Option<TcpListener>,
+    local_addr: Option<SocketAddr>,
+    plans: Vec<ArPlan>,
+    metrics: NetMetrics,
+    wake: Arc<WakeFlag>,
+    peak_queue: AtomicUsize,
+    recorder: Recorder,
+    obs: WorkerHandle,
+    scratch: Vec<u8>,
+}
+
+impl NetServer {
+    /// Wrap `sched` with default [`NetConfig`].
+    pub fn new(sched: Scheduler) -> NetServer {
+        NetServer::with_config(sched, NetConfig::default())
+    }
+
+    /// Wrap `sched` with explicit configuration.
+    pub fn with_config(sched: Scheduler, cfg: NetConfig) -> NetServer {
+        let recorder = if cfg.tracing {
+            Recorder::new(RecorderConfig::default())
+        } else {
+            Recorder::disabled()
+        };
+        let obs = recorder.worker("net");
+        let scratch = vec![0u8; cfg.read_chunk.max(1)];
+        NetServer {
+            sched,
+            cfg,
+            conns: Vec::new(),
+            next_conn_id: 0,
+            listener: None,
+            local_addr: None,
+            plans: Vec::new(),
+            metrics: NetMetrics::new(),
+            wake: Arc::new(WakeFlag::default()),
+            peak_queue: AtomicUsize::new(0),
+            recorder,
+            obs,
+            scratch,
+        }
+    }
+
+    /// The wrapped scheduler.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// Dismantle the front door, returning the scheduler (e.g. for a
+    /// clean [`Scheduler::shutdown`]). Open connections are dropped;
+    /// their peers observe EOF / connection reset.
+    pub fn into_scheduler(self) -> Scheduler {
+        self.sched
+    }
+
+    /// Register a prepared plan; clients run it with
+    /// [`crate::Frame::RunPlan`] carrying the returned id.
+    pub fn register_plan(&mut self, plan: ArPlan) -> u64 {
+        self.plans.push(plan);
+        (self.plans.len() - 1) as u64
+    }
+
+    /// Start accepting real TCP connections on `addr` (use port 0 for an
+    /// ephemeral port); returns the bound address.
+    pub fn bind(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        self.listener = Some(listener);
+        self.local_addr = Some(local);
+        Ok(local)
+    }
+
+    /// The TCP address [`bind`](NetServer::bind) chose, if bound.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// Open an in-memory connection; the returned [`Duplex`] is the
+    /// client end. Deterministic — no kernel, no ports, no timing.
+    pub fn connect(&mut self) -> Duplex {
+        let (server_end, client_end) = duplex(self.cfg.duplex_capacity);
+        self.add_transport(Box::new(server_end));
+        client_end
+    }
+
+    /// Adopt an established transport as a new connection.
+    pub fn add_transport(&mut self, transport: Box<dyn Transport>) {
+        let id = self.next_conn_id;
+        self.next_conn_id += 1;
+        let conn = Conn::new(
+            id,
+            transport,
+            self.sched.session(),
+            self.cfg.max_frame_len,
+            &self.obs,
+        );
+        self.conns.push(conn);
+        self.metrics.accepted.inc();
+        self.metrics.connections.set(self.conns.len() as i64);
+    }
+
+    /// Accept pending TCP connections (non-blocking).
+    fn accept(&mut self) -> bool {
+        let Some(listener) = &self.listener else {
+            return false;
+        };
+        let mut accepted = Vec::new();
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => match TcpTransport::new(stream) {
+                    Ok(t) => accepted.push(Box::new(t) as Box<dyn Transport>),
+                    Err(_) => continue,
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        let progressed = !accepted.is_empty();
+        for t in accepted {
+            self.add_transport(t);
+        }
+        progressed
+    }
+
+    /// One reactor pass over every connection; returns whether any state
+    /// advanced anywhere (accept, read, decode, submit, resolve, write,
+    /// close).
+    pub fn poll(&mut self) -> bool {
+        let mut progressed = self.accept();
+        let ctx = ReactorCtx {
+            sched: &self.sched,
+            cfg: &self.cfg,
+            metrics: &self.metrics,
+            plans: &self.plans,
+            wake: &self.wake,
+            obs: &self.obs,
+            peak_queue: &self.peak_queue,
+        };
+        let mut inflight = 0usize;
+        let mut closed_any = false;
+        for conn in &mut self.conns {
+            progressed |= conn.pump(&ctx, &mut self.scratch);
+            if conn.finished() {
+                conn.on_close(&ctx);
+                closed_any = true;
+            } else {
+                inflight += conn.inflight();
+            }
+        }
+        if closed_any {
+            self.conns.retain(|c| !c.finished());
+            progressed = true;
+        }
+        self.metrics.connections.set(self.conns.len() as i64);
+        self.metrics.inflight.set(inflight as i64);
+        self.metrics
+            .peak_queue_depth
+            .set(self.peak_queue.load(Ordering::Relaxed) as i64);
+        progressed
+    }
+
+    /// Poll until quiescent: no pass makes progress. With only duplex
+    /// connections whose clients have already written their requests,
+    /// this drains every response that can resolve *right now* — tests
+    /// interleave `pump` with scheduler progress to step deterministically.
+    pub fn pump(&mut self) {
+        while self.poll() {}
+    }
+
+    /// Currently open connections.
+    pub fn open_connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Requests submitted or queued for response across all connections.
+    pub fn inflight(&self) -> usize {
+        self.conns.iter().map(Conn::inflight).sum()
+    }
+
+    /// High-water mark of the scheduler queue depth as observed by the
+    /// reactor immediately after each submission (the backpressure
+    /// bound the soak test asserts on).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue.load(Ordering::Relaxed)
+    }
+
+    /// Whether a socket read issued *now* would be skipped by the
+    /// read-pause watermarks.
+    pub fn reads_paused(&self) -> bool {
+        let p = self.sched.pressure();
+        p.queued_jobs >= self.cfg.pause_queued_jobs
+            || p.admission_waiting >= self.cfg.pause_admission_waiting
+    }
+
+    /// A completion signal for embedding [`poll`](NetServer::poll) in an
+    /// external loop: ticket wakers signal it when responses resolve.
+    pub(crate) fn wake_flag(&self) -> Arc<WakeFlag> {
+        Arc::clone(&self.wake)
+    }
+
+    /// Prometheus-style rendering of the `bwd_net_*` metrics.
+    pub fn metrics_text(&self) -> String {
+        self.metrics.registry.render()
+    }
+
+    /// Capture the net-lane trace (empty unless [`NetConfig::tracing`]).
+    pub fn net_trace(&self) -> QueryTrace {
+        QueryTrace::capture(&self.recorder)
+    }
+
+    /// Run the serve loop on this thread until `stop` turns true:
+    /// repeat [`poll`](NetServer::poll) passes, parking on the
+    /// completion signal (bounded by [`NetConfig::poll_interval`]) when
+    /// a pass makes no progress. Returns the server for teardown.
+    pub fn serve(mut self, stop: &AtomicBool) -> NetServer {
+        while !stop.load(Ordering::Relaxed) {
+            if !self.poll() {
+                self.wake.wait_timeout(self.cfg.poll_interval);
+            }
+        }
+        // Final drain so responses already resolved reach their sockets.
+        self.pump();
+        self
+    }
+
+    /// Spawn the serve loop on a background thread.
+    pub fn spawn(self) -> NetServerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let wake = self.wake_flag();
+        let addr = self.local_addr;
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("bwd-net".into())
+            .spawn(move || self.serve(&stop2))
+            .expect("spawn bwd-net thread");
+        NetServerHandle {
+            stop,
+            wake,
+            addr,
+            join: Some(join),
+        }
+    }
+}
+
+/// Handle to a [`NetServer::spawn`]ed serve loop.
+pub struct NetServerHandle {
+    stop: Arc<AtomicBool>,
+    wake: Arc<WakeFlag>,
+    addr: Option<SocketAddr>,
+    join: Option<JoinHandle<NetServer>>,
+}
+
+impl NetServerHandle {
+    /// The serving TCP address, if the server was bound before spawning.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Stop the loop and get the server back (connections intact).
+    pub fn shutdown(mut self) -> NetServer {
+        self.stop.store(true, Ordering::Relaxed);
+        self.wake.signal();
+        let join = self.join.take().expect("serve thread already joined");
+        join.join().expect("bwd-net thread panicked")
+    }
+}
+
+impl Drop for NetServerHandle {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            self.stop.store(true, Ordering::Relaxed);
+            self.wake.signal();
+            let _ = join.join();
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Byte transports the reactor multiplexes over.
+//!
+//! Two implementations share one non-blocking [`Transport`] contract:
+//! [`TcpTransport`] wraps a real non-blocking socket, and [`Duplex`] is a
+//! deterministic in-memory pipe pair for tests — same connection state
+//! machine, same backpressure behavior, no kernel in the loop. A bounded
+//! `Duplex` also *models* socket buffers: when the reactor pauses reads,
+//! bytes pile up in the transport exactly as they would in a kernel
+//! receive queue, which is what the backpressure tests assert on.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Outcome of one non-blocking transport operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoEvent {
+    /// `n > 0` bytes were transferred.
+    Bytes(usize),
+    /// Nothing can transfer right now; retry on the next reactor pass.
+    WouldBlock,
+    /// The peer closed its sending side (reads only).
+    Eof,
+}
+
+/// A non-blocking byte stream.
+pub trait Transport: Send {
+    /// Read into `buf` without blocking.
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<IoEvent>;
+
+    /// Write from `buf` without blocking; partial writes are normal.
+    fn try_write(&mut self, buf: &[u8]) -> io::Result<IoEvent>;
+
+    /// Human-readable peer label for diagnostics.
+    fn peer(&self) -> String;
+}
+
+// ---------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------
+
+/// A non-blocking TCP stream.
+pub struct TcpTransport {
+    stream: TcpStream,
+    peer: String,
+}
+
+impl TcpTransport {
+    /// Wrap `stream`, switching it to non-blocking mode and disabling
+    /// Nagle (the protocol is request/response; batching adds latency
+    /// and nothing else).
+    pub fn new(stream: TcpStream) -> io::Result<TcpTransport> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "tcp:?".into());
+        Ok(TcpTransport { stream, peer })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<IoEvent> {
+        match self.stream.read(buf) {
+            Ok(0) => Ok(IoEvent::Eof),
+            Ok(n) => Ok(IoEvent::Bytes(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(IoEvent::WouldBlock),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(IoEvent::WouldBlock),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_write(&mut self, buf: &[u8]) -> io::Result<IoEvent> {
+        match self.stream.write(buf) {
+            Ok(0) => Ok(IoEvent::WouldBlock),
+            Ok(n) => Ok(IoEvent::Bytes(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(IoEvent::WouldBlock),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(IoEvent::WouldBlock),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-memory duplex
+// ---------------------------------------------------------------------
+
+/// One direction of a duplex pipe: a bounded byte queue.
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+struct PipeState {
+    data: VecDeque<u8>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl Pipe {
+    fn new(capacity: usize) -> Arc<Pipe> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState {
+                data: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            readable: Condvar::new(),
+        })
+    }
+}
+
+/// One end of an in-memory duplex connection (see [`duplex`]).
+///
+/// Dropping an end closes *both* directions: the peer's reads observe
+/// EOF once the buffered bytes drain, and the peer's writes fail with
+/// `BrokenPipe` — the same semantics a TCP socket close gives.
+pub struct Duplex {
+    /// Peer → us.
+    rx: Arc<Pipe>,
+    /// Us → peer.
+    tx: Arc<Pipe>,
+    label: String,
+}
+
+/// A symmetric in-memory connection: bytes written to one end become
+/// readable at the other, bounded by `capacity` per direction.
+pub fn duplex(capacity: usize) -> (Duplex, Duplex) {
+    let a_to_b = Pipe::new(capacity);
+    let b_to_a = Pipe::new(capacity);
+    (
+        Duplex {
+            rx: Arc::clone(&b_to_a),
+            tx: Arc::clone(&a_to_b),
+            label: "duplex:a".into(),
+        },
+        Duplex {
+            rx: a_to_b,
+            tx: b_to_a,
+            label: "duplex:b".into(),
+        },
+    )
+}
+
+impl Duplex {
+    /// Bytes currently buffered toward this end (written by the peer,
+    /// not yet read here). Tests use the *server* end's unread depth to
+    /// prove paused connections stop draining their transport.
+    pub fn unread(&self) -> usize {
+        self.rx.state.lock().unwrap().data.len()
+    }
+
+    /// Bytes this end has written that the peer has not yet read.
+    pub fn unflushed(&self) -> usize {
+        self.tx.state.lock().unwrap().data.len()
+    }
+
+    /// Block until at least one byte is readable or the peer closed;
+    /// returns `false` on EOF-with-empty-buffer. Client-side convenience
+    /// for tests that interleave with a reactor thread.
+    pub fn wait_readable(&self) -> bool {
+        let mut s = self.rx.state.lock().unwrap();
+        loop {
+            if !s.data.is_empty() {
+                return true;
+            }
+            if s.closed {
+                return false;
+            }
+            s = self.rx.readable.wait(s).unwrap();
+        }
+    }
+}
+
+impl Transport for Duplex {
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<IoEvent> {
+        let mut s = self.rx.state.lock().unwrap();
+        if s.data.is_empty() {
+            return if s.closed {
+                Ok(IoEvent::Eof)
+            } else {
+                Ok(IoEvent::WouldBlock)
+            };
+        }
+        let n = buf.len().min(s.data.len());
+        for b in buf.iter_mut().take(n) {
+            *b = s.data.pop_front().unwrap();
+        }
+        Ok(IoEvent::Bytes(n))
+    }
+
+    fn try_write(&mut self, buf: &[u8]) -> io::Result<IoEvent> {
+        let mut s = self.tx.state.lock().unwrap();
+        if s.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "duplex peer closed",
+            ));
+        }
+        let room = s.capacity.saturating_sub(s.data.len());
+        let n = buf.len().min(room);
+        if n == 0 {
+            return Ok(IoEvent::WouldBlock);
+        }
+        s.data.extend(buf[..n].iter().copied());
+        drop(s);
+        self.tx.readable.notify_all();
+        Ok(IoEvent::Bytes(n))
+    }
+
+    fn peer(&self) -> String {
+        self.label.clone()
+    }
+}
+
+impl Drop for Duplex {
+    fn drop(&mut self) {
+        for pipe in [&self.rx, &self.tx] {
+            pipe.state.lock().unwrap().closed = true;
+            pipe.readable.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_moves_bytes_and_signals_eof() {
+        let (mut a, mut b) = duplex(8);
+        assert_eq!(a.try_write(b"hello!").unwrap(), IoEvent::Bytes(6));
+        assert_eq!(b.unread(), 6);
+        let mut buf = [0u8; 4];
+        assert_eq!(b.try_read(&mut buf).unwrap(), IoEvent::Bytes(4));
+        assert_eq!(&buf, b"hell");
+        assert_eq!(b.try_read(&mut buf).unwrap(), IoEvent::Bytes(2));
+        assert_eq!(b.try_read(&mut buf).unwrap(), IoEvent::WouldBlock);
+        drop(a);
+        assert_eq!(b.try_read(&mut buf).unwrap(), IoEvent::Eof);
+        assert!(matches!(
+            b.try_write(b"x"),
+            Err(e) if e.kind() == io::ErrorKind::BrokenPipe
+        ));
+    }
+
+    #[test]
+    fn duplex_capacity_backpressures_writers() {
+        let (mut a, mut b) = duplex(4);
+        assert_eq!(a.try_write(b"123456").unwrap(), IoEvent::Bytes(4));
+        assert_eq!(a.try_write(b"56").unwrap(), IoEvent::WouldBlock);
+        let mut buf = [0u8; 2];
+        assert_eq!(b.try_read(&mut buf).unwrap(), IoEvent::Bytes(2));
+        assert_eq!(a.try_write(b"56").unwrap(), IoEvent::Bytes(2));
+    }
+}

@@ -41,6 +41,9 @@ pub enum Phase {
 /// | `Morsel`      | partition length, part idx  | 0, 0, output length, 0 |
 /// | `Placement`   | (instant) `a` device index, `b` estimated bytes |  |
 /// | `Resolve`     | (instant) `a` completion index, `b` 0 |  |
+/// | `NetConn`     | connection id, transport kind | frames in, frames out, bytes out, 1 on protocol error |
+/// | `NetRecv`     | (instant) `a` connection id, `b` frame type byte |  |
+/// | `NetSend`     | (instant) `a` connection id, `b` frame type byte |  |
 ///
 /// [`SelVec`]: https://docs.rs/bwd-kernels
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +74,13 @@ pub enum EventKind {
     Morsel,
     /// The classic pipe's whole selection + aggregation chain.
     Classic,
+    /// One network connection's lifetime on the `bwd-net` reactor,
+    /// accept → close.
+    NetConn,
+    /// A request frame decoded off a connection (instant).
+    NetRecv,
+    /// A response frame queued for write on a connection (instant).
+    NetSend,
 }
 
 impl EventKind {
@@ -89,6 +99,9 @@ impl EventKind {
             EventKind::GroupAgg => "group-agg",
             EventKind::Morsel => "morsel",
             EventKind::Classic => "classic",
+            EventKind::NetConn => "net-conn",
+            EventKind::NetRecv => "net-recv",
+            EventKind::NetSend => "net-send",
         }
     }
 }

@@ -4,7 +4,7 @@ use bwd_core::plan::ArPlan;
 use bwd_engine::{ExecMode, QueryResult};
 use bwd_obs::{QueryTrace, Recorder, SpanId};
 use bwd_types::{BwdError, Result};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Per-submission execution overrides.
@@ -48,6 +48,49 @@ impl SubmitOptions {
     }
 }
 
+/// Completion-notification state shared between a [`Job`] and its
+/// [`Ticket`].
+///
+/// Poll-based consumers (the `bwd-net` reactor) must not busy-spin on
+/// [`Ticket::poll_report`]; they register a waker instead and park until
+/// some job resolves. The hook fires **after** the reply lands in the
+/// ticket's channel — a woken poller always observes the result — and it
+/// fires exactly once per ticket, whether the job completed normally or
+/// was discarded at shutdown (dropping a queued [`Job`] completes the
+/// hook, so no waiter can hang on a job that will never run).
+#[derive(Default)]
+pub(crate) struct CompletionHook {
+    state: Mutex<HookState>,
+}
+
+#[derive(Default)]
+struct HookState {
+    completed: bool,
+    waker: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl CompletionHook {
+    /// A hook that is already completed (for pre-resolved tickets).
+    pub(crate) fn completed() -> Arc<CompletionHook> {
+        let hook = CompletionHook::default();
+        hook.state.lock().unwrap().completed = true;
+        Arc::new(hook)
+    }
+
+    /// Mark the job resolved and fire the registered waker, if any.
+    /// Idempotent: only the first call can observe (and take) a waker.
+    pub(crate) fn complete(&self) {
+        let waker = {
+            let mut s = self.state.lock().unwrap();
+            s.completed = true;
+            s.waker.take()
+        };
+        if let Some(wake) = waker {
+            wake();
+        }
+    }
+}
+
 /// One queued query.
 pub(crate) struct Job {
     pub plan: ArPlan,
@@ -69,6 +112,17 @@ pub(crate) struct Job {
     /// The `queue` span opened at submission; the worker that dequeues
     /// the job closes it.
     pub queue_span: SpanId,
+    /// Completion notification shared with this job's [`Ticket`].
+    pub hook: Arc<CompletionHook>,
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        // Fires after the worker sent the reply (normal completion) or
+        // when a queued job is discarded at shutdown (the reply sender
+        // drops with the job, so the ticket observes the disconnect).
+        self.hook.complete();
+    }
 }
 
 /// Per-job scheduling telemetry, delivered alongside the query result.
@@ -108,9 +162,15 @@ pub struct JobReport {
 ///
 /// Dropping a ticket abandons the result (the query still runs — or is
 /// discarded on shutdown).
-#[derive(Debug)]
 pub struct Ticket {
     pub(crate) rx: mpsc::Receiver<(Result<QueryResult>, JobReport)>,
+    pub(crate) hook: Arc<CompletionHook>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
 }
 
 impl Ticket {
@@ -179,11 +239,67 @@ impl Ticket {
         }
     }
 
+    /// Register a completion waker: `wake` runs exactly once, as soon as
+    /// this ticket's job has resolved (result already delivered — a
+    /// subsequent [`Ticket::poll_report`] returns `Some`), or immediately
+    /// if it already has. Jobs discarded at scheduler shutdown also fire
+    /// their waker, so a poll-based caller never hangs on a query that
+    /// will never run.
+    ///
+    /// One waker per ticket: registering a second waker before the first
+    /// fired replaces it (the replaced closure is dropped unfired).
+    pub fn set_waker<F: FnOnce() + Send + 'static>(&self, wake: F) {
+        let mut s = self.hook.state.lock().unwrap();
+        if s.completed {
+            drop(s);
+            wake();
+        } else {
+            s.waker = Some(Box::new(wake));
+        }
+    }
+
     /// A ticket that is already resolved (used for submissions rejected
     /// before reaching the queue, e.g. after shutdown).
     pub(crate) fn resolved(result: Result<QueryResult>) -> Ticket {
         let (tx, rx) = mpsc::channel();
         let _ = tx.send((result, JobReport::default()));
-        Ticket { rx }
+        Ticket {
+            rx,
+            hook: CompletionHook::completed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn completion_hook_notifies_exactly_once() {
+        let hook = Arc::new(CompletionHook::default());
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        {
+            let mut s = hook.state.lock().unwrap();
+            s.waker = Some(Box::new(move || {
+                f.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        hook.complete();
+        hook.complete(); // idempotent: the waker was taken by the first call
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn waker_registered_after_resolution_fires_immediately() {
+        let ticket = Ticket::resolved(Err(BwdError::Exec("x".into())));
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        ticket.set_waker(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert!(ticket.poll().is_some(), "result already delivered");
     }
 }

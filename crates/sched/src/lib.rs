@@ -99,6 +99,6 @@ pub use placement::PlacementPolicy;
 pub use policy::{PolicyQueue, QueuePolicy};
 pub use scheduler::{SchedConfig, Scheduler, TraceRecord};
 pub use session::Session;
-pub use stats::{DeviceSnapshot, SchedulerStats, StreamSnapshot};
+pub use stats::{DeviceSnapshot, QueuePressure, SchedulerStats, StreamSnapshot};
 pub use throughput::{run_throughput, run_throughput_with, ThroughputOptions, ThroughputReport};
 pub use workload::{Gate, JobKind, QuerySpec, WorkloadGen, WorkloadSpec};

@@ -263,6 +263,26 @@ impl Scheduler {
         self.shared.queue.lock().unwrap().jobs.len()
     }
 
+    /// Instantaneous load probe for admission-aware front doors: current
+    /// queue depth, reservations blocked inside device admission, and
+    /// reserved device bytes. The `bwd-net` reactor samples this before
+    /// every socket read and stops reading past its configured
+    /// watermarks, so external demand piles up in kernel/transport
+    /// buffers instead of in this queue.
+    pub fn pressure(&self) -> crate::stats::QueuePressure {
+        let mut p = crate::stats::QueuePressure {
+            queued_jobs: self.queue_len(),
+            ..Default::default()
+        };
+        for slot in &self.shared.devices {
+            let mem = slot.admission.memory();
+            p.admission_waiting += mem.queued();
+            p.reserved_bytes += mem.used();
+            p.capacity_bytes += mem.capacity();
+        }
+        p
+    }
+
     /// Current per-stream, per-device and admission statistics.
     pub fn stats(&self) -> SchedulerStats {
         let devices: Vec<DeviceSnapshot> = self
@@ -774,6 +794,75 @@ mod tests {
             metrics.contains("bwd_sched_device_peak_bytes{device=\"0\"}"),
             "{metrics}"
         );
+    }
+
+    #[test]
+    fn ticket_waker_fires_exactly_once_after_resolution() {
+        use std::sync::atomic::AtomicU64;
+
+        let (db, plan) = served_db();
+        let sched = Scheduler::new(
+            db,
+            SchedConfig {
+                workers: 1,
+                ..SchedConfig::default()
+            },
+        );
+        let session = sched.session();
+        let fired = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = std::sync::mpsc::channel();
+
+        // Waker registered before completion: delivered exactly once,
+        // and by the time it fires the result is observable by poll.
+        let ticket = session.submit(plan.clone(), ExecMode::Classic);
+        let f = Arc::clone(&fired);
+        ticket.set_waker(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+            let _ = tx.send(());
+        });
+        rx.recv().unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        let polled = ticket.poll_report().expect("woken ⇒ resolved").unwrap();
+        assert_eq!(polled.0.rows[0][0], Value::Int(400));
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "no second notification");
+
+        // Submissions rejected at a closed queue resolve immediately, and
+        // a waker registered on the already-resolved ticket still fires —
+        // a poll-based front door never hangs.
+        sched.shutdown();
+        let orphan_fired = Arc::new(AtomicU64::new(0));
+        let of = Arc::clone(&orphan_fired);
+        let orphan = session.submit(plan, ExecMode::Classic);
+        orphan.set_waker(move || {
+            of.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(orphan_fired.load(Ordering::SeqCst), 1);
+        assert!(orphan.wait().is_err());
+    }
+
+    #[test]
+    fn pressure_probe_reports_current_depths() {
+        let (db, plan) = served_db();
+        let sched = Scheduler::new(
+            db,
+            SchedConfig {
+                workers: 1,
+                ..SchedConfig::default()
+            },
+        );
+        let idle = sched.pressure();
+        assert_eq!(idle.queued_jobs, 0);
+        assert_eq!(idle.admission_waiting, 0);
+        assert!(idle.capacity_bytes > 0);
+        assert!(idle.reserved_fraction() < 1.0);
+        let session = sched.session();
+        let tickets: Vec<_> = (0..4)
+            .map(|_| session.submit(plan.clone(), ExecMode::Classic))
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(sched.pressure().queued_jobs, 0, "drained back to zero");
     }
 
     #[test]

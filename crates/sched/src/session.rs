@@ -1,7 +1,7 @@
 //! The session front door.
 
 use crate::cost::estimate_latency;
-use crate::job::{Job, SubmitOptions, Ticket};
+use crate::job::{CompletionHook, Job, SubmitOptions, Ticket};
 use crate::scheduler::Shared;
 use bwd_core::plan::{ArPlan, RewriteOptions};
 use bwd_engine::{ExecMode, QueryResult};
@@ -75,6 +75,7 @@ impl Session {
         );
         let queue_span =
             session_lane.begin(bwd_obs::EventKind::Queue, root, est_seconds.to_bits(), 0);
+        let hook = Arc::new(CompletionHook::default());
         let job = Job {
             plan,
             mode,
@@ -86,6 +87,7 @@ impl Session {
             recorder,
             root,
             queue_span,
+            hook: Arc::clone(&hook),
         };
         let mut q = self.shared.queue.lock().unwrap();
         if q.closed {
@@ -97,7 +99,7 @@ impl Session {
         q.jobs.push(priority, est_seconds, job);
         drop(q);
         self.shared.work_ready.notify_one();
-        Ticket { rx }
+        Ticket { rx, hook }
     }
 
     /// Parse, bind and enqueue one SQL query.

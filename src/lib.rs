@@ -31,6 +31,7 @@ pub use bwd_data as data;
 pub use bwd_device as device;
 pub use bwd_engine as engine;
 pub use bwd_kernels as kernels;
+pub use bwd_net as net;
 pub use bwd_obs as obs;
 pub use bwd_sched as sched;
 pub use bwd_sql as sql;
@@ -39,6 +40,7 @@ pub use bwd_types as types;
 
 pub use bwd_device::{Breakdown, Env};
 pub use bwd_engine::{ArExecOptions, Database, DecompositionReport, ExecMode, QueryResult};
+pub use bwd_net::{NetClient, NetConfig, NetServer};
 pub use bwd_sched::{SchedConfig, Scheduler, Session};
 pub use bwd_types::{BwdError, Result, Value};
 
@@ -132,6 +134,41 @@ impl Db {
     /// [`Db::serve`] with an explicit scheduler configuration.
     pub fn serve_with(self, config: SchedConfig) -> Scheduler {
         Scheduler::new(std::sync::Arc::new(self.inner), config)
+    }
+
+    /// [`Db::serve`], then wrap the scheduler in the network front door.
+    ///
+    /// The returned [`NetServer`] multiplexes any number of client
+    /// connections — real TCP ([`NetServer::bind`]) or deterministic
+    /// in-memory pipes ([`NetServer::connect`]) — over the scheduler's
+    /// worker pool without an async runtime. See `bwd_net` for the wire
+    /// protocol and the backpressure watermarks.
+    ///
+    /// ```
+    /// use waste_not::{Db, NetConfig};
+    /// use waste_not::net::{NetClient, WireMode};
+    /// use waste_not::storage::Column;
+    ///
+    /// let mut db = Db::new();
+    /// db.create_table("r", vec![("a".into(), Column::from_i32((0..100).collect()))])
+    ///     .unwrap();
+    /// let mut server = db.serve_net(NetConfig::default());
+    /// let mut client = NetClient::new(Box::new(server.connect()));
+    /// let handle = server.spawn();
+    /// let result = client
+    ///     .query("select count(*) from r where a < 10", WireMode::Classic)
+    ///     .unwrap();
+    /// assert_eq!(result.rows[0][0].to_string(), "10");
+    /// handle.shutdown().into_scheduler().shutdown();
+    /// ```
+    pub fn serve_net(self, net: NetConfig) -> NetServer {
+        self.serve_net_with(SchedConfig::default(), net)
+    }
+
+    /// [`Db::serve_net`] with explicit scheduler *and* network
+    /// configuration.
+    pub fn serve_net_with(self, sched: SchedConfig, net: NetConfig) -> NetServer {
+        NetServer::with_config(self.serve_with(sched), net)
     }
 
     /// Execute one SQL statement with an explicit execution mode
