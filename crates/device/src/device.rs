@@ -13,6 +13,7 @@ use crate::ledger::{Component, CostLedger, SharedLedger};
 use crate::memory::{DeviceBuffer, DeviceMemory};
 use crate::spec::{CpuSpec, DeviceSpec, PcieSpec};
 use bwd_types::{BwdError, Result};
+use std::fmt;
 use std::sync::Arc;
 
 /// One simulated co-processor.
@@ -136,6 +137,56 @@ impl DevicePool {
     }
 }
 
+/// A scheduler-installed hook the executors poll between units of work
+/// (morsel batches, pipeline stages) so a long-running query can host
+/// queued short work at a safe boundary and then resume.
+///
+/// Exactly mirrors the [`bwd_obs::TraceCtx`] pattern: disabled costs one
+/// branch per check and is the default everywhere, so executors call
+/// [`YieldPoint::check`] unconditionally. The hook runs *between* result-
+/// affecting steps and never observes or mutates executor state, so
+/// results, traffic and simulated costs are bit-identical whether it is
+/// installed, fires, or neither (held by `tests/preempt_sched.rs`).
+#[derive(Clone, Default)]
+pub struct YieldPoint {
+    hook: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl YieldPoint {
+    /// The no-op yield point (one branch per check).
+    pub fn disabled() -> Self {
+        YieldPoint { hook: None }
+    }
+
+    /// A yield point that runs `hook` at every check.
+    pub fn new(hook: Arc<dyn Fn() + Send + Sync>) -> Self {
+        YieldPoint { hook: Some(hook) }
+    }
+
+    /// Whether a hook is installed — executors may use this to pick a
+    /// finer work partitioning worth yielding between.
+    pub fn is_enabled(&self) -> bool {
+        self.hook.is_some()
+    }
+
+    /// Poll the yield point: runs the scheduler's hook if one is
+    /// installed, otherwise a single branch.
+    #[inline]
+    pub fn check(&self) {
+        if let Some(hook) = &self.hook {
+            hook();
+        }
+    }
+}
+
+impl fmt::Debug for YieldPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("YieldPoint")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
 /// The complete simulated platform: host, co-processor pool, interconnect.
 ///
 /// [`Env::device`] is the *selected* device — the one kernels charge
@@ -160,6 +211,10 @@ pub struct Env {
     /// branch per recorded event); the scheduler swaps in the query's
     /// recorder on the per-query `Env` clone it hands the executor.
     pub trace: bwd_obs::TraceCtx,
+    /// Morsel-boundary preemption hook of the current execution.
+    /// Disabled by default (one branch per check); the scheduler installs
+    /// its hook on the per-query `Env` clone, exactly like `trace`.
+    pub preempt: YieldPoint,
 }
 
 impl Env {
@@ -185,6 +240,7 @@ impl Env {
             pcie: PcieSpec::default(),
             host_threads: 1,
             trace: bwd_obs::TraceCtx::disabled(),
+            preempt: YieldPoint::disabled(),
         }
     }
 
@@ -214,6 +270,7 @@ impl Env {
             pcie: self.pcie.clone(),
             host_threads: self.host_threads,
             trace: self.trace.clone(),
+            preempt: self.preempt.clone(),
         })
     }
 

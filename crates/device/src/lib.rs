@@ -29,7 +29,7 @@ pub mod memory;
 pub mod spec;
 pub mod units;
 
-pub use device::{Device, DevicePool, Env};
+pub use device::{Device, DevicePool, Env, YieldPoint};
 pub use ledger::{Breakdown, Component, CostEvent, CostLedger, SharedLedger, TrafficBytes};
 pub use memory::{DeviceBuffer, DeviceMemory};
 pub use spec::{CpuSpec, DeviceSpec, PcieSpec, GIB};

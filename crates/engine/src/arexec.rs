@@ -296,6 +296,7 @@ pub fn run_ar_in(
             probe.end_with(&obs, &ledger, cands.len() as u64, rep_bit);
             transient.charge(cands.len() as u64 * CANDIDATE_PAIR_BYTES)?;
             sel_outputs.push(cands);
+            env.preempt.check(); // between approximate-selection steps
         }
     } else {
         // Ablation: approximate *and refine* each selection before the
@@ -369,9 +370,12 @@ pub fn run_ar_in(
             probe.end(&obs, &ledger, refined.len() as u64);
             surv = Some(refined);
             sel_outputs.push(cands);
+            env.preempt.check(); // between approx+refine pairs (ablation)
         }
         interleaved_survivors = Some(surv.unwrap_or_else(|| (0..n as Oid).collect()));
     }
+
+    env.preempt.check(); // the gather boundary
 
     // The gather boundary: downstream operators (device pre-grouping,
     // projection gathers, refinement downloads) need positions and
@@ -513,6 +517,7 @@ pub fn run_ar_in(
             };
             probe.end(&obs, &ledger, refined.len() as u64);
             surv = Some(refined);
+            env.preempt.check(); // between refinement steps
         }
         surv
     };
@@ -521,6 +526,7 @@ pub fn run_ar_in(
         Vec::len,
     );
 
+    env.preempt.check(); // before the block build + grouping stage
     let (block, grouping, groupagg_probe) = if all_resident {
         // The device fast path gathers every needed column over the
         // candidates into device scratch before aggregating. Bill the

@@ -31,7 +31,12 @@ pub fn run_classic(
     run_classic_morsel(catalog, plan, fk_host, env, 1)
 }
 
-use crate::morsel::{partition_ranges, run_parts};
+use crate::morsel::{partition_ranges, run_parts_yielding};
+
+/// Target rows between yield-point checks when a preemption hook is
+/// installed: the classic scan re-partitions its selection chain so a
+/// paused short query waits about this much work, not a whole table scan.
+const YIELD_SLICE_ROWS: usize = 32 * 1024;
 
 /// [`run_classic`] with the selection chain executed morsel-parallel on
 /// `morsels` real OS threads over contiguous row partitions.
@@ -117,8 +122,21 @@ pub fn run_classic_morsel(
     let (survivors, stage_counts): (Option<Vec<Oid>>, Vec<u64>) = if plan.selections.is_empty() {
         (None, Vec::new())
     } else {
-        let ranges = partition_ranges(n, morsels);
-        let outputs = run_parts(&ranges, |_, r| chain(r.start as Oid, r.end as Oid));
+        // With a preemption hook installed, cut the row space finer than
+        // the thread count so a yield point comes up every ~YIELD_SLICE_ROWS
+        // rows instead of once per scan. Partition outputs concatenate in
+        // partition order and costs are charged from merged totals, so the
+        // result and every simulated charge are independent of the
+        // partition count (pinned by `morsel_run_is_bit_identical_to_serial`).
+        let parts = if env.preempt.is_enabled() {
+            morsels.max(n.div_ceil(YIELD_SLICE_ROWS))
+        } else {
+            morsels
+        };
+        let ranges = partition_ranges(n, parts);
+        let outputs = run_parts_yielding(&ranges, morsels, &env.preempt, |_, r| {
+            chain(r.start as Oid, r.end as Oid)
+        });
         let mut merged = Vec::new();
         let mut totals = vec![0u64; plan.selections.len()];
         for (part_surv, part_counts) in outputs {
@@ -170,6 +188,7 @@ pub fn run_classic_morsel(
 
     let mut block = RowBlock::new(k);
     for name in &needed {
+        env.preempt.check(); // between projective column fetches
         if block.has_slot(name) {
             continue;
         }
@@ -200,6 +219,7 @@ pub fn run_classic_morsel(
     }
 
     // --- Grouping (hash over key payloads). ---
+    env.preempt.check();
     let grouping = if plan.group_by.is_empty() {
         None
     } else {
@@ -243,6 +263,7 @@ pub fn run_classic_morsel(
     };
 
     // --- Aggregation / projection. ---
+    env.preempt.check();
     let (columns, rows) = if !plan.aggs.is_empty() {
         // Bulk processing materializes every expression primitive as a
         // full intermediate column (read + write), then runs one grouped

@@ -137,6 +137,33 @@ where
     })
 }
 
+/// Like [`run_parts`], but runs `ranges` in batches of at most `batch`
+/// partitions with a [`bwd_device::YieldPoint`] check between batches —
+/// the fan-out primitive behind morsel-boundary preemption. The calling
+/// (orchestrating) thread is the one that polls the yield point, so a
+/// hosted nested query runs with every morsel worker of the paused batch
+/// already joined. Outputs come back in partition order exactly as
+/// [`run_parts`] would return them; the worker index passed to `f` is
+/// batch-local (restarts per batch) and must only be used for
+/// load-placement, never for output addressing.
+pub(crate) fn run_parts_yielding<T, F>(
+    ranges: &[Range<usize>],
+    batch: usize,
+    preempt: &bwd_device::YieldPoint,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let mut outs = Vec::with_capacity(ranges.len());
+    for chunk in ranges.chunks(batch.max(1)) {
+        outs.extend(run_parts(chunk, &f));
+        preempt.check();
+    }
+    outs
+}
+
 /// Like [`run_parts`], but additionally hands each worker the disjoint
 /// chunk of `out` matching its range, so positionally-aligned stages write
 /// straight into one shared output buffer (no per-partition vectors, no
@@ -695,6 +722,33 @@ pub(crate) fn group_rows(key_cols: &[&[i64]], morsels: usize, pool: &ScratchPool
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_parts_yielding_matches_run_parts_and_polls_between_batches() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let ranges = partition_ranges_min(1000, 10, 1);
+        assert_eq!(ranges.len(), 10);
+        let work = |_: usize, r: Range<usize>| r.into_iter().sum::<usize>();
+        let plain = run_parts(&ranges, work);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let hook = {
+            let fired = Arc::clone(&fired);
+            bwd_device::YieldPoint::new(Arc::new(move || {
+                fired.fetch_add(1, Ordering::Relaxed);
+            }))
+        };
+        for batch in [1usize, 3, 10, 64] {
+            fired.store(0, Ordering::Relaxed);
+            let sliced = run_parts_yielding(&ranges, batch, &hook, work);
+            assert_eq!(sliced, plain, "batch={batch}");
+            assert_eq!(fired.load(Ordering::Relaxed), ranges.len().div_ceil(batch));
+        }
+        // Disabled hook: same outputs, zero overhead beyond the branch.
+        let off = run_parts_yielding(&ranges, 4, &bwd_device::YieldPoint::disabled(), work);
+        assert_eq!(off, plain);
+    }
 
     #[test]
     fn partition_ranges_cover_exactly() {

@@ -68,7 +68,9 @@ impl ReactorCtx<'_> {
     /// Probe the scheduler *now*: should socket reads pause?
     pub(crate) fn read_paused(&self) -> bool {
         let p = self.sched.pressure();
-        p.queued_jobs >= self.cfg.pause_queued_jobs
+        // Preempted (paused-at-yield-point) jobs count as queue pressure:
+        // each one is a worker that owes work before the queue can drain.
+        p.queued_jobs + p.preempted as usize >= self.cfg.pause_queued_jobs
             || p.admission_waiting >= self.cfg.pause_admission_waiting
     }
 }

@@ -269,7 +269,10 @@ impl NetServer {
     /// read-pause watermarks.
     pub fn reads_paused(&self) -> bool {
         let p = self.sched.pressure();
-        p.queued_jobs >= self.cfg.pause_queued_jobs
+        // Jobs paused at a yield point still occupy workers: count the
+        // live preemption depth as queue pressure so a preempting
+        // scheduler pauses reads no later than a non-preempting one.
+        p.queued_jobs + p.preempted as usize >= self.cfg.pause_queued_jobs
             || p.admission_waiting >= self.cfg.pause_admission_waiting
     }
 

@@ -313,6 +313,7 @@ const ERR_EXEC: u8 = 7;
 const ERR_NOT_FOUND: u8 = 8;
 const ERR_UNSUPPORTED: u8 = 9;
 const ERR_INVALID_ARGUMENT: u8 = 10;
+const ERR_ADMISSION_WOULD_BLOCK: u8 = 11;
 
 /// Encode a [`BwdError`] variant-faithfully (the structured variants keep
 /// their numeric fields; the message-carrying ones keep their message).
@@ -335,6 +336,12 @@ pub fn put_bwd_error(buf: &mut Vec<u8>, e: &BwdError) {
         BwdError::NotFound(m) => (ERR_NOT_FOUND, 0, 0, m),
         BwdError::Unsupported(m) => (ERR_UNSUPPORTED, 0, 0, m),
         BwdError::InvalidArgument(m) => (ERR_INVALID_ARGUMENT, 0, 0, m),
+        // Scheduler-internal (intercepted before replies are built), but
+        // encode it faithfully anyway: the wire layer must not lose
+        // information if one ever escapes.
+        BwdError::AdmissionWouldBlock { requested } => {
+            (ERR_ADMISSION_WOULD_BLOCK, *requested, 0, "")
+        }
     };
     put_u8(buf, code);
     put_u64(buf, a);
@@ -366,6 +373,7 @@ pub fn read_bwd_error(r: &mut Reader<'_>) -> WireResult<BwdError> {
         ERR_NOT_FOUND => BwdError::NotFound(msg),
         ERR_UNSUPPORTED => BwdError::Unsupported(msg),
         ERR_INVALID_ARGUMENT => BwdError::InvalidArgument(msg),
+        ERR_ADMISSION_WOULD_BLOCK => BwdError::AdmissionWouldBlock { requested: a },
         other => Err(format!("unknown error code {other}"))?,
     })
 }

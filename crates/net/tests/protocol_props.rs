@@ -95,7 +95,7 @@ fn arb_result(rng: &mut u64) -> QueryResult {
 }
 
 fn arb_error(rng: &mut u64) -> BwdError {
-    match mix(rng) % 11 {
+    match mix(rng) % 12 {
         0 => BwdError::DeviceOutOfMemory {
             requested: mix(rng),
             available: mix(rng),
@@ -103,6 +103,9 @@ fn arb_error(rng: &mut u64) -> BwdError {
         1 => BwdError::AdmissionTimeout {
             requested: mix(rng),
             waited_ms: mix(rng),
+        },
+        11 => BwdError::AdmissionWouldBlock {
+            requested: mix(rng),
         },
         2 => BwdError::InvalidBuffer(arb_string(rng, 60)),
         3 => BwdError::TypeMismatch(arb_string(rng, 60)),

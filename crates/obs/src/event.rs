@@ -81,6 +81,12 @@ pub enum EventKind {
     NetRecv,
     /// A response frame queued for write on a connection (instant).
     NetSend,
+    /// A long-running query paused at a morsel-boundary yield point while
+    /// its worker runs preempted-in short work; `a` is the hosted job's
+    /// latency estimate bits, `b` the nesting depth.
+    Yield,
+    /// The paused query resumed execution (instant).
+    Resume,
 }
 
 impl EventKind {
@@ -102,6 +108,8 @@ impl EventKind {
             EventKind::NetConn => "net-conn",
             EventKind::NetRecv => "net-recv",
             EventKind::NetSend => "net-send",
+            EventKind::Yield => "yield",
+            EventKind::Resume => "resume",
         }
     }
 }

@@ -121,6 +121,22 @@ impl AdmissionController {
         Ok(AdmissionPermit { buffer })
     }
 
+    /// Try to reserve `bytes` (clamped like [`AdmissionController::admit`])
+    /// without blocking: `None` when the reservation does not fit *right
+    /// now*.
+    ///
+    /// This is the admission path for preempted-in nested jobs: their
+    /// host query is paused at a yield point still holding its own
+    /// permit, so blocking here could deadlock the worker against itself.
+    /// A `None` sends the nested job back to the policy queue
+    /// (seq/bypass-preserving requeue) instead of waiting.
+    pub fn try_admit(&self, bytes: u64) -> Option<AdmissionPermit> {
+        self.memory
+            .alloc(bytes.min(self.max_request))
+            .ok()
+            .map(|buffer| AdmissionPermit { buffer })
+    }
+
     /// The largest reservation one query may hold.
     pub fn max_request(&self) -> u64 {
         self.max_request
@@ -189,6 +205,21 @@ mod tests {
         assert_eq!(mem.used(), 40);
         let again = ctrl.admit(60).unwrap();
         assert_eq!(again.bytes(), 60);
+    }
+
+    #[test]
+    fn try_admit_never_blocks_and_never_queues() {
+        let mem = DeviceMemory::new(100);
+        let ctrl = AdmissionController::new(mem.clone(), None);
+        let held = ctrl.try_admit(70).expect("fits");
+        assert_eq!(held.bytes(), 70);
+        // Doesn't fit right now: immediate None, no queued waiter, no
+        // accounting residue.
+        assert!(ctrl.try_admit(50).is_none());
+        assert_eq!(mem.queued(), 0);
+        assert_eq!(mem.used(), 70);
+        drop(held);
+        assert_eq!(ctrl.try_admit(50).unwrap().bytes(), 50);
     }
 
     #[test]

@@ -105,6 +105,24 @@ fn gathered_columns(plan: &ArPlan) -> u64 {
     cols.len() as u64
 }
 
+/// Predicted final survivor count of one job: the table's rows scaled by
+/// the selection chain's cumulative hinted selectivity — the same term
+/// both estimators price candidate lists with. The calibrator compares
+/// this prediction against [`bwd_engine::QueryResult::survivors`] to
+/// learn a per-plan-shape candidate-count correction.
+pub(crate) fn predicted_survivors(db: &Database, plan: &ArPlan, cfg: &EstimateConfig) -> u64 {
+    let rows = db
+        .catalog()
+        .table(&plan.table)
+        .map(|t| t.len() as u64)
+        .unwrap_or(0);
+    let cum = chain_selectivities(plan, cfg)
+        .last()
+        .copied()
+        .unwrap_or(1.0);
+    (rows as f64 * cum).ceil() as u64
+}
+
 /// Estimate one job's latency from the plan, its execution mode and the
 /// simulated host-thread allocation.
 ///

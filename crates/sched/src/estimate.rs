@@ -93,6 +93,26 @@ pub fn estimate_working_set(
     plan: &ArPlan,
     cfg: &EstimateConfig,
 ) -> WorkingSetEstimate {
+    estimate_working_set_scaled(db, plan, cfg, 1.0)
+}
+
+/// [`estimate_working_set`] with an extra multiplicative candidate-count
+/// factor — the calibrator's hook ([`crate::Calibrator::cands_factor`]).
+///
+/// `factor` scales the hinted candidate fractions exactly like the safety
+/// factor does (composing with it), so a stream whose observed candidate
+/// lists run consistently below the uniform-domain hints reserves less
+/// and admits more concurrently. The result stays clamped to the worst
+/// case, and an over-shrunk reservation is not a correctness risk: the
+/// budget-enforced execution OOMs early and re-enters admission at the
+/// worst case, the same graceful path a bad hint already takes. A
+/// non-finite or non-positive factor is ignored (treated as 1).
+pub fn estimate_working_set_scaled(
+    db: &Database,
+    plan: &ArPlan,
+    cfg: &EstimateConfig,
+    factor: f64,
+) -> WorkingSetEstimate {
     let worst_case = working_set_estimate(db, plan);
     let safety = cfg.safety_factor;
     if !cfg.use_hints || !safety.is_finite() || safety <= 0.0 {
@@ -101,6 +121,11 @@ pub fn estimate_working_set(
             worst_case,
         };
     }
+    let scale = if factor.is_finite() && factor > 0.0 {
+        safety * factor
+    } else {
+        safety
+    };
     let rows = db
         .catalog()
         .table(&plan.table)
@@ -112,10 +137,10 @@ pub fn estimate_working_set(
         if let Some(h) = sel.selectivity_hint {
             cum *= h.clamp(0.0, 1.0);
         }
-        let frac = (cum * safety).clamp(0.0, 1.0);
+        let frac = (cum * scale).clamp(0.0, 1.0);
         bytes += (rows as f64 * frac).ceil() as u64 * CANDIDATE_PAIR_BYTES;
     }
-    let frac = (cum * safety).clamp(0.0, 1.0);
+    let frac = (cum * scale).clamp(0.0, 1.0);
     bytes += (rows as f64 * frac).ceil() as u64 * gathered_columns(plan) * GATHER_VALUE_BYTES;
     WorkingSetEstimate {
         estimated: bytes.min(worst_case),
@@ -211,6 +236,39 @@ mod tests {
         // relies on this to force the OOM path.
         assert!(est.estimated <= KERNEL_SCRATCH_BYTES + CANDIDATE_PAIR_BYTES);
         assert_eq!(est.data_budget(), est.estimated - KERNEL_SCRATCH_BYTES);
+    }
+
+    #[test]
+    fn candidate_factor_scales_like_safety_and_stays_clamped() {
+        let (db, ar) = hinted_plan();
+        let cfg = EstimateConfig::default();
+        let base = estimate_working_set(&db, &ar, &cfg);
+        // factor 0.5 with safety 4 ≡ safety 2 with factor 1.
+        let shrunk = estimate_working_set_scaled(&db, &ar, &cfg, 0.5);
+        let halved = estimate_working_set_scaled(
+            &db,
+            &ar,
+            &EstimateConfig {
+                use_hints: true,
+                safety_factor: 2.0,
+            },
+            1.0,
+        );
+        assert_eq!(shrunk.estimated, halved.estimated);
+        assert!(shrunk.estimated < base.estimated);
+        // A huge factor saturates at the worst case; degenerate factors
+        // are ignored.
+        assert_eq!(
+            estimate_working_set_scaled(&db, &ar, &cfg, 1e12).estimated,
+            base.worst_case
+        );
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -3.0] {
+            assert_eq!(
+                estimate_working_set_scaled(&db, &ar, &cfg, bad).estimated,
+                base.estimated,
+                "factor {bad}"
+            );
+        }
     }
 
     #[test]

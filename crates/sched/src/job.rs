@@ -100,8 +100,18 @@ pub(crate) struct Job {
     #[allow(dead_code)]
     pub session: u64,
     /// Estimated latency in simulated seconds (the SJF queue key, and
-    /// the estimate-vs-actual accounting input).
+    /// the estimate-vs-actual accounting input). Already includes the
+    /// calibrator's per-shape latency correction.
     pub est_seconds: f64,
+    /// The uncalibrated model estimate ([`crate::cost::estimate_latency`])
+    /// — what the calibrator ratios completed jobs against, so learned
+    /// corrections never compound on themselves.
+    pub raw_est_seconds: f64,
+    /// The plan shape this job calibrates under.
+    pub shape: crate::calibrate::ShapeKey,
+    /// Hinted final survivor count ([`crate::cost`]'s cumulative
+    /// selectivity term); compared against the result's actual survivors.
+    pub predicted_survivors: u64,
     pub reply: mpsc::Sender<(Result<QueryResult>, JobReport)>,
     pub submitted: Instant,
     /// The per-query recorder (disabled when tracing is off for this job

@@ -77,6 +77,7 @@
 #![deny(missing_docs)]
 
 pub mod admission;
+pub mod calibrate;
 pub mod cost;
 pub mod estimate;
 pub mod job;
@@ -92,12 +93,15 @@ pub use admission::{
     working_set_estimate, AdmissionController, AdmissionPermit, CANDIDATE_PAIR_BYTES,
     GATHER_VALUE_BYTES, KERNEL_SCRATCH_BYTES,
 };
+pub use calibrate::{CalibrateConfig, Calibrator, ShapeCalibration, ShapeKey, ShapeMode};
 pub use cost::{estimate_latency, LatencyEstimate};
-pub use estimate::{estimate_working_set, EstimateConfig, WorkingSetEstimate};
+pub use estimate::{
+    estimate_working_set, estimate_working_set_scaled, EstimateConfig, WorkingSetEstimate,
+};
 pub use job::{JobReport, SubmitOptions, Ticket};
 pub use placement::PlacementPolicy;
-pub use policy::{PolicyQueue, QueuePolicy};
-pub use scheduler::{SchedConfig, Scheduler, TraceRecord};
+pub use policy::{PolicyQueue, PoppedKey, QueuePolicy};
+pub use scheduler::{PreemptConfig, SchedConfig, Scheduler, TraceRecord};
 pub use session::Session;
 pub use stats::{DeviceSnapshot, QueuePressure, SchedulerStats, StreamSnapshot};
 pub use throughput::{run_throughput, run_throughput_with, ThroughputOptions, ThroughputReport};

@@ -1,19 +1,65 @@
 //! The worker pool, device placement and shared scheduler state.
 
-use crate::estimate::{estimate_working_set, EstimateConfig};
+use crate::calibrate::{CalibrateConfig, Calibrator};
+use crate::estimate::{estimate_working_set_scaled, EstimateConfig};
 use crate::job::{Job, JobReport};
 use crate::placement::{place, DeviceSlot, PlacementPolicy};
 use crate::policy::{PolicyQueue, QueuePolicy};
 use crate::session::Session;
 use crate::stats::{DeviceSnapshot, SchedulerStats, StreamAccum};
+use bwd_device::YieldPoint;
 use bwd_engine::{ArExecOptions, Database, ExecMode, QueryResult};
 use bwd_obs::metrics::{Counter, Histogram, Registry};
 use bwd_obs::{EventKind, QueryTrace, SpanId, TraceCtx, WorkerHandle};
 use bwd_types::{BwdError, Result};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Morsel-boundary preemption knobs.
+///
+/// With preemption enabled, every running job's engine execution polls a
+/// [`YieldPoint`] between partitions (classic selection batches, A&R
+/// stage boundaries). At each poll the worker may *host* a queued short
+/// job inline: it pops an eligible job, runs it to completion on the same
+/// thread (nested admission never blocks — it uses a non-blocking
+/// reservation and re-queues on failure), then resumes the paused job
+/// exactly where it left off. The paused job's state lives untouched on
+/// the worker's stack, so results, traffic and simulated charges are
+/// bit-identical with preemption on or off — only wall-clock interleaving
+/// changes. `tests/preempt_sched.rs` holds that invariant across every
+/// queue policy and candidate representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreemptConfig {
+    /// Poll yield points and host queued short jobs at them. Default
+    /// `false`: completion *order* (not results) changes under
+    /// preemption, and order-sensitive callers must opt in.
+    pub enabled: bool,
+    /// Maximum nesting depth of hosted jobs (a hosted job may itself
+    /// yield to shorter work until this depth). Depth 0 never yields.
+    pub max_depth: u32,
+    /// A queued job is eligible for hosting when its latency estimate is
+    /// at most `ratio` times the paused job's — preempting for work as
+    /// long as the rest of the current job would only add latency.
+    /// `f64::INFINITY` hosts anything (useful in tests).
+    pub ratio: f64,
+    /// Cap on jobs one execution may host across all its yield points,
+    /// bounding how long a steady stream of short arrivals can stretch
+    /// one long job's wall clock.
+    pub max_hosted: u32,
+}
+
+impl Default for PreemptConfig {
+    fn default() -> Self {
+        PreemptConfig {
+            enabled: false,
+            max_depth: 2,
+            ratio: 0.25,
+            max_hosted: 16,
+        }
+    }
+}
 
 /// Scheduler construction knobs.
 #[derive(Debug, Clone)]
@@ -48,6 +94,11 @@ pub struct SchedConfig {
     /// the oldest events and is reported on the captured trace, never
     /// blocking the recording thread.
     pub trace_ring_capacity: usize,
+    /// Morsel-boundary preemption (default off; see [`PreemptConfig`]).
+    pub preempt: PreemptConfig,
+    /// Closed-loop estimate calibration (default on; see
+    /// [`CalibrateConfig`]).
+    pub calibrate: CalibrateConfig,
 }
 
 impl Default for SchedConfig {
@@ -65,6 +116,8 @@ impl Default for SchedConfig {
             aging_threshold: 32,
             tracing: false,
             trace_ring_capacity: 1024,
+            preempt: PreemptConfig::default(),
+            calibrate: CalibrateConfig::default(),
         }
     }
 }
@@ -95,6 +148,11 @@ pub(crate) struct SchedMetrics {
     /// thousandths (1000 = perfect), observed only for jobs with a
     /// non-zero actual simulated cost.
     pub estimate_ratio_milli: Histogram,
+    /// Queued jobs hosted inline at a yield point of a running job.
+    pub preemptions: Counter,
+    /// Hosted jobs whose non-blocking admission failed and that went
+    /// back to the queue with their original seq and bypass count.
+    pub preempt_requeues: Counter,
 }
 
 impl SchedMetrics {
@@ -107,6 +165,8 @@ impl SchedMetrics {
             queue_wait_us: registry.histogram("bwd_sched_queue_wait_us"),
             exec_wall_us: registry.histogram("bwd_sched_exec_wall_us"),
             estimate_ratio_milli: registry.histogram("bwd_sched_estimate_ratio_milli"),
+            preemptions: registry.counter("bwd_sched_preemptions_total"),
+            preempt_requeues: registry.counter("bwd_sched_preempt_requeues_total"),
             registry,
         }
     }
@@ -141,6 +201,13 @@ pub(crate) struct Shared {
     /// Captured traces of completed jobs ([`Scheduler::drain_traces`]).
     pub traces: Mutex<Vec<TraceRecord>>,
     pub metrics: SchedMetrics,
+    /// Morsel-boundary preemption knobs (copied from [`SchedConfig`]).
+    pub preempt: PreemptConfig,
+    /// Live count of jobs currently paused at a yield point while the
+    /// worker hosts shorter work ([`crate::QueuePressure::preempted`]).
+    pub preempt_active: AtomicU64,
+    /// Per-plan-shape estimate corrections, fed by every completion.
+    pub calibrator: Calibrator,
 }
 
 /// A multi-session query scheduler over one shared [`Database`] and its
@@ -232,6 +299,9 @@ impl Scheduler {
             trace_ring_capacity: config.trace_ring_capacity.max(4),
             traces: Mutex::new(Vec::new()),
             metrics: SchedMetrics::new(),
+            preempt: config.preempt,
+            preempt_active: AtomicU64::new(0),
+            calibrator: Calibrator::new(config.calibrate),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -272,6 +342,7 @@ impl Scheduler {
     pub fn pressure(&self) -> crate::stats::QueuePressure {
         let mut p = crate::stats::QueuePressure {
             queued_jobs: self.queue_len(),
+            preempted: self.shared.preempt_active.load(Ordering::Relaxed),
             ..Default::default()
         };
         for slot in &self.shared.devices {
@@ -364,6 +435,21 @@ impl Scheduler {
                 dev.capacity_bytes
             ));
         }
+        for (shape, cal) in self.shared.calibrator.snapshot() {
+            let label = shape.label();
+            out.push_str(&format!(
+                "bwd_sched_calibrator_latency_ratio_milli{{shape=\"{label}\"}} {}\n",
+                (cal.latency_ratio * 1000.0).round() as u64
+            ));
+            out.push_str(&format!(
+                "bwd_sched_calibrator_cands_ratio_milli{{shape=\"{label}\"}} {}\n",
+                (cal.cands_ratio * 1000.0).round() as u64
+            ));
+            out.push_str(&format!(
+                "bwd_sched_calibrator_samples{{shape=\"{label}\"}} {}\n",
+                cal.samples
+            ));
+        }
         out.push_str(&Registry::global().render());
         out
     }
@@ -406,105 +492,232 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
                 q = shared.work_ready.wait(q).unwrap();
             }
         };
-        let queued = job.submitted.elapsed();
-        // This worker's lane on the job's recorder (a no-op handle when
-        // the job runs untraced). The queue span was opened at
-        // submission on the session lane; the dequeueing worker closes
-        // it, then wraps the execution in an `exec` span.
-        let obs = job.recorder.worker(&lane);
-        obs.end(
-            EventKind::Queue,
-            job.queue_span,
-            queued.as_secs_f64().to_bits(),
-            0,
-            0,
-            0,
-        );
-        let started = Instant::now();
-        // A panicking query must not kill the worker: the pool would
-        // silently shrink and queued jobs would hang forever. Convert the
-        // unwind into a per-query error instead.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job(&shared, &job, &obs, &lane)
-        }))
-        .unwrap_or_else(|payload| {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
-            Err(bwd_types::BwdError::Exec(format!(
-                "query panicked during execution: {msg}"
-            )))
-        });
-        let wall = started.elapsed();
-        let accum = match job.mode {
-            ExecMode::Classic => &shared.classic,
-            _ => &shared.approx_refine,
-        };
-        let actual_sim = result.as_ref().map(|r| r.breakdown.total()).unwrap_or(0.0);
-        let rows = result.as_ref().map(|r| r.rows.len() as u64).unwrap_or(0);
-        match &result {
-            Ok(r) => {
-                accum.record(&r.breakdown, &r.traffic, wall, queued, job.est_seconds);
-                match job.mode {
-                    ExecMode::Classic => shared.metrics.queries_classic.inc(),
-                    _ => shared.metrics.queries_ar.inc(),
-                }
-            }
-            Err(_) => {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
-                shared.metrics.errors.inc();
-            }
-        }
-        shared
-            .metrics
-            .queue_wait_us
-            .observe(queued.as_micros() as u64);
-        shared.metrics.exec_wall_us.observe(wall.as_micros() as u64);
-        // Estimate-calibration sample (satellite of the estimator): the
-        // est/actual ratio in thousandths, queryable as a histogram.
-        if actual_sim > 0.0 {
-            let milli = (job.est_seconds / actual_sim * 1000.0).clamp(0.0, u64::MAX as f64);
-            shared.metrics.estimate_ratio_milli.observe(milli as u64);
-        }
-        let completion_index = shared.completions.fetch_add(1, Ordering::Relaxed);
-        obs.instant(EventKind::Resolve, job.root, completion_index, 0);
-        obs.end(
-            EventKind::Query,
-            job.root,
-            job.est_seconds.to_bits(),
-            actual_sim.to_bits(),
-            rows,
-            u64::from(result.is_err()),
-        );
-        let trace = if job.recorder.is_enabled() {
-            let trace = QueryTrace::capture(&job.recorder);
-            shared.traces.lock().unwrap().push(TraceRecord {
-                session: job.session,
-                completion_index,
-                label: job.plan.table.clone(),
-                trace: trace.clone(),
-            });
-            Some(trace)
-        } else {
-            None
-        };
-        let report = JobReport {
-            queue_wait: queued,
-            exec: wall,
-            completion_index,
-            est_seconds: job.est_seconds,
-            actual_sim_seconds: actual_sim,
-            priority: job.opts.priority,
-            trace,
-        };
-        // The submitter may have dropped its ticket; that's fine.
-        let _ = job.reply.send((result, report));
+        // Depth 0 uses blocking admission, so execution always completes
+        // here; the would-block requeue arm is unreachable at the top
+        // level (and a hypothetical leftover job would resolve its ticket
+        // with an error on drop rather than hang).
+        let leftover = execute_job(&shared, job, &lane, 0);
+        debug_assert!(leftover.is_none(), "depth-0 jobs never would-block");
     }
 }
 
-fn run_job(shared: &Shared, job: &Job, obs: &WorkerHandle, lane: &str) -> Result<QueryResult> {
+/// Run one dequeued job to completion on the current thread: close its
+/// queue span, execute with panic isolation, account the completion and
+/// deliver the reply.
+///
+/// `depth` counts yield-point nesting — `0` is a worker draining the
+/// queue, `>0` a job hosted inline while another job is paused at a
+/// [`YieldPoint`]. A nested execution whose non-blocking admission did
+/// not fit returns the job to the caller (`Some`), which re-queues it
+/// under its original seq and bypass count; completed jobs return `None`.
+fn execute_job(shared: &Arc<Shared>, job: Job, lane: &str, depth: u32) -> Option<Job> {
+    let queued = job.submitted.elapsed();
+    // This worker's lane on the job's recorder (a no-op handle when the
+    // job runs untraced). The queue span was opened at submission on the
+    // session lane; the dequeueing worker closes it, then wraps the
+    // execution in an `exec` span.
+    let obs = job.recorder.worker(lane);
+    obs.end(
+        EventKind::Queue,
+        job.queue_span,
+        queued.as_secs_f64().to_bits(),
+        0,
+        0,
+        0,
+    );
+    let started = Instant::now();
+    // A panicking query must not kill the worker: the pool would
+    // silently shrink and queued jobs would hang forever. Convert the
+    // unwind into a per-query error instead.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_job(shared, &job, &obs, lane, depth)
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        Err(bwd_types::BwdError::Exec(format!(
+            "query panicked during execution: {msg}"
+        )))
+    });
+    if depth > 0 {
+        if let Err(BwdError::AdmissionWouldBlock { .. }) = &result {
+            // The hosted job could not reserve device memory without
+            // blocking. Hand it back for a seq-preserving requeue: reopen
+            // its queue span on the session lane (arg `1` marks the
+            // re-entry) so the trace shows queue → exec → queue → exec.
+            let session_lane = job.recorder.worker("session");
+            let mut job = job;
+            job.queue_span =
+                session_lane.begin(EventKind::Queue, job.root, job.est_seconds.to_bits(), 1);
+            return Some(job);
+        }
+    }
+    let wall = started.elapsed();
+    let accum = match job.mode {
+        ExecMode::Classic => &shared.classic,
+        _ => &shared.approx_refine,
+    };
+    let actual_sim = result.as_ref().map(|r| r.breakdown.total()).unwrap_or(0.0);
+    let rows = result.as_ref().map(|r| r.rows.len() as u64).unwrap_or(0);
+    match &result {
+        Ok(r) => {
+            accum.record(&r.breakdown, &r.traffic, wall, queued, job.est_seconds);
+            // Close the estimate loop: fold this completion into the
+            // per-shape calibrator so the next submission of the same
+            // shape queues under a sharper estimate and reserves closer
+            // to its real candidate footprint.
+            shared.calibrator.observe(
+                &job.shape,
+                job.raw_est_seconds,
+                actual_sim,
+                job.predicted_survivors,
+                r.survivors as u64,
+            );
+            match job.mode {
+                ExecMode::Classic => shared.metrics.queries_classic.inc(),
+                _ => shared.metrics.queries_ar.inc(),
+            }
+        }
+        Err(_) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.errors.inc();
+        }
+    }
+    shared
+        .metrics
+        .queue_wait_us
+        .observe(queued.as_micros() as u64);
+    shared.metrics.exec_wall_us.observe(wall.as_micros() as u64);
+    // Estimate-calibration sample (satellite of the estimator): the
+    // est/actual ratio in thousandths, queryable as a histogram.
+    if actual_sim > 0.0 {
+        let milli = (job.est_seconds / actual_sim * 1000.0).clamp(0.0, u64::MAX as f64);
+        shared.metrics.estimate_ratio_milli.observe(milli as u64);
+    }
+    let completion_index = shared.completions.fetch_add(1, Ordering::Relaxed);
+    obs.instant(EventKind::Resolve, job.root, completion_index, 0);
+    obs.end(
+        EventKind::Query,
+        job.root,
+        job.est_seconds.to_bits(),
+        actual_sim.to_bits(),
+        rows,
+        u64::from(result.is_err()),
+    );
+    let trace = if job.recorder.is_enabled() {
+        let trace = QueryTrace::capture(&job.recorder);
+        shared.traces.lock().unwrap().push(TraceRecord {
+            session: job.session,
+            completion_index,
+            label: job.plan.table.clone(),
+            trace: trace.clone(),
+        });
+        Some(trace)
+    } else {
+        None
+    };
+    let report = JobReport {
+        queue_wait: queued,
+        exec: wall,
+        completion_index,
+        est_seconds: job.est_seconds,
+        actual_sim_seconds: actual_sim,
+        priority: job.opts.priority,
+        trace,
+    };
+    // The submitter may have dropped its ticket; that's fine.
+    let _ = job.reply.send((result, report));
+    None
+}
+
+/// Build the [`YieldPoint`] hook one execution polls between partitions.
+///
+/// Each poll drains eligible queued work inline: a queued job whose
+/// latency estimate is at most `ratio` times the paused job's is popped
+/// provisionally ([`PolicyQueue::pop_if`]), executed to completion on
+/// this same thread (one nesting level deeper), and the paused job then
+/// resumes from exactly where it stopped. The paused job's partial state
+/// never moves — results, traffic and simulated charges are bit-identical
+/// with preemption on or off. A hosted job whose non-blocking admission
+/// did not fit goes back to the queue with its original seq and bypass
+/// count, and the poll returns early: admission is full, so further
+/// candidates would hit the same wall.
+fn yield_hook(shared: &Arc<Shared>, job: &Job, lane: &str, exec: SpanId, depth: u32) -> YieldPoint {
+    let shared = Arc::clone(shared);
+    let recorder = job.recorder.clone();
+    let lane = lane.to_string();
+    let parent_est = job.est_seconds;
+    let ratio = shared.preempt.ratio;
+    // Per-execution hosting budget: a steady stream of short arrivals
+    // must not stretch one long job's wall clock without bound.
+    let budget = AtomicU32::new(shared.preempt.max_hosted);
+    YieldPoint::new(Arc::new(move || {
+        while budget.load(Ordering::Relaxed) > 0 {
+            let popped = {
+                let mut q = shared.queue.lock().unwrap();
+                if q.closed {
+                    return;
+                }
+                // Scan past ineligible entries (under FIFO the head is
+                // usually another bulk scan) — aging's no-overtake bound
+                // is enforced inside the queue, not here.
+                q.jobs
+                    .pop_if_scan(|k, _| k.est_seconds <= ratio * parent_est)
+            };
+            let Some((key, child)) = popped else { return };
+            budget.fetch_sub(1, Ordering::Relaxed);
+            shared.metrics.preemptions.inc();
+            shared.preempt_active.fetch_add(1, Ordering::Relaxed);
+            let obs = recorder.worker(&lane);
+            let yspan = obs.begin(
+                EventKind::Yield,
+                exec,
+                child.est_seconds.to_bits(),
+                u64::from(depth + 1),
+            );
+            let back = execute_job(&shared, child, &lane, depth + 1);
+            let would_block = back.is_some();
+            let mut requeued = false;
+            {
+                let mut q = shared.queue.lock().unwrap();
+                match back {
+                    // Would-block: the child re-enters under its original
+                    // seq and bypass count (dropped instead if the queue
+                    // closed meanwhile — its ticket then resolves to the
+                    // shutdown error, exactly like any discarded job).
+                    Some(child) if !q.closed => {
+                        shared.metrics.preempt_requeues.inc();
+                        q.jobs.requeue(key, child);
+                        requeued = true;
+                    }
+                    _ => q.jobs.finish(key),
+                }
+            }
+            obs.end(EventKind::Yield, yspan, 0, 0, 0, u64::from(would_block));
+            obs.instant(EventKind::Resume, exec, 0, 0);
+            shared.preempt_active.fetch_sub(1, Ordering::Relaxed);
+            if requeued {
+                // A sleeping worker (or another yield point) may have
+                // room where this device did not.
+                shared.work_ready.notify_one();
+            }
+            if would_block {
+                return;
+            }
+        }
+    }))
+}
+
+fn run_job(
+    shared: &Arc<Shared>,
+    job: &Job,
+    obs: &WorkerHandle,
+    lane: &str,
+    depth: u32,
+) -> Result<QueryResult> {
     let db = &shared.db;
     let mut env = db.env().clone();
     // Same clamp the submission-time latency estimate used
@@ -530,9 +743,15 @@ fn run_job(shared: &Shared, job: &Job, obs: &WorkerHandle, lane: &str) -> Result
     // (approx-select, refine, gather, group/agg, morsels, classic) nest
     // under this worker's exec span on the same lane.
     env.trace = TraceCtx::new(job.recorder.clone(), exec, lane);
+    // Arm the yield point: the engine polls it between partitions, and
+    // each poll may host queued short work inline (one nesting level
+    // deeper, up to the configured depth) before this job resumes.
+    if shared.preempt.enabled && depth < shared.preempt.max_depth {
+        env.preempt = yield_hook(shared, job, lane, exec, depth);
+    }
     let result = match &job.mode {
         ExecMode::Classic => db.run_bound_in(&job.plan, job.mode.clone(), &env, morsels),
-        mode => run_ar_job(shared, job, mode, &env, morsels, obs, exec),
+        mode => run_ar_job(shared, job, mode, &env, morsels, obs, exec, depth),
     };
     match &result {
         Ok(r) => obs.end(
@@ -550,6 +769,13 @@ fn run_job(shared: &Shared, job: &Job, obs: &WorkerHandle, lane: &str) -> Result
 
 /// Place, admit and execute one A&R query, handling the underestimate
 /// re-queue path.
+///
+/// At `depth > 0` (hosted inline at another job's yield point) every
+/// reservation is non-blocking: a request that does not fit raises
+/// [`BwdError::AdmissionWouldBlock`], which [`execute_job`] intercepts to
+/// re-queue the job — a paused host must never sit behind a blocking
+/// admission wait.
+#[allow(clippy::too_many_arguments)]
 fn run_ar_job(
     shared: &Shared,
     job: &Job,
@@ -558,9 +784,19 @@ fn run_ar_job(
     morsels: usize,
     obs: &WorkerHandle,
     exec: SpanId,
+    depth: u32,
 ) -> Result<QueryResult> {
     let db = &shared.db;
-    let est = estimate_working_set(db, &job.plan, &shared.estimate);
+    // The calibrator's learned candidate-count factor scales the hinted
+    // reservation: shapes whose candidate lists ran below the uniform
+    // hints reserve less (admitting more concurrently), over-shrunk
+    // reservations still recover via the OOM-early → requeue backstop.
+    let est = estimate_working_set_scaled(
+        db,
+        &job.plan,
+        &shared.estimate,
+        shared.calibrator.cands_factor(&job.shape),
+    );
 
     // --- Placement: pin wins, otherwise the policy routes by load. ---
     let idx = match job.opts.device {
@@ -603,11 +839,21 @@ fn run_ar_job(
         let admission = obs.begin(EventKind::Admission, exec, request, attempt);
         let permit = {
             let _pending = slot.begin_pending(request);
-            match slot.admission.admit(request) {
-                Ok(p) => p,
-                Err(e) => {
-                    obs.end(EventKind::Admission, admission, 0, 0, requeues, 1);
-                    return Err(e);
+            if depth == 0 {
+                match slot.admission.admit(request) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        obs.end(EventKind::Admission, admission, 0, 0, requeues, 1);
+                        return Err(e);
+                    }
+                }
+            } else {
+                match slot.admission.try_admit(request) {
+                    Some(p) => p,
+                    None => {
+                        obs.end(EventKind::Admission, admission, 0, 0, requeues, 1);
+                        return Err(BwdError::AdmissionWouldBlock { requested: request });
+                    }
                 }
             }
         };

@@ -1,6 +1,7 @@
 //! The session front door.
 
-use crate::cost::estimate_latency;
+use crate::calibrate::ShapeKey;
+use crate::cost::{estimate_latency, predicted_survivors};
 use crate::job::{CompletionHook, Job, SubmitOptions, Ticket};
 use crate::scheduler::Shared;
 use bwd_core::plan::{ArPlan, RewriteOptions};
@@ -46,7 +47,7 @@ impl Session {
     pub fn submit_with(&self, plan: ArPlan, mode: ExecMode, opts: SubmitOptions) -> Ticket {
         let (tx, rx) = mpsc::channel();
         let threads = opts.effective_host_threads(self.shared.db.env());
-        let est_seconds = estimate_latency(
+        let raw_est_seconds = estimate_latency(
             &self.shared.db,
             &plan,
             &mode,
@@ -54,6 +55,14 @@ impl Session {
             &self.shared.estimate,
         )
         .seconds();
+        // Close the estimate loop: the per-shape calibrator multiplies
+        // the raw model output by the observed-over-estimated EWMA of
+        // previously completed queries of the same shape, so the SJF sort
+        // key (and the aging bound's notion of "short") sharpens as a
+        // session runs. Factor 1 until the shape has been observed.
+        let shape = ShapeKey::of(&plan, &mode);
+        let est_seconds = raw_est_seconds * self.shared.calibrator.latency_factor(&shape);
+        let predicted = predicted_survivors(&self.shared.db, &plan, &self.shared.estimate);
         let priority = opts.priority;
         // Per-query recorder: the whole lifecycle (queue wait included)
         // lands on one timeline because every recorder shares the
@@ -82,6 +91,9 @@ impl Session {
             opts,
             session: self.id,
             est_seconds,
+            raw_est_seconds,
+            shape,
+            predicted_survivors: predicted,
             reply: tx,
             submitted: Instant::now(),
             recorder,

@@ -49,10 +49,14 @@ impl StreamSnapshot {
     /// Mean per-query wall-clock queue wait (zero when idle).
     pub fn mean_queued(&self) -> Duration {
         if self.queries == 0 {
-            Duration::ZERO
-        } else {
-            self.queued / self.queries as u32
+            return Duration::ZERO;
         }
+        // `Duration / u32` would silently truncate the divisor past 2^32
+        // queries (and panics at exactly 2^32, where the cast hits 0) —
+        // long soaks would report wildly inflated means. Divide in u128
+        // nanoseconds instead; the quotient of an achievable total by a
+        // count ≥ 1 always fits back into u64 nanoseconds.
+        Duration::from_nanos((self.queued.as_nanos() / u128::from(self.queries)) as u64)
     }
 
     /// Estimated over actual simulated seconds — `1.0` means the latency
@@ -92,6 +96,12 @@ pub struct QueuePressure {
     pub reserved_bytes: u64,
     /// Total pool capacity in bytes.
     pub capacity_bytes: u64,
+    /// Jobs currently paused at a yield point while their worker runs
+    /// preempted-in short work (the live preemption nesting depth,
+    /// summed over workers). A paused job holds its admission permit and
+    /// its place on the worker, so front doors should count it as
+    /// outstanding load even though it is neither queued nor running.
+    pub preempted: u64,
 }
 
 impl QueuePressure {
@@ -224,5 +234,48 @@ impl StreamAccum {
             max_queued: Duration::from_nanos(self.max_queued_nanos.load(Ordering::Relaxed)),
             est_sim_seconds: self.est_sim_nanos.load(Ordering::Relaxed) as f64 / 1e9,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_with(queries: u64, queued: Duration) -> StreamSnapshot {
+        StreamSnapshot {
+            queries,
+            breakdown: Breakdown::default(),
+            traffic: TrafficBytes::default(),
+            busy: Duration::ZERO,
+            queued,
+            max_queued: queued,
+            est_sim_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn mean_queued_handles_zero_and_small_counts() {
+        assert_eq!(
+            snapshot_with(0, Duration::ZERO).mean_queued(),
+            Duration::ZERO
+        );
+        assert_eq!(
+            snapshot_with(4, Duration::from_millis(10)).mean_queued(),
+            Duration::from_micros(2500)
+        );
+    }
+
+    #[test]
+    fn mean_queued_survives_the_u32_boundary() {
+        // `self.queued / self.queries as u32` truncated the divisor:
+        // at exactly 2^32 queries the cast hit 0 (division panic), one
+        // past it the mean was the raw total again. Both must divide
+        // exactly now.
+        let total = Duration::from_nanos(1) * u32::MAX * 3; // big, exact
+        let at = snapshot_with(1u64 << 32, total).mean_queued();
+        assert_eq!(at, Duration::from_nanos(total.as_nanos() as u64 >> 32));
+        let past = snapshot_with((1u64 << 32) + 4, Duration::from_nanos((1u64 << 34) + 16));
+        // (2^34 + 16) / (2^32 + 4) = 4 exactly.
+        assert_eq!(past.mean_queued(), Duration::from_nanos(4));
     }
 }

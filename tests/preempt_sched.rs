@@ -1,0 +1,293 @@
+//! Morsel-boundary preemption, end to end and deterministically.
+//!
+//! The tentpole invariant: yield points never change results or charges.
+//! A preempting scheduler may interleave executions (a long job pauses at
+//! a partition boundary, hosts queued short work inline, resumes), but
+//! every query's rows, survivor count, simulated cost breakdown and
+//! traffic bytes must be **bit-identical** with preemption on or off —
+//! preemption buys latency, never answers. The sweep below pins that
+//! across every [`QueuePolicy`] × [`CandidateRep`] × morsel count.
+//!
+//! Determinism follows the `priority_sched` playbook: a one-worker
+//! scheduler frozen behind a [`Gate`] while the batch stacks up, forced
+//! yields via `ratio: f64::INFINITY`, and ordering assertions on
+//! [`JobReport::completion_index`] — no sleeps, no wall-clock.
+
+use std::sync::Arc;
+
+use waste_not::engine::CandidateRep;
+use waste_not::sched::workload::{Gate, JobKind, WorkloadGen, WorkloadSpec};
+use waste_not::sched::{
+    estimate_working_set, EstimateConfig, PreemptConfig, QueuePolicy, SchedConfig, Scheduler,
+    SubmitOptions,
+};
+use waste_not::{ArExecOptions, ExecMode, QueryResult};
+
+const POLICIES: [QueuePolicy; 3] = [
+    QueuePolicy::Fifo,
+    QueuePolicy::ShortestJobFirst,
+    QueuePolicy::Priority,
+];
+const REPS: [CandidateRep; 3] = [
+    CandidateRep::Auto,
+    CandidateRep::Indices,
+    CandidateRep::Bitmap,
+];
+const MORSELS: [usize; 3] = [1, 2, 8];
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        long_rows: 30_000,
+        short_rows: 4_000,
+        domain: 4_000,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// Forced-yield preemption knobs: every queued job is eligible for
+/// hosting at every yield point, so any poll with a non-empty queue
+/// preempts — maximum interleaving, worst case for the identity claim.
+fn forced(enabled: bool) -> PreemptConfig {
+    PreemptConfig {
+        enabled,
+        max_depth: 2,
+        ratio: f64::INFINITY,
+        max_hosted: 64,
+    }
+}
+
+/// Read one counter back out of the Prometheus text snapshot.
+fn metric(snapshot: &str, name: &str) -> u64 {
+    snapshot
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or_else(|| panic!("metric {name} missing from snapshot:\n{snapshot}"))
+}
+
+/// Run the seeded batch on a one-worker scheduler under one
+/// policy/representation/morsel configuration; returns every query's
+/// full result (gate job first, then batch order) plus the preemption
+/// count the run performed.
+fn run_batch(
+    policy: QueuePolicy,
+    rep: CandidateRep,
+    morsels: usize,
+    preempt: bool,
+) -> (Vec<QueryResult>, u64) {
+    let mut gen = WorkloadGen::new(0xF1E1D, spec()).unwrap();
+    let sched = Scheduler::new(
+        Arc::clone(gen.db()),
+        SchedConfig {
+            workers: 1,
+            admission_deadline: None,
+            policy,
+            aging_threshold: 1000,
+            preempt: forced(preempt),
+            ..SchedConfig::default()
+        },
+    );
+    let session = sched.session();
+    let gate = Gate::block(gen.db(), 0).unwrap();
+    let gate_job = gen.short();
+    let gate_ticket = session.submit_with(gate_job.plan, gate_job.mode, gate.submit_options());
+    gate.wait_admission_blocked(1);
+
+    // The batch stacks up behind the frozen worker; shorts carry the
+    // candidate representation under test, everything pins the morsel
+    // count (bit-identity across all of it is the established engine
+    // invariant this test extends to preemption).
+    let batch = gen.mixed(5, 2);
+    let tickets: Vec<_> = batch
+        .iter()
+        .map(|q| {
+            let mode = match q.kind {
+                JobKind::Short => ExecMode::ApproxRefineWith(ArExecOptions {
+                    candidates: rep,
+                    morsels,
+                    ..ArExecOptions::default()
+                }),
+                JobKind::Long => q.mode.clone(),
+            };
+            let opts = SubmitOptions {
+                morsels: Some(morsels),
+                ..q.submit_options(1)
+            };
+            session.submit_with(q.plan.clone(), mode, opts)
+        })
+        .collect();
+    gate.release();
+
+    let mut results = vec![gate_ticket.wait().unwrap()];
+    results.extend(tickets.into_iter().map(|t| t.wait().unwrap()));
+    let preemptions = metric(&sched.metrics_snapshot(), "bwd_sched_preemptions_total");
+    let stats = sched.stats();
+    assert_eq!(stats.errors, 0, "{policy:?}/{rep:?}/m{morsels}");
+    assert!(stats.device_peak_bytes <= stats.device_capacity_bytes);
+    (results, preemptions)
+}
+
+#[test]
+fn results_and_charges_are_bit_identical_with_preemption_on_and_off() {
+    for policy in POLICIES {
+        for rep in REPS {
+            for morsels in MORSELS {
+                let tag = format!("{policy:?}/{rep:?}/morsels={morsels}");
+                let (off, p_off) = run_batch(policy, rep, morsels, false);
+                let (on, p_on) = run_batch(policy, rep, morsels, true);
+                assert_eq!(p_off, 0, "{tag}: disabled scheduler must never preempt");
+                assert!(
+                    p_on > 0,
+                    "{tag}: forced yields with a stacked queue must preempt"
+                );
+                assert_eq!(off.len(), on.len());
+                for (i, (a, b)) in off.iter().zip(&on).enumerate() {
+                    assert_eq!(a.rows, b.rows, "{tag} query {i}: rows");
+                    assert_eq!(a.survivors, b.survivors, "{tag} query {i}: survivors");
+                    assert_eq!(a.breakdown, b.breakdown, "{tag} query {i}: simulated cost");
+                    assert_eq!(a.traffic, b.traffic, "{tag} query {i}: traffic bytes");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn nested_admission_never_blocks_it_requeues_with_seq_and_bypass_preserved() {
+    // Deterministic would-block: a held device allocation leaves exactly
+    // 2·S − 1 bytes free, where S is one short probe's admission
+    // reservation. The first short (s1) admits and holds S, so when the
+    // long scan it hosts tries to host the second, identical short (s2)
+    // one level deeper, s2's non-blocking reservation of S finds only
+    // S − 1 bytes — it must re-queue, never freeze the paused stack.
+    let mut gen = WorkloadGen::new(0xB10C, spec()).unwrap();
+    let short = gen.short();
+    let long = gen.long();
+    let s_bytes = estimate_working_set(gen.db(), &short.plan, &EstimateConfig::default()).estimated;
+
+    // Build the scheduler *before* carving up the card: its admission
+    // controller snapshots resident bytes at construction and clamps
+    // every request to what was free then — allocating first would clamp
+    // the probes' reservations to zero and nothing would ever block.
+    let sched = Scheduler::new(
+        Arc::clone(gen.db()),
+        SchedConfig {
+            workers: 1,
+            admission_deadline: None,
+            policy: QueuePolicy::Fifo,
+            preempt: forced(true),
+            ..SchedConfig::default()
+        },
+    );
+    let mem = gen.db().env().pool.devices()[0].memory().clone();
+    let hold = mem.alloc(mem.available() - (2 * s_bytes - 1)).unwrap();
+    let gate = mem.alloc(2 * s_bytes - 1).unwrap(); // now zero bytes free
+    let session = sched.session();
+    // Everything pins to device 0 — on a multi-card pool the placement
+    // policy would otherwise route around the full device and nothing
+    // would ever block.
+    let pinned = SubmitOptions {
+        device: Some(0),
+        ..SubmitOptions::default()
+    };
+    // s1 blocks inside depth-0 admission (blocking is allowed there),
+    // provably freezing the worker while the rest of the batch queues.
+    let t1 = session.submit_with(short.plan.clone(), short.mode.clone(), pinned);
+    while mem.queued() < 1 {
+        std::thread::yield_now();
+    }
+    let t_long = session.submit_with(long.plan.clone(), long.mode.clone(), pinned);
+    let t2 = session.submit_with(short.plan.clone(), short.mode.clone(), pinned);
+    drop(gate); // 2·S − 1 bytes free: s1 admits, s2 can never fit beside it
+
+    let (r1, rep1) = t1.wait_report().unwrap();
+    let (rl, rep_long) = t_long.wait_report().unwrap();
+    let (r2, rep2) = t2.wait_report().unwrap();
+    drop(hold);
+
+    // s1 hosted the long inline (FIFO head at its first yield point), so
+    // the long finishes first; s2 — repeatedly offered and re-queued on
+    // its would-block — runs last, at depth 0, after s1 released S.
+    assert!(
+        rep_long.completion_index < rep1.completion_index,
+        "the hosted long must complete inside s1: long {rep_long:?} vs s1 {rep1:?}"
+    );
+    assert!(
+        rep1.completion_index < rep2.completion_index,
+        "s2 must wait for s1's reservation: s1 {rep1:?} vs s2 {rep2:?}"
+    );
+    assert_eq!(r1.rows, r2.rows, "identical probes, identical answers");
+    assert_eq!(r1.rows, gen.reference(&short).unwrap().rows);
+    assert_eq!(rl.rows, gen.reference(&long).unwrap().rows);
+
+    let snapshot = sched.metrics_snapshot();
+    assert!(
+        metric(&snapshot, "bwd_sched_preemptions_total") >= 2,
+        "both the long and s2 were hosted at yield points:\n{snapshot}"
+    );
+    assert!(
+        metric(&snapshot, "bwd_sched_preempt_requeues_total") >= 1,
+        "s2's nested admission must have would-block re-queued:\n{snapshot}"
+    );
+    assert_eq!(sched.stats().errors, 0, "would-block is not a query error");
+}
+
+#[test]
+fn calibration_sharpens_estimates_over_a_session() {
+    // 100 queries of two recurring shapes on one worker, waited
+    // sequentially so every submission sees the completions before it.
+    // The per-shape EWMA must pull the latency estimate toward the
+    // observed simulated cost: the last decile's |est/actual − 1| error
+    // drops below the first decile's, and below what the same session
+    // produces with calibration disabled.
+    fn session_errors(calibrate: bool) -> Vec<f64> {
+        let mut gen = WorkloadGen::new(0xCA11B, spec()).unwrap();
+        let sched = Scheduler::new(
+            Arc::clone(gen.db()),
+            SchedConfig {
+                workers: 1,
+                calibrate: waste_not::sched::CalibrateConfig {
+                    enabled: calibrate,
+                    ..Default::default()
+                },
+                ..SchedConfig::default()
+            },
+        );
+        let session = sched.session();
+        let mut errs = Vec::with_capacity(100);
+        for i in 0..100 {
+            let q = if i % 2 == 0 { gen.short() } else { gen.long() };
+            let (_, rep) = session.submit(q.plan, q.mode).wait_report().unwrap();
+            assert!(rep.actual_sim_seconds > 0.0);
+            errs.push((rep.est_seconds / rep.actual_sim_seconds - 1.0).abs());
+        }
+        if calibrate {
+            let snapshot = sched.metrics_snapshot();
+            assert!(
+                snapshot.contains("bwd_sched_calibrator_samples"),
+                "calibrator state must be exported:\n{snapshot}"
+            );
+            assert!(snapshot.contains("bwd_sched_calibrator_latency_ratio_milli"));
+        }
+        errs
+    }
+
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+    let calibrated = session_errors(true);
+    let uncalibrated = session_errors(false);
+    let first = mean(&calibrated[..10]);
+    let last = mean(&calibrated[90..]);
+    assert!(
+        last < first,
+        "calibration must strictly shrink the estimate error over the \
+         session: first decile {first:.4}, last decile {last:.4}"
+    );
+    assert!(
+        last < mean(&uncalibrated[90..]),
+        "calibrated tail error {last:.4} must beat the uncalibrated tail \
+         {:.4}",
+        mean(&uncalibrated[90..])
+    );
+}
