@@ -7,7 +7,7 @@
 //!   ids: all (default) | fig1 | fig8a | fig8b | fig8c | fig8d | fig8e
 //!        | fig8f | fig9 | tab1 | fig10a | fig10b | fig10c | fig11
 //!        | bench-arexec | bench-multidev | bench-sjf | bench-scan
-//!        | trace
+//!        | trace | fault-soak
 //! ```
 //!
 //! `bench-arexec` measures the morsel-parallel A&R pipeline's *wall
@@ -27,7 +27,11 @@
 //! `trace` runs a seeded scheduler batch with query-lifecycle tracing
 //! on, validates every trace, writes the Chrome `trace_event` export to
 //! `TRACE_workload.json` and prints one query's EXPLAIN ANALYZE tree.
-//! None of the five is part of `all`.
+//! `fault-soak` is the chaos smoke: a seeded allocation-fault burst on
+//! one card of a two-card pool must produce offline → failover →
+//! recovery with zero lost tickets, bit-identical results, and a
+//! transcript that replays exactly from the same seed.
+//! None of the six is part of `all`.
 //!
 //! Defaults are laptop-friendly scales; `--full` switches to the paper's
 //! scales (100 M microbenchmark tuples, 250 M GPS fixes, TPC-H SF-10 —
@@ -274,6 +278,16 @@ fn main() -> ExitCode {
                     Err(e) => Err(e.to_string()),
                 }
             }
+            "fault-soak" => match bwd_bench::chaos::measure(0xFA417, 24) {
+                Ok(report) => match bwd_bench::chaos::check(&report) {
+                    Ok(()) => Ok(vec![bwd_bench::chaos::figure(&report)]),
+                    Err(e) => {
+                        println!("{}", bwd_bench::chaos::figure(&report).render());
+                        Err(e.to_string())
+                    }
+                },
+                Err(e) => Err(e.to_string()),
+            },
             other => Err(format!("unknown figure id {other}")),
         };
         match result {

@@ -1,0 +1,262 @@
+//! Chaos smoke: a seeded fault-injection soak on a two-card pool.
+//!
+//! One card is armed with a deterministic burst of allocation faults
+//! (`skip` clean draws, then `max` consecutive injections, then clean
+//! forever). The health machine takes the card offline, bounded retries
+//! drain the stranded work onto the survivor, a recovery probe brings
+//! the card back — and every single query must still resolve
+//! bit-identically to the fault-free serial reference. The run executes
+//! **twice with the same seed** and the two chaos transcripts (health
+//! events, retry counts, per-device tallies, fault-plan draw totals)
+//! must match event for event.
+//!
+//! `figures -- fault-soak` renders the transcript and fails on any lost
+//! ticket, bit-identity violation or non-reproducible transcript; CI
+//! runs it at a small scale as the chaos gate for the fault-domain
+//! machinery.
+
+use crate::report::Figure;
+use bwd_device::Env;
+use bwd_engine::QueryResult;
+use bwd_sched::workload::{WorkloadGen, WorkloadSpec};
+use bwd_sched::{SchedConfig, Scheduler};
+use bwd_types::{BwdError, FaultPlan, FaultSite, FaultSpec, Result};
+use std::sync::Arc;
+
+/// The deterministic chaos transcript one seeded run produces.
+/// Same seed ⇒ same transcript, field for field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosTranscript {
+    /// Offline transitions per device, in pool order.
+    pub offline_events: Vec<u64>,
+    /// Whether each device ended the run offline.
+    pub offline_at_end: Vec<bool>,
+    /// Bounded failover retries performed by the scheduler.
+    pub retries: u64,
+    /// `bwd_sched_device_offline_total` at the end of the run.
+    pub device_offline: u64,
+    /// `bwd_sched_device_recovered_total` at the end of the run.
+    pub device_recovered: u64,
+    /// Queries completed per device, in pool order.
+    pub per_device_queries: Vec<u64>,
+    /// Fault-plan draws at the armed allocation site.
+    pub alloc_draws: u64,
+    /// Faults actually injected at the armed allocation site.
+    pub alloc_injected: u64,
+    /// Queries that resolved as errors (must be 0 — failover is
+    /// invisible to sessions).
+    pub errors: u64,
+}
+
+/// The two-run chaos smoke result.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The seed both runs were driven by.
+    pub seed: u64,
+    /// Queries submitted per run.
+    pub queries: usize,
+    /// The first run's transcript.
+    pub transcript: ChaosTranscript,
+    /// Whether every scheduled result matched the fault-free serial
+    /// reference bitwise (rows, survivors, traffic and cost bits).
+    pub bit_identical: bool,
+    /// Whether the second same-seed run reproduced the first
+    /// transcript exactly.
+    pub reproduced: bool,
+}
+
+fn metric(text: &str, name: &str) -> Result<u64> {
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| BwdError::Exec(format!("metric {name} missing from snapshot")))
+}
+
+fn bitwise_equal(got: &QueryResult, want: &QueryResult) -> bool {
+    got.rows == want.rows
+        && got.survivors == want.survivors
+        && got.traffic == want.traffic
+        && got.breakdown.device.to_bits() == want.breakdown.device.to_bits()
+        && got.breakdown.host.to_bits() == want.breakdown.host.to_bits()
+        && got.breakdown.pcie.to_bits() == want.breakdown.pcie.to_bits()
+}
+
+/// One seeded chaos run: a few clean allocations, then a burst of
+/// injected faults takes card 0 offline, then clean forever so the
+/// recovery probe succeeds. A single worker makes the fault-draw
+/// sequence deterministic.
+fn run_once(seed: u64, queries: usize) -> Result<(ChaosTranscript, bool)> {
+    let spec = WorkloadSpec {
+        long_rows: 2_000,
+        short_rows: 800,
+        domain: 400,
+        groups: 4,
+        ..WorkloadSpec::default()
+    };
+    let mut gen = WorkloadGen::with_env(seed, spec, Env::multi_gpu(2))?;
+    let batch = gen.mixed(queries, 0);
+    // References on the same (still fault-free) database, before arming.
+    let refs: Vec<QueryResult> = batch
+        .iter()
+        .map(|q| gen.reference(q))
+        .collect::<Result<_>>()?;
+
+    let sched = Scheduler::new(
+        Arc::clone(gen.db()),
+        SchedConfig {
+            workers: 1,
+            ..SchedConfig::default()
+        },
+    );
+    let plan = FaultPlan::seeded(seed)
+        .site(
+            FaultSite::DeviceAlloc,
+            FaultSpec {
+                ppm: 1_000_000,
+                skip: 4,
+                max: 3,
+                panic: false,
+            },
+        )
+        .build();
+    gen.db().env().pool.devices()[0]
+        .memory()
+        .arm_faults(plan.clone());
+
+    let session = sched.session();
+    let tickets: Vec<_> = batch
+        .iter()
+        .map(|q| session.submit(q.plan.clone(), q.mode.clone()))
+        .collect();
+    // Zero lost tickets: every one must resolve, bit-identically.
+    let mut bit_identical = true;
+    for (i, t) in tickets.into_iter().enumerate() {
+        let got = t
+            .wait()
+            .map_err(|e| BwdError::Exec(format!("chaos query {i} lost to: {e}")))?;
+        bit_identical &= bitwise_equal(&got, &refs[i]);
+    }
+
+    let stats = sched.stats();
+    let m = sched.metrics_snapshot();
+    let transcript = ChaosTranscript {
+        offline_events: stats.devices.iter().map(|d| d.offline_events).collect(),
+        offline_at_end: stats.devices.iter().map(|d| d.offline).collect(),
+        retries: metric(&m, "bwd_sched_retries_total")?,
+        device_offline: metric(&m, "bwd_sched_device_offline_total")?,
+        device_recovered: metric(&m, "bwd_sched_device_recovered_total")?,
+        per_device_queries: stats.devices.iter().map(|d| d.queries).collect(),
+        alloc_draws: plan.draws(FaultSite::DeviceAlloc),
+        alloc_injected: plan.injected(FaultSite::DeviceAlloc),
+        errors: stats.errors,
+    };
+    Ok((transcript, bit_identical))
+}
+
+/// Run the chaos smoke: the same seeded soak twice, transcripts compared.
+pub fn measure(seed: u64, queries: usize) -> Result<ChaosReport> {
+    let (first, bits_a) = run_once(seed, queries)?;
+    let (second, bits_b) = run_once(seed, queries)?;
+    Ok(ChaosReport {
+        seed,
+        queries,
+        reproduced: first == second,
+        transcript: first,
+        bit_identical: bits_a && bits_b,
+    })
+}
+
+/// The chaos gate: fail on any lost work, wrong result, silent run
+/// (no fault actually injected), stuck health machine or
+/// non-reproducible transcript.
+pub fn check(report: &ChaosReport) -> Result<()> {
+    let t = &report.transcript;
+    let fail = |msg: String| Err(BwdError::Exec(msg));
+    if !report.bit_identical {
+        return fail("a rescued query was not bit-identical to the serial reference".into());
+    }
+    if !report.reproduced {
+        return fail(format!(
+            "same seed {:#x} did not reproduce the same chaos transcript",
+            report.seed
+        ));
+    }
+    if t.errors != 0 {
+        return fail(format!(
+            "{} queries errored — failover must be invisible to sessions",
+            t.errors
+        ));
+    }
+    if t.alloc_injected == 0 {
+        return fail("no fault was injected: the chaos smoke tested nothing".into());
+    }
+    if t.retries < t.alloc_injected {
+        return fail(format!(
+            "{} faults injected but only {} retries — lost work",
+            t.alloc_injected, t.retries
+        ));
+    }
+    if t.device_offline == 0 || t.offline_events.iter().sum::<u64>() == 0 {
+        return fail("the faulted card never went offline".into());
+    }
+    if t.device_recovered == 0 || t.offline_at_end.iter().any(|&o| o) {
+        return fail("the faulted card never recovered".into());
+    }
+    let completed: u64 = t.per_device_queries.iter().sum();
+    if completed != report.queries as u64 {
+        return fail(format!(
+            "{completed} completions for {} submissions",
+            report.queries
+        ));
+    }
+    if t.per_device_queries.contains(&0) {
+        return fail(format!(
+            "failover never used every card: {:?}",
+            t.per_device_queries
+        ));
+    }
+    Ok(())
+}
+
+/// Render the chaos transcript as a figure table.
+pub fn figure(report: &ChaosReport) -> Figure {
+    let t = &report.transcript;
+    let mut fig = Figure::new(
+        "fault-soak",
+        format!(
+            "Chaos smoke: {} queries, seeded alloc-fault burst on card 0 of 2 (seed {:#x})",
+            report.queries, report.seed
+        ),
+        "measure",
+        vec!["count"],
+    );
+    fig.raw_units = true;
+    fig.push("fault draws (alloc site)", vec![t.alloc_draws as f64]);
+    fig.push("faults injected", vec![t.alloc_injected as f64]);
+    fig.push("bounded retries", vec![t.retries as f64]);
+    fig.push("offline transitions", vec![t.device_offline as f64]);
+    fig.push("recoveries", vec![t.device_recovered as f64]);
+    for (i, q) in t.per_device_queries.iter().enumerate() {
+        fig.push(format!("queries completed on card {i}"), vec![*q as f64]);
+    }
+    fig.push("session-visible errors", vec![t.errors as f64]);
+    fig.note(format!(
+        "bit-identical to serial reference: {}; transcript reproduced from seed: {}",
+        report.bit_identical, report.reproduced
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_smoke_passes_its_own_gate() {
+        let report = measure(0xFA417, 24).unwrap();
+        check(&report).unwrap();
+        assert_eq!(report.transcript.alloc_injected, 3);
+        assert!(report.bit_identical && report.reproduced);
+    }
+}

@@ -13,6 +13,9 @@
 //!   (`figures -- bench-multidev`);
 //! * [`sjf`] — queue-policy sweep (FIFO vs shortest-job-first vs
 //!   priority) over a seeded short/long mix (`figures -- bench-sjf`);
+//! * [`chaos`] — seeded fault-injection soak on a two-card pool:
+//!   offline → failover → recovery, bit-identity and transcript
+//!   reproducibility enforced (`figures -- fault-soak`);
 //! * [`trace`] — query-lifecycle tracing on a seeded scheduler batch:
 //!   validates every trace, checks phase walls against the job report,
 //!   and exports Chrome `trace_event` JSON (`figures -- trace` writes
@@ -23,6 +26,7 @@
 //! single figure id). Criterion microbenches live under `benches/`.
 
 pub mod arexec;
+pub mod chaos;
 pub mod evaluation;
 pub mod micro;
 pub mod multidev;

@@ -139,17 +139,21 @@ impl DevicePool {
 
 /// A scheduler-installed hook the executors poll between units of work
 /// (morsel batches, pipeline stages) so a long-running query can host
-/// queued short work at a safe boundary and then resume.
+/// queued short work at a safe boundary, observe a cancellation or
+/// deadline, and then resume — or stop.
 ///
 /// Exactly mirrors the [`bwd_obs::TraceCtx`] pattern: disabled costs one
 /// branch per check and is the default everywhere, so executors call
-/// [`YieldPoint::check`] unconditionally. The hook runs *between* result-
-/// affecting steps and never observes or mutates executor state, so
-/// results, traffic and simulated costs are bit-identical whether it is
-/// installed, fires, or neither (held by `tests/preempt_sched.rs`).
+/// [`YieldPoint::check`] unconditionally and propagate its error with
+/// `?`. The hook runs *between* result-affecting steps and never mutates
+/// executor state: when it returns `Ok(())` the results, traffic and
+/// simulated costs are bit-identical whether it is installed, fires, or
+/// neither (held by `tests/preempt_sched.rs`); when it returns an error
+/// (cancellation, deadline, injected fault) the execution stops at that
+/// boundary and produces no result at all.
 #[derive(Clone, Default)]
 pub struct YieldPoint {
-    hook: Option<Arc<dyn Fn() + Send + Sync>>,
+    hook: Option<Arc<dyn Fn() -> Result<()> + Send + Sync>>,
 }
 
 impl YieldPoint {
@@ -159,7 +163,7 @@ impl YieldPoint {
     }
 
     /// A yield point that runs `hook` at every check.
-    pub fn new(hook: Arc<dyn Fn() + Send + Sync>) -> Self {
+    pub fn new(hook: Arc<dyn Fn() -> Result<()> + Send + Sync>) -> Self {
         YieldPoint { hook: Some(hook) }
     }
 
@@ -170,11 +174,13 @@ impl YieldPoint {
     }
 
     /// Poll the yield point: runs the scheduler's hook if one is
-    /// installed, otherwise a single branch.
+    /// installed, otherwise a single branch. An `Err` means the current
+    /// execution must stop at this boundary (the caller propagates it).
     #[inline]
-    pub fn check(&self) {
-        if let Some(hook) = &self.hook {
-            hook();
+    pub fn check(&self) -> Result<()> {
+        match &self.hook {
+            Some(hook) => hook(),
+            None => Ok(()),
         }
     }
 }
@@ -215,6 +221,11 @@ pub struct Env {
     /// Disabled by default (one branch per check); the scheduler installs
     /// its hook on the per-query `Env` clone, exactly like `trace`.
     pub preempt: YieldPoint,
+    /// Fault-injection plan of the current execution. Disabled by
+    /// default (one branch per roll); the A&R executor polls its
+    /// [`bwd_types::FaultSite::Exec`] stream between pipeline stages so
+    /// chaos tests can kill a job mid-flight on its card.
+    pub fault: bwd_types::FaultPlan,
 }
 
 impl Env {
@@ -241,6 +252,7 @@ impl Env {
             host_threads: 1,
             trace: bwd_obs::TraceCtx::disabled(),
             preempt: YieldPoint::disabled(),
+            fault: bwd_types::FaultPlan::disabled(),
         }
     }
 
@@ -271,6 +283,7 @@ impl Env {
             host_threads: self.host_threads,
             trace: self.trace.clone(),
             preempt: self.preempt.clone(),
+            fault: self.fault.clone(),
         })
     }
 

@@ -20,7 +20,7 @@
 //!   could hold at once without ever exceeding capacity.
 
 use bwd_obs::metrics::{Counter, Gauge, Registry};
-use bwd_types::{BwdError, Result};
+use bwd_types::{BwdError, FaultPlan, FaultSite, Result};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -70,6 +70,9 @@ struct MemoryInner {
     state: Mutex<MemoryState>,
     freed: Condvar,
     metrics: MemMetrics,
+    /// Armed fault plan; rolled once per allocation attempt (see
+    /// [`DeviceMemory::arm_faults`]). Disabled by default.
+    fault: Mutex<FaultPlan>,
 }
 
 /// The memory system of one simulated device. Cheap to clone (shared).
@@ -89,8 +92,27 @@ impl DeviceMemory {
                 }),
                 freed: Condvar::new(),
                 metrics: MemMetrics::from_global(),
+                fault: Mutex::new(FaultPlan::disabled()),
             }),
         }
+    }
+
+    /// Arm deterministic fault injection on this memory system: every
+    /// subsequent allocation attempt first rolls the plan's
+    /// [`FaultSite::DeviceAlloc`] stream and fails with
+    /// [`BwdError::DeviceFault`] when it hits. Arming with
+    /// [`FaultPlan::disabled`] disarms.
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        *self.inner.fault.lock().unwrap() = plan;
+    }
+
+    /// One injection roll, taken before any real accounting so an
+    /// injected fault never mutates state.
+    fn fault_check(&self) -> Result<()> {
+        // Clone out of the lock (an Arc bump) so the roll itself never
+        // holds the plan lock while other allocators contend.
+        let plan = self.inner.fault.lock().unwrap().clone();
+        plan.check(FaultSite::DeviceAlloc)
     }
 
     /// Reserve `bytes`, failing when the capacity would be exceeded.
@@ -98,6 +120,7 @@ impl DeviceMemory {
     /// Zero-byte allocations are legal (an empty approximation partition
     /// still yields a valid resident buffer).
     pub fn alloc(&self, bytes: u64) -> Result<DeviceBuffer> {
+        self.fault_check()?;
         let mut m = self.inner.state.lock().unwrap();
         let available = m.capacity - m.allocated;
         if bytes > available {
@@ -120,6 +143,7 @@ impl DeviceMemory {
     /// a `deadline`, a reservation still queued when it expires fails
     /// with [`BwdError::AdmissionTimeout`].
     pub fn alloc_blocking(&self, bytes: u64, deadline: Option<Duration>) -> Result<DeviceBuffer> {
+        self.fault_check()?;
         let started = Instant::now();
         let mut m = self.inner.state.lock().unwrap();
         if bytes > m.capacity {
@@ -363,6 +387,26 @@ mod tests {
         b.join().unwrap();
         assert_eq!(*order.lock().unwrap(), vec!['a', 'b']);
         assert!(mem.peak() <= 100);
+    }
+
+    #[test]
+    fn armed_fault_plan_fails_allocations_without_touching_accounting() {
+        use bwd_types::FaultSpec;
+        let mem = DeviceMemory::new(100);
+        mem.arm_faults(
+            FaultPlan::seeded(11)
+                .site(FaultSite::DeviceAlloc, FaultSpec::with_ppm(1_000_000))
+                .build(),
+        );
+        assert!(matches!(mem.alloc(10), Err(BwdError::DeviceFault(_))));
+        assert!(matches!(
+            mem.alloc_blocking(10, None),
+            Err(BwdError::DeviceFault(_))
+        ));
+        assert_eq!(mem.used(), 0, "injected faults reserve nothing");
+        assert_eq!(mem.live_buffers(), 0);
+        mem.arm_faults(FaultPlan::disabled());
+        assert!(mem.alloc(10).is_ok(), "disarming restores service");
     }
 
     #[test]

@@ -45,7 +45,7 @@ use bwd_kernels::scan::{
 };
 use bwd_kernels::{Candidates, ScanOptions, SelMask, SelVec};
 use bwd_obs::{EventKind, SpanId, WorkerHandle, NO_SPAN};
-use bwd_types::{BwdError, Oid, Result, Value};
+use bwd_types::{BwdError, FaultSite, Oid, Result, Value};
 
 /// How the approximate-selection chain materializes its candidates.
 ///
@@ -296,7 +296,8 @@ pub fn run_ar_in(
             probe.end_with(&obs, &ledger, cands.len() as u64, rep_bit);
             transient.charge(cands.len() as u64 * CANDIDATE_PAIR_BYTES)?;
             sel_outputs.push(cands);
-            env.preempt.check(); // between approximate-selection steps
+            env.fault.check(FaultSite::Exec)?; // the card may die between steps
+            env.preempt.check()?; // between approximate-selection steps
         }
     } else {
         // Ablation: approximate *and refine* each selection before the
@@ -370,12 +371,14 @@ pub fn run_ar_in(
             probe.end(&obs, &ledger, refined.len() as u64);
             surv = Some(refined);
             sel_outputs.push(cands);
-            env.preempt.check(); // between approx+refine pairs (ablation)
+            env.fault.check(FaultSite::Exec)?; // the card may die between steps
+            env.preempt.check()?; // between approx+refine pairs (ablation)
         }
         interleaved_survivors = Some(surv.unwrap_or_else(|| (0..n as Oid).collect()));
     }
 
-    env.preempt.check(); // the gather boundary
+    env.fault.check(FaultSite::Exec)?;
+    env.preempt.check()?; // the gather boundary
 
     // The gather boundary: downstream operators (device pre-grouping,
     // projection gathers, refinement downloads) need positions and
@@ -517,7 +520,8 @@ pub fn run_ar_in(
             };
             probe.end(&obs, &ledger, refined.len() as u64);
             surv = Some(refined);
-            env.preempt.check(); // between refinement steps
+            env.fault.check(FaultSite::Exec)?; // the card may die between steps
+            env.preempt.check()?; // between refinement steps
         }
         surv
     };
@@ -526,7 +530,8 @@ pub fn run_ar_in(
         Vec::len,
     );
 
-    env.preempt.check(); // before the block build + grouping stage
+    env.fault.check(FaultSite::Exec)?;
+    env.preempt.check()?; // before the block build + grouping stage
     let (block, grouping, groupagg_probe) = if all_resident {
         // The device fast path gathers every needed column over the
         // candidates into device scratch before aggregating. Bill the

@@ -136,7 +136,7 @@ pub fn run_classic_morsel(
         let ranges = partition_ranges(n, parts);
         let outputs = run_parts_yielding(&ranges, morsels, &env.preempt, |_, r| {
             chain(r.start as Oid, r.end as Oid)
-        });
+        })?;
         let mut merged = Vec::new();
         let mut totals = vec![0u64; plan.selections.len()];
         for (part_surv, part_counts) in outputs {
@@ -188,7 +188,7 @@ pub fn run_classic_morsel(
 
     let mut block = RowBlock::new(k);
     for name in &needed {
-        env.preempt.check(); // between projective column fetches
+        env.preempt.check()?; // between projective column fetches
         if block.has_slot(name) {
             continue;
         }
@@ -219,7 +219,7 @@ pub fn run_classic_morsel(
     }
 
     // --- Grouping (hash over key payloads). ---
-    env.preempt.check();
+    env.preempt.check()?;
     let grouping = if plan.group_by.is_empty() {
         None
     } else {
@@ -263,7 +263,7 @@ pub fn run_classic_morsel(
     };
 
     // --- Aggregation / projection. ---
-    env.preempt.check();
+    env.preempt.check()?;
     let (columns, rows) = if !plan.aggs.is_empty() {
         // Bulk processing materializes every expression primitive as a
         // full intermediate column (read + write), then runs one grouped

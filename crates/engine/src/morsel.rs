@@ -139,19 +139,21 @@ where
 
 /// Like [`run_parts`], but runs `ranges` in batches of at most `batch`
 /// partitions with a [`bwd_device::YieldPoint`] check between batches —
-/// the fan-out primitive behind morsel-boundary preemption. The calling
-/// (orchestrating) thread is the one that polls the yield point, so a
-/// hosted nested query runs with every morsel worker of the paused batch
-/// already joined. Outputs come back in partition order exactly as
-/// [`run_parts`] would return them; the worker index passed to `f` is
-/// batch-local (restarts per batch) and must only be used for
-/// load-placement, never for output addressing.
+/// the fan-out primitive behind morsel-boundary preemption and
+/// cooperative cancellation. The calling (orchestrating) thread is the
+/// one that polls the yield point, so a hosted nested query runs with
+/// every morsel worker of the paused batch already joined — and a
+/// cancellation observed at the boundary stops with no worker in
+/// flight. Outputs come back in partition order exactly as [`run_parts`]
+/// would return them; the worker index passed to `f` is batch-local
+/// (restarts per batch) and must only be used for load-placement, never
+/// for output addressing.
 pub(crate) fn run_parts_yielding<T, F>(
     ranges: &[Range<usize>],
     batch: usize,
     preempt: &bwd_device::YieldPoint,
     f: F,
-) -> Vec<T>
+) -> bwd_types::Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
@@ -159,9 +161,9 @@ where
     let mut outs = Vec::with_capacity(ranges.len());
     for chunk in ranges.chunks(batch.max(1)) {
         outs.extend(run_parts(chunk, &f));
-        preempt.check();
+        preempt.check()?;
     }
-    outs
+    Ok(outs)
 }
 
 /// Like [`run_parts`], but additionally hands each worker the disjoint
@@ -737,17 +739,44 @@ mod tests {
             let fired = Arc::clone(&fired);
             bwd_device::YieldPoint::new(Arc::new(move || {
                 fired.fetch_add(1, Ordering::Relaxed);
+                Ok(())
             }))
         };
         for batch in [1usize, 3, 10, 64] {
             fired.store(0, Ordering::Relaxed);
-            let sliced = run_parts_yielding(&ranges, batch, &hook, work);
+            let sliced = run_parts_yielding(&ranges, batch, &hook, work).unwrap();
             assert_eq!(sliced, plain, "batch={batch}");
             assert_eq!(fired.load(Ordering::Relaxed), ranges.len().div_ceil(batch));
         }
         // Disabled hook: same outputs, zero overhead beyond the branch.
-        let off = run_parts_yielding(&ranges, 4, &bwd_device::YieldPoint::disabled(), work);
+        let off =
+            run_parts_yielding(&ranges, 4, &bwd_device::YieldPoint::disabled(), work).unwrap();
         assert_eq!(off, plain);
+    }
+
+    #[test]
+    fn run_parts_yielding_stops_at_the_erroring_boundary() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let ranges = partition_ranges_min(1000, 10, 1);
+        let work = |_: usize, r: Range<usize>| r.into_iter().sum::<usize>();
+        let polls = Arc::new(AtomicUsize::new(0));
+        let hook = {
+            let polls = Arc::clone(&polls);
+            bwd_device::YieldPoint::new(Arc::new(move || {
+                if polls.fetch_add(1, Ordering::Relaxed) + 1 >= 2 {
+                    Err(bwd_types::BwdError::Cancelled)
+                } else {
+                    Ok(())
+                }
+            }))
+        };
+        // Batch of 2: boundaries after ranges 2, 4, ...; the second poll
+        // cancels, so exactly 2 polls happen and no result is returned.
+        let out = run_parts_yielding(&ranges, 2, &hook, work);
+        assert!(matches!(out, Err(bwd_types::BwdError::Cancelled)));
+        assert_eq!(polls.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -6,22 +6,76 @@
 //! Tests and the example use it against both TCP sockets and in-memory
 //! duplex pipes; it is a convenience, not part of the wire contract —
 //! any byte stream speaking the frame format interoperates.
+//!
+//! Two robustness behaviors are built into [`NetClient::query`]:
+//!
+//! * **Busy backoff** — a [`Frame::Busy`] response (the server's hard
+//!   shed limit) is retried automatically under capped exponential
+//!   backoff, using the server's `queued`-depth hint to stretch the
+//!   first delays when the queue is deep. Bounded by
+//!   [`ClientRetry::busy_retries`]; exhaustion surfaces the busy error.
+//! * **Transparent reconnect** — a broken stream (reset, EOF mid-frame)
+//!   tears the transport down and, when a reconnect factory is present
+//!   ([`NetClient::connect_tcp`] installs one; [`NetClient::set_reconnect`]
+//!   for custom transports), dials again and replays the request. The
+//!   engine's queries are read-only, so replay is idempotent.
 
 use crate::frame::{Frame, FrameDecoder, WireMode, DEFAULT_MAX_FRAME_LEN};
 use crate::transport::{IoEvent, TcpTransport, Transport};
 use bwd_engine::QueryResult;
 use bwd_types::{BwdError, Result};
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 fn io_err(e: io::Error) -> BwdError {
     BwdError::Exec(format!("net i/o: {e}"))
 }
 
+/// Is this a transport-level failure (candidate for reconnect), as
+/// opposed to a server-sent or protocol error?
+fn is_io_error(e: &BwdError) -> bool {
+    matches!(e, BwdError::Exec(m) if m.starts_with("net i/o:"))
+}
+
+/// Automatic retry knobs for [`NetClient::query`].
+#[derive(Debug, Clone)]
+pub struct ClientRetry {
+    /// Maximum automatic retries after a [`Frame::Busy`] response
+    /// (0 disables; the busy error then surfaces immediately).
+    pub busy_retries: u32,
+    /// Backoff slept before the first busy retry; doubles per retry.
+    /// `Duration::ZERO` retries without sleeping (tests).
+    pub busy_backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Maximum transparent reconnect-and-replay attempts per request
+    /// after a broken stream. Requires a reconnect factory.
+    pub reconnects: u32,
+}
+
+impl Default for ClientRetry {
+    fn default() -> Self {
+        ClientRetry {
+            busy_retries: 8,
+            busy_backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(200),
+            reconnects: 1,
+        }
+    }
+}
+
+/// Factory that re-establishes a broken connection.
+pub type ReconnectFn = Box<dyn FnMut() -> io::Result<Box<dyn Transport>> + Send>;
+
 /// A blocking request/response client (see the [crate docs](crate)).
 pub struct NetClient {
     transport: Box<dyn Transport>,
     decoder: FrameDecoder,
+    retry: ClientRetry,
+    reconnect: Option<ReconnectFn>,
+    busy_retries_used: u64,
+    reconnects_used: u64,
 }
 
 impl NetClient {
@@ -30,13 +84,45 @@ impl NetClient {
         NetClient {
             transport,
             decoder: FrameDecoder::with_max_len(DEFAULT_MAX_FRAME_LEN),
+            retry: ClientRetry::default(),
+            reconnect: None,
+            busy_retries_used: 0,
+            reconnects_used: 0,
         }
     }
 
-    /// Connect over TCP.
+    /// Connect over TCP. Installs a reconnect factory that redials the
+    /// same address, so broken streams heal transparently.
     pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
-        let stream = TcpStream::connect(addr)?;
-        Ok(NetClient::new(Box::new(TcpTransport::new(stream)?)))
+        let resolved: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = TcpStream::connect(&resolved[..])?;
+        let mut client = NetClient::new(Box::new(TcpTransport::new(stream)?));
+        client.set_reconnect(Box::new(move || {
+            let stream = TcpStream::connect(&resolved[..])?;
+            Ok(Box::new(TcpTransport::new(stream)?) as Box<dyn Transport>)
+        }));
+        Ok(client)
+    }
+
+    /// Replace the retry policy.
+    pub fn set_retry(&mut self, retry: ClientRetry) {
+        self.retry = retry;
+    }
+
+    /// Install (or replace) the reconnect factory used after broken
+    /// streams.
+    pub fn set_reconnect(&mut self, factory: ReconnectFn) {
+        self.reconnect = Some(factory);
+    }
+
+    /// Busy responses absorbed by automatic backoff so far.
+    pub fn busy_retries_used(&self) -> u64 {
+        self.busy_retries_used
+    }
+
+    /// Transparent reconnects performed so far.
+    pub fn reconnects_used(&self) -> u64 {
+        self.reconnects_used
     }
 
     /// Send one frame, blocking until it is fully written.
@@ -79,24 +165,89 @@ impl NetClient {
         self.recv()
     }
 
+    /// Dial the reconnect factory and swap in the fresh transport with a
+    /// clean decoder (bytes of a half-received frame are gone with the
+    /// old stream).
+    fn reconnect_now(&mut self) -> Result<()> {
+        let factory = self
+            .reconnect
+            .as_mut()
+            .expect("reconnect_now called without a factory");
+        let transport = factory().map_err(io_err)?;
+        self.transport = transport;
+        self.decoder = FrameDecoder::with_max_len(DEFAULT_MAX_FRAME_LEN);
+        self.reconnects_used += 1;
+        Ok(())
+    }
+
+    /// Exponential backoff for busy retry `attempt`, stretched by the
+    /// server's queue-depth hint and capped.
+    fn busy_delay(&self, attempt: u32, queued: u32) -> Duration {
+        let base = self.retry.busy_backoff;
+        if base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = base.saturating_mul(1u32 << attempt.min(10));
+        // Deeper queue → longer first waits: one extra base unit per 64
+        // queued jobs, bounded so the hint can't outrun the cap.
+        let hinted = exp.saturating_add(base.saturating_mul((queued / 64).min(32)));
+        hinted.min(self.retry.backoff_cap)
+    }
+
+    /// One round trip with robustness: broken streams reconnect and
+    /// replay (bounded by [`ClientRetry::reconnects`]).
+    fn resilient_round_trip(&mut self, frame: &Frame) -> Result<Frame> {
+        let mut reconnects_left = self.retry.reconnects;
+        loop {
+            match self.round_trip(frame) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if is_io_error(&e) && reconnects_left > 0 && self.reconnect.is_some() => {
+                    reconnects_left -= 1;
+                    self.reconnect_now()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Run a SQL query and unwrap the response: `Ok` on a result frame,
-    /// the carried error on an error frame, `Unsupported` retry advice
-    /// on a busy frame.
+    /// the carried error on an error frame. `Busy` responses are retried
+    /// under the [`ClientRetry`] policy; exhaustion yields an
+    /// `Unsupported` retry-later error as before.
     pub fn query(&mut self, sql: &str, mode: WireMode) -> Result<QueryResult> {
-        let resp = self.round_trip(&Frame::Query {
+        let frame = Frame::Query {
             mode,
             sql: sql.to_string(),
-        })?;
-        match resp {
-            Frame::Result(result) => Ok(*result),
-            Frame::Error { error, .. } => Err(error),
-            Frame::Busy { queued } => Err(BwdError::Unsupported(format!(
-                "server busy ({queued} queued); retry later"
-            ))),
-            other => Err(BwdError::Exec(format!(
-                "unexpected response frame {:#04x}",
-                other.type_byte()
-            ))),
+        };
+        let mut busy_left = self.retry.busy_retries;
+        let mut attempt = 0u32;
+        loop {
+            match self.resilient_round_trip(&frame)? {
+                Frame::Result(result) => return Ok(*result),
+                Frame::Error { error, .. } => return Err(error),
+                Frame::Busy { queued } => {
+                    if busy_left == 0 {
+                        return Err(BwdError::Unsupported(format!(
+                            "server busy ({queued} queued); retry later"
+                        )));
+                    }
+                    busy_left -= 1;
+                    self.busy_retries_used += 1;
+                    let delay = self.busy_delay(attempt, queued);
+                    attempt += 1;
+                    if delay.is_zero() {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(delay);
+                    }
+                }
+                other => {
+                    return Err(BwdError::Exec(format!(
+                        "unexpected response frame {:#04x}",
+                        other.type_byte()
+                    )))
+                }
+            }
         }
     }
 
@@ -109,5 +260,143 @@ impl NetClient {
                 other.type_byte()
             ))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// A transport that answers each fully-written request with the next
+    /// scripted response frame; optionally fails the first write with a
+    /// connection reset (exercising the reconnect path).
+    struct Scripted {
+        responses: VecDeque<Vec<u8>>,
+        readable: Vec<u8>,
+        read_pos: usize,
+        fail_first_write: bool,
+    }
+
+    impl Scripted {
+        fn new(responses: Vec<Frame>, fail_first_write: bool) -> Scripted {
+            Scripted {
+                responses: responses.iter().map(Frame::encode).collect(),
+                readable: Vec::new(),
+                read_pos: 0,
+                fail_first_write,
+            }
+        }
+    }
+
+    impl Transport for Scripted {
+        fn try_read(&mut self, buf: &mut [u8]) -> io::Result<IoEvent> {
+            let avail = &self.readable[self.read_pos..];
+            if avail.is_empty() {
+                return Ok(IoEvent::WouldBlock);
+            }
+            let n = buf.len().min(avail.len());
+            buf[..n].copy_from_slice(&avail[..n]);
+            self.read_pos += n;
+            Ok(IoEvent::Bytes(n))
+        }
+
+        fn try_write(&mut self, buf: &[u8]) -> io::Result<IoEvent> {
+            if self.fail_first_write {
+                self.fail_first_write = false;
+                return Err(io::Error::new(io::ErrorKind::ConnectionReset, "scripted"));
+            }
+            if let Some(resp) = self.responses.pop_front() {
+                self.readable.extend_from_slice(&resp);
+            }
+            Ok(IoEvent::Bytes(buf.len()))
+        }
+
+        fn peer(&self) -> String {
+            "scripted".into()
+        }
+    }
+
+    fn zero_backoff() -> ClientRetry {
+        ClientRetry {
+            busy_backoff: Duration::ZERO,
+            ..ClientRetry::default()
+        }
+    }
+
+    #[test]
+    fn busy_responses_retry_until_a_real_answer() {
+        let script = Scripted::new(
+            vec![
+                Frame::Busy { queued: 512 },
+                Frame::Busy { queued: 3 },
+                Frame::Error {
+                    error: BwdError::NotFound("no such table".into()),
+                    retryable: false,
+                },
+            ],
+            false,
+        );
+        let mut client = NetClient::new(Box::new(script));
+        client.set_retry(zero_backoff());
+        let err = client.query("select 1", WireMode::Classic).unwrap_err();
+        assert!(matches!(err, BwdError::NotFound(_)), "got {err}");
+        assert_eq!(client.busy_retries_used(), 2);
+        assert_eq!(client.reconnects_used(), 0);
+    }
+
+    #[test]
+    fn busy_retries_are_bounded() {
+        let script = Scripted::new(vec![Frame::Busy { queued: 1 }; 3], false);
+        let mut client = NetClient::new(Box::new(script));
+        client.set_retry(ClientRetry {
+            busy_retries: 2,
+            busy_backoff: Duration::ZERO,
+            ..ClientRetry::default()
+        });
+        let err = client.query("select 1", WireMode::Classic).unwrap_err();
+        assert!(matches!(err, BwdError::Unsupported(_)), "got {err}");
+        assert_eq!(client.busy_retries_used(), 2);
+    }
+
+    #[test]
+    fn broken_stream_reconnects_and_replays() {
+        let broken = Scripted::new(vec![], true);
+        let mut client = NetClient::new(Box::new(broken));
+        client.set_retry(zero_backoff());
+        client.set_reconnect(Box::new(|| {
+            Ok(Box::new(Scripted::new(
+                vec![Frame::Error {
+                    error: BwdError::NotFound("replayed".into()),
+                    retryable: false,
+                }],
+                false,
+            )) as Box<dyn Transport>)
+        }));
+        let err = client.query("select 1", WireMode::Classic).unwrap_err();
+        assert!(matches!(err, BwdError::NotFound(_)), "got {err}");
+        assert_eq!(client.reconnects_used(), 1);
+    }
+
+    #[test]
+    fn io_failure_without_factory_surfaces() {
+        let broken = Scripted::new(vec![], true);
+        let mut client = NetClient::new(Box::new(broken));
+        client.set_retry(zero_backoff());
+        let err = client.query("select 1", WireMode::Classic).unwrap_err();
+        assert!(is_io_error(&err), "got {err}");
+    }
+
+    #[test]
+    fn busy_delay_scales_with_attempt_and_hint_then_caps() {
+        let client = NetClient::new(Box::new(Scripted::new(vec![], false)));
+        let d0 = client.busy_delay(0, 0);
+        let d1 = client.busy_delay(1, 0);
+        let hinted = client.busy_delay(0, 640);
+        let capped = client.busy_delay(30, u32::MAX);
+        assert_eq!(d0, Duration::from_millis(1));
+        assert_eq!(d1, Duration::from_millis(2));
+        assert!(hinted > d0, "queue hint should stretch the first delay");
+        assert_eq!(capped, ClientRetry::default().backoff_cap);
     }
 }

@@ -1,5 +1,6 @@
 //! Front-door configuration: watermarks, frame caps, pacing.
 
+use bwd_obs::Clock;
 use std::time::Duration;
 
 /// [`crate::NetServer`] construction knobs.
@@ -54,6 +55,15 @@ pub struct NetConfig {
     /// `NetRecv`, `NetSend`) on an internal recorder, drainable via
     /// [`crate::NetServer::net_trace`].
     pub tracing: bool,
+    /// Close a connection that has been completely idle — no frames in
+    /// either direction, no query in flight — for this long. `None` (the
+    /// default) never reaps. Idleness is measured on [`NetConfig::clock`],
+    /// so tests drive the reaper with a [`bwd_obs::Clock::mock`] instead
+    /// of sleeping.
+    pub idle_timeout: Option<Duration>,
+    /// The clock idle-connection age is measured on (default: the real
+    /// monotonic clock).
+    pub clock: Clock,
 }
 
 impl Default for NetConfig {
@@ -68,6 +78,8 @@ impl Default for NetConfig {
             duplex_capacity: 64 << 10,
             poll_interval: Duration::from_millis(2),
             tracing: false,
+            idle_timeout: None,
+            clock: Clock::monotonic(),
         }
     }
 }

@@ -102,6 +102,9 @@ pub(crate) struct Conn {
     frames_out: u64,
     bytes_out: u64,
     had_protocol_error: bool,
+    /// Last pass this connection made progress, on [`NetConfig::clock`]
+    /// ([`crate::NetServer`]'s idle reaper reads and maintains this).
+    pub(crate) last_activity_ns: u64,
 }
 
 impl Conn {
@@ -129,6 +132,7 @@ impl Conn {
             frames_out: 0,
             bytes_out: 0,
             had_protocol_error: false,
+            last_activity_ns: 0,
         }
     }
 
@@ -149,9 +153,33 @@ impl Conn {
         self.read_eof && drained && self.decoder.buffered() == 0
     }
 
+    /// Nothing buffered in either direction and no query in flight — the
+    /// only state the idle reaper may retire a connection in.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.out_pos == self.outbuf.len() && self.decoder.buffered() == 0
+    }
+
+    /// Begin an orderly close (used by the idle reaper): stop reading and
+    /// retire once the write buffer drains.
+    pub(crate) fn begin_close(&mut self) {
+        self.closing = true;
+    }
+
     /// Close bookkeeping (metrics + span); called once by the reactor
     /// when it retires the connection.
     pub(crate) fn on_close(&mut self, ctx: &ReactorCtx<'_>) {
+        // A dead transport strands its in-flight queries: nobody can ever
+        // read their results. Cancel them so each releases its device
+        // reservation at the next yield point instead of running to
+        // waste; the tickets then resolve into the void.
+        if self.io_dead {
+            for p in &self.pending {
+                if let Pending::Job(ticket) = p {
+                    ticket.cancel();
+                    ctx.metrics.tickets_cancelled.inc();
+                }
+            }
+        }
         ctx.metrics.closed.inc();
         ctx.obs.end(
             EventKind::NetConn,
@@ -199,7 +227,16 @@ impl Conn {
                     }
                     Some(Err(error)) => {
                         self.pending.pop_front();
-                        let retryable = matches!(error, BwdError::AdmissionTimeout { .. });
+                        // Admission timeouts and device faults are safe to
+                        // replay: the query never produced a result and is
+                        // idempotent (a surfaced DeviceFault means the
+                        // scheduler's own bounded failover was exhausted —
+                        // by the time the client retries, a recovery probe
+                        // may have revived a card).
+                        let retryable = matches!(
+                            error,
+                            BwdError::AdmissionTimeout { .. } | BwdError::DeviceFault(_)
+                        );
                         Frame::Error { error, retryable }
                     }
                 },

@@ -39,8 +39,8 @@ mod server;
 mod transport;
 mod wire;
 
-pub use client::NetClient;
+pub use client::{ClientRetry, NetClient, ReconnectFn};
 pub use config::NetConfig;
 pub use frame::{frame_type, Frame, FrameDecoder, FrameError, WireMode, DEFAULT_MAX_FRAME_LEN};
 pub use server::{NetServer, NetServerHandle};
-pub use transport::{duplex, Duplex, IoEvent, TcpTransport, Transport};
+pub use transport::{duplex, Duplex, FaultyTransport, IoEvent, TcpTransport, Transport};

@@ -43,6 +43,8 @@ pub(crate) struct NetMetrics {
     pub(crate) busy_shed: Counter,
     pub(crate) protocol_errors: Counter,
     pub(crate) read_pauses: Counter,
+    pub(crate) reaped_idle: Counter,
+    pub(crate) tickets_cancelled: Counter,
     pub(crate) connections: Gauge,
     pub(crate) inflight: Gauge,
     pub(crate) peak_queue_depth: Gauge,
@@ -62,6 +64,8 @@ impl NetMetrics {
             busy_shed: registry.counter("bwd_net_busy_shed_total"),
             protocol_errors: registry.counter("bwd_net_protocol_errors_total"),
             read_pauses: registry.counter("bwd_net_read_pauses_total"),
+            reaped_idle: registry.counter("bwd_net_reaped_idle_total"),
+            tickets_cancelled: registry.counter("bwd_net_tickets_cancelled_total"),
             connections: registry.gauge("bwd_net_connections"),
             inflight: registry.gauge("bwd_net_inflight"),
             peak_queue_depth: registry.gauge("bwd_net_peak_queue_depth"),
@@ -167,13 +171,14 @@ impl NetServer {
     pub fn add_transport(&mut self, transport: Box<dyn Transport>) {
         let id = self.next_conn_id;
         self.next_conn_id += 1;
-        let conn = Conn::new(
+        let mut conn = Conn::new(
             id,
             transport,
             self.sched.session(),
             self.cfg.max_frame_len,
             &self.obs,
         );
+        conn.last_activity_ns = self.cfg.clock.now_ns();
         self.conns.push(conn);
         self.metrics.accepted.inc();
         self.metrics.connections.set(self.conns.len() as i64);
@@ -219,8 +224,24 @@ impl NetServer {
         };
         let mut inflight = 0usize;
         let mut closed_any = false;
+        let now_ns = self.cfg.clock.now_ns();
         for conn in &mut self.conns {
-            progressed |= conn.pump(&ctx, &mut self.scratch);
+            let advanced = conn.pump(&ctx, &mut self.scratch);
+            progressed |= advanced;
+            if advanced {
+                conn.last_activity_ns = now_ns;
+            } else if let Some(idle) = self.cfg.idle_timeout {
+                // Reap only *completely* idle connections: nothing in
+                // flight, nothing buffered in either direction. The close
+                // then flows through the normal retirement path below.
+                if conn.is_idle()
+                    && now_ns.saturating_sub(conn.last_activity_ns) >= idle.as_nanos() as u64
+                {
+                    conn.begin_close();
+                    self.metrics.reaped_idle.inc();
+                    progressed = true;
+                }
+            }
             if conn.finished() {
                 conn.on_close(&ctx);
                 closed_any = true;

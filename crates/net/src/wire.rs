@@ -314,6 +314,9 @@ const ERR_NOT_FOUND: u8 = 8;
 const ERR_UNSUPPORTED: u8 = 9;
 const ERR_INVALID_ARGUMENT: u8 = 10;
 const ERR_ADMISSION_WOULD_BLOCK: u8 = 11;
+const ERR_CANCELLED: u8 = 12;
+const ERR_DEADLINE_EXCEEDED: u8 = 13;
+const ERR_DEVICE_FAULT: u8 = 14;
 
 /// Encode a [`BwdError`] variant-faithfully (the structured variants keep
 /// their numeric fields; the message-carrying ones keep their message).
@@ -342,6 +345,9 @@ pub fn put_bwd_error(buf: &mut Vec<u8>, e: &BwdError) {
         BwdError::AdmissionWouldBlock { requested } => {
             (ERR_ADMISSION_WOULD_BLOCK, *requested, 0, "")
         }
+        BwdError::Cancelled => (ERR_CANCELLED, 0, 0, ""),
+        BwdError::DeadlineExceeded { deadline_ms } => (ERR_DEADLINE_EXCEEDED, *deadline_ms, 0, ""),
+        BwdError::DeviceFault(m) => (ERR_DEVICE_FAULT, 0, 0, m),
     };
     put_u8(buf, code);
     put_u64(buf, a);
@@ -374,6 +380,9 @@ pub fn read_bwd_error(r: &mut Reader<'_>) -> WireResult<BwdError> {
         ERR_UNSUPPORTED => BwdError::Unsupported(msg),
         ERR_INVALID_ARGUMENT => BwdError::InvalidArgument(msg),
         ERR_ADMISSION_WOULD_BLOCK => BwdError::AdmissionWouldBlock { requested: a },
+        ERR_CANCELLED => BwdError::Cancelled,
+        ERR_DEADLINE_EXCEEDED => BwdError::DeadlineExceeded { deadline_ms: a },
+        ERR_DEVICE_FAULT => BwdError::DeviceFault(msg),
         other => Err(format!("unknown error code {other}"))?,
     })
 }

@@ -44,6 +44,9 @@ pub enum Phase {
 /// | `NetConn`     | connection id, transport kind | frames in, frames out, bytes out, 1 on protocol error |
 /// | `NetRecv`     | (instant) `a` connection id, `b` frame type byte |  |
 /// | `NetSend`     | (instant) `a` connection id, `b` frame type byte |  |
+/// | `DeviceDown`  | (instant) `a` device index, `b` consecutive faults |  |
+/// | `DeviceUp`    | (instant) `a` device index, `b` probe tick |  |
+/// | `Cancel`      | (instant) `a` 1 = deadline expiry / 0 = explicit cancel, `b` 0 |  |
 ///
 /// [`SelVec`]: https://docs.rs/bwd-kernels
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +90,14 @@ pub enum EventKind {
     Yield,
     /// The paused query resumed execution (instant).
     Resume,
+    /// A device crossed its consecutive-fault threshold and went offline
+    /// (instant, recorded on the query that observed the last fault).
+    DeviceDown,
+    /// A recovery probe succeeded and the device came back online
+    /// (instant).
+    DeviceUp,
+    /// A query resolved with a cancellation or deadline error (instant).
+    Cancel,
 }
 
 impl EventKind {
@@ -110,6 +121,9 @@ impl EventKind {
             EventKind::NetSend => "net-send",
             EventKind::Yield => "yield",
             EventKind::Resume => "resume",
+            EventKind::DeviceDown => "device-down",
+            EventKind::DeviceUp => "device-up",
+            EventKind::Cancel => "cancel",
         }
     }
 }

@@ -115,10 +115,24 @@ impl AdmissionController {
     /// The permit holds a real [`DeviceBuffer`]; dropping it releases the
     /// reservation and wakes queued requests.
     pub fn admit(&self, bytes: u64) -> Result<AdmissionPermit> {
+        self.admit_within(bytes, self.deadline)
+    }
+
+    /// Reserve like [`AdmissionController::admit`], but wait at most
+    /// `deadline` instead of the construction-time default (`None` waits
+    /// indefinitely). The scheduler uses this to clamp a deadlined
+    /// query's admission wait to its remaining budget, so a query never
+    /// sits in the reservation queue past its own expiry.
+    pub fn admit_within(&self, bytes: u64, deadline: Option<Duration>) -> Result<AdmissionPermit> {
         let buffer = self
             .memory
-            .alloc_blocking(bytes.min(self.max_request), self.deadline)?;
+            .alloc_blocking(bytes.min(self.max_request), deadline)?;
         Ok(AdmissionPermit { buffer })
+    }
+
+    /// The per-reservation deadline this controller was built with.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
     }
 
     /// Try to reserve `bytes` (clamped like [`AdmissionController::admit`])

@@ -4,6 +4,7 @@ use bwd_core::plan::ArPlan;
 use bwd_engine::{ExecMode, QueryResult};
 use bwd_obs::{QueryTrace, Recorder, SpanId};
 use bwd_types::{BwdError, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -32,6 +33,13 @@ pub struct SubmitOptions {
     /// off, `Some(false)` suppresses it, `None` inherits
     /// [`crate::SchedConfig::tracing`].
     pub trace: Option<bool>,
+    /// Wall-clock budget for the whole query, measured from submission.
+    /// A job whose deadline elapses resolves with
+    /// [`BwdError::DeadlineExceeded`] — observed before execution starts,
+    /// at every morsel-boundary yield point while running, and by the
+    /// blocking admission wait (which is clamped to the remaining
+    /// budget). `None` (the default) never expires.
+    pub deadline: Option<Duration>,
 }
 
 impl SubmitOptions {
@@ -45,6 +53,62 @@ impl SubmitOptions {
         self.host_threads
             .unwrap_or(env.host_threads)
             .clamp(1, env.cpu.hw_threads)
+    }
+}
+
+/// Cancellation/deadline state shared between a [`Ticket`] and its job.
+///
+/// Cancellation is *cooperative*: setting the flag never interrupts a
+/// running kernel. The job observes it at the next checkpoint — before
+/// execution starts (a cancelled queued job never runs), at every
+/// morsel-boundary [`bwd_device::YieldPoint`] poll while executing (so a
+/// running query stops, and releases its admission permit, within one
+/// yield-point interval), and when sizing the blocking admission wait.
+#[derive(Debug)]
+pub(crate) struct CancelState {
+    cancelled: AtomicBool,
+    /// Absolute expiry, fixed at submission time.
+    deadline: Option<Instant>,
+    /// The budget the caller submitted with (for the typed error).
+    budget_ms: u64,
+}
+
+impl CancelState {
+    pub(crate) fn new(budget: Option<Duration>) -> CancelState {
+        CancelState {
+            cancelled: AtomicBool::new(false),
+            deadline: budget.map(|d| Instant::now() + d),
+            budget_ms: budget.map(|d| d.as_millis() as u64).unwrap_or(0),
+        }
+    }
+
+    /// Request cooperative cancellation (idempotent).
+    pub(crate) fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// `Ok` while the job may keep running; the typed cancellation or
+    /// deadline error once it must stop. Explicit cancellation wins over
+    /// an expired deadline.
+    pub(crate) fn status(&self) -> Result<()> {
+        if self.cancelled.load(Ordering::Acquire) {
+            return Err(BwdError::Cancelled);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(BwdError::DeadlineExceeded {
+                    deadline_ms: self.budget_ms,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Wall-clock budget left before the deadline (`None` = no deadline;
+    /// zero once expired).
+    pub(crate) fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
     }
 }
 
@@ -124,6 +188,8 @@ pub(crate) struct Job {
     pub queue_span: SpanId,
     /// Completion notification shared with this job's [`Ticket`].
     pub hook: Arc<CompletionHook>,
+    /// Cancellation/deadline state shared with this job's [`Ticket`].
+    pub cancel: Arc<CancelState>,
 }
 
 impl Drop for Job {
@@ -175,6 +241,7 @@ pub struct JobReport {
 pub struct Ticket {
     pub(crate) rx: mpsc::Receiver<(Result<QueryResult>, JobReport)>,
     pub(crate) hook: Arc<CompletionHook>,
+    pub(crate) cancel: Arc<CancelState>,
 }
 
 impl std::fmt::Debug for Ticket {
@@ -184,6 +251,19 @@ impl std::fmt::Debug for Ticket {
 }
 
 impl Ticket {
+    /// Request cooperative cancellation of this ticket's query.
+    ///
+    /// Idempotent and never blocking. A still-queued job resolves with
+    /// [`BwdError::Cancelled`] when a worker dequeues it; a running job
+    /// stops at its next morsel-boundary yield point — releasing its
+    /// device reservation within one yield-point interval — and resolves
+    /// with the same error. A job that already produced its result is
+    /// unaffected: cancellation is advisory, the result stays valid and
+    /// bit-identical.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
     /// Block until the query completes.
     ///
     /// Errors with [`BwdError::Exec`] if the scheduler shut down before
@@ -276,6 +356,7 @@ impl Ticket {
         Ticket {
             rx,
             hook: CompletionHook::completed(),
+            cancel: Arc::new(CancelState::new(None)),
         }
     }
 }
@@ -299,6 +380,29 @@ mod tests {
         hook.complete();
         hook.complete(); // idempotent: the waker was taken by the first call
         assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cancel_state_reports_typed_errors() {
+        let free = CancelState::new(None);
+        assert!(free.status().is_ok());
+        assert_eq!(free.remaining(), None);
+        free.cancel();
+        assert!(matches!(free.status(), Err(BwdError::Cancelled)));
+
+        let expired = CancelState::new(Some(Duration::ZERO));
+        match expired.status() {
+            Err(BwdError::DeadlineExceeded { deadline_ms }) => assert_eq!(deadline_ms, 0),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
+        // Explicit cancellation wins over the expired deadline.
+        expired.cancel();
+        assert!(matches!(expired.status(), Err(BwdError::Cancelled)));
+
+        let generous = CancelState::new(Some(Duration::from_secs(3600)));
+        assert!(generous.status().is_ok());
+        assert!(generous.remaining().unwrap() > Duration::from_secs(3000));
     }
 
     #[test]

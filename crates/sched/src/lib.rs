@@ -101,7 +101,9 @@ pub use estimate::{
 pub use job::{JobReport, SubmitOptions, Ticket};
 pub use placement::PlacementPolicy;
 pub use policy::{PolicyQueue, PoppedKey, QueuePolicy};
-pub use scheduler::{PreemptConfig, SchedConfig, Scheduler, TraceRecord};
+pub use scheduler::{
+    HealthConfig, PreemptConfig, RetryPolicy, SchedConfig, Scheduler, TraceRecord,
+};
 pub use session::Session;
 pub use stats::{DeviceSnapshot, QueuePressure, SchedulerStats, StreamSnapshot};
 pub use throughput::{run_throughput, run_throughput_with, ThroughputOptions, ThroughputReport};

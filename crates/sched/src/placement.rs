@@ -10,7 +10,7 @@
 
 use crate::admission::AdmissionController;
 use bwd_device::Device;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,6 +45,19 @@ pub(crate) struct DeviceSlot {
     /// Underestimated queries that re-entered this device's queue at the
     /// worst-case size.
     pub requeues: AtomicU64,
+    /// `true` while the card is marked offline after repeated faults.
+    /// Offline cards take no new placements; recovery probes flip this
+    /// back.
+    offline: AtomicBool,
+    /// Device faults since the last successful query on this card; a
+    /// success resets it, crossing the configured threshold takes the
+    /// card offline.
+    pub consecutive_faults: AtomicU64,
+    /// Times this card transitioned online → offline.
+    pub offline_events: AtomicU64,
+    /// Placement passes observed while offline (drives the recovery-probe
+    /// cadence).
+    pub probe_clock: AtomicU64,
 }
 
 impl DeviceSlot {
@@ -56,7 +69,43 @@ impl DeviceSlot {
             pending_bytes: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             requeues: AtomicU64::new(0),
+            offline: AtomicBool::new(false),
+            consecutive_faults: AtomicU64::new(0),
+            offline_events: AtomicU64::new(0),
+            probe_clock: AtomicU64::new(0),
         }
+    }
+
+    /// Whether this card currently accepts new placements.
+    pub fn is_online(&self) -> bool {
+        !self.offline.load(Ordering::Acquire)
+    }
+
+    /// Account one device fault against this card. Crossing
+    /// `offline_after` consecutive faults takes the card offline; returns
+    /// `true` exactly on that transition (so the caller counts/traces it
+    /// once).
+    pub fn record_fault(&self, offline_after: u64) -> bool {
+        let faults = self.consecutive_faults.fetch_add(1, Ordering::AcqRel) + 1;
+        if faults >= offline_after.max(1) && !self.offline.swap(true, Ordering::AcqRel) {
+            self.offline_events.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Account a successfully completed query: the card is evidently
+    /// serving, so the consecutive-fault streak resets.
+    pub fn record_success(&self) {
+        self.consecutive_faults.store(0, Ordering::Release);
+    }
+
+    /// Bring the card back online after a successful recovery probe,
+    /// clearing its fault streak and probe clock.
+    pub fn set_online(&self) {
+        self.consecutive_faults.store(0, Ordering::Release);
+        self.probe_clock.store(0, Ordering::Release);
+        self.offline.store(false, Ordering::Release);
     }
 
     /// Current load: reserved bytes on the card plus estimated queued
@@ -89,17 +138,39 @@ impl Drop for PendingWork<'_> {
 }
 
 /// Pick the device for the next A&R query.
-pub(crate) fn place(slots: &[DeviceSlot], policy: PlacementPolicy, rr_cursor: &AtomicU64) -> usize {
+///
+/// Offline cards take no new work, and `avoid` (the device a retried
+/// query just faulted on) is skipped as well. When that filtering leaves
+/// nothing — every card offline, or `avoid` is the only card — the full
+/// pool is used again: a recovery probe may revive a card before the job
+/// reaches admission, and a query is never left unplaceable.
+pub(crate) fn place(
+    slots: &[DeviceSlot],
+    policy: PlacementPolicy,
+    rr_cursor: &AtomicU64,
+    avoid: Option<usize>,
+) -> usize {
     debug_assert!(!slots.is_empty());
+    let healthy: Vec<usize> = (0..slots.len())
+        .filter(|&i| slots[i].is_online() && avoid != Some(i))
+        .collect();
+    let candidates: Vec<usize> = if healthy.is_empty() {
+        (0..slots.len()).collect()
+    } else {
+        healthy
+    };
     match policy {
         PlacementPolicy::RoundRobin => {
-            (rr_cursor.fetch_add(1, Ordering::Relaxed) % slots.len() as u64) as usize
+            let at = rr_cursor.fetch_add(1, Ordering::Relaxed) % candidates.len() as u64;
+            candidates[at as usize]
         }
-        PlacementPolicy::LeastLoaded => slots
+        PlacementPolicy::LeastLoaded => candidates
             .iter()
-            .enumerate()
-            .min_by_key(|(i, s)| (s.load(), s.queries.load(Ordering::Relaxed), *i))
-            .map(|(i, _)| i)
+            .copied()
+            .min_by_key(|&i| {
+                let s = &slots[i];
+                (s.load(), s.queries.load(Ordering::Relaxed), i)
+            })
             .unwrap_or(0),
     }
 }
@@ -119,14 +190,14 @@ mod tests {
     fn least_loaded_prefers_empty_then_alternates_on_ties() {
         let s = slots(2);
         let rr = AtomicU64::new(0);
-        assert_eq!(place(&s, PlacementPolicy::LeastLoaded, &rr), 0);
+        assert_eq!(place(&s, PlacementPolicy::LeastLoaded, &rr, None), 0);
         let _pending = s[0].begin_pending(1000);
-        assert_eq!(place(&s, PlacementPolicy::LeastLoaded, &rr), 1);
+        assert_eq!(place(&s, PlacementPolicy::LeastLoaded, &rr, None), 1);
         drop(_pending);
         // Equal load again: the served-query tie-break spreads work even
         // when queries complete before the next placement happens.
         s[0].queries.fetch_add(1, Ordering::Relaxed);
-        assert_eq!(place(&s, PlacementPolicy::LeastLoaded, &rr), 1);
+        assert_eq!(place(&s, PlacementPolicy::LeastLoaded, &rr, None), 1);
     }
 
     #[test]
@@ -134,7 +205,57 @@ mod tests {
         let s = slots(2);
         let rr = AtomicU64::new(0);
         let _permit = s[0].admission.admit(5000).unwrap();
-        assert_eq!(place(&s, PlacementPolicy::LeastLoaded, &rr), 1);
+        assert_eq!(place(&s, PlacementPolicy::LeastLoaded, &rr, None), 1);
+    }
+
+    #[test]
+    fn placement_skips_offline_and_avoided_devices() {
+        let s = slots(3);
+        let rr = AtomicU64::new(0);
+        // Device 0 would win on load; offline takes it out of the race.
+        while !s[0].record_fault(3) {}
+        assert!(!s[0].is_online());
+        assert_eq!(place(&s, PlacementPolicy::LeastLoaded, &rr, None), 1);
+        // A retry avoiding device 1 lands on the remaining healthy card.
+        assert_eq!(place(&s, PlacementPolicy::LeastLoaded, &rr, Some(1)), 2);
+        // Round-robin rotates over the healthy subset only.
+        let picks: Vec<usize> = (0..4)
+            .map(|_| place(&s, PlacementPolicy::RoundRobin, &rr, None))
+            .collect();
+        assert_eq!(picks, vec![1, 2, 1, 2]);
+        // Recovery restores the full rotation.
+        s[0].set_online();
+        assert!(s[0].is_online());
+        assert_eq!(s[0].consecutive_faults.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn all_offline_still_places_rather_than_stranding_jobs() {
+        let s = slots(2);
+        let rr = AtomicU64::new(0);
+        for slot in &s {
+            while !slot.record_fault(1) {}
+        }
+        let idx = place(&s, PlacementPolicy::LeastLoaded, &rr, None);
+        assert!(idx < 2);
+        // Avoid-only-device degenerates the same way.
+        let one = slots(1);
+        assert_eq!(place(&one, PlacementPolicy::LeastLoaded, &rr, Some(0)), 0);
+    }
+
+    #[test]
+    fn health_machine_goes_offline_once_and_resets_on_success() {
+        let s = slots(1);
+        assert!(!s[0].record_fault(3));
+        assert!(!s[0].record_fault(3));
+        // A success between faults breaks the streak.
+        s[0].record_success();
+        assert!(!s[0].record_fault(3));
+        assert!(!s[0].record_fault(3));
+        assert!(s[0].record_fault(3), "third consecutive fault trips");
+        assert!(!s[0].record_fault(3), "already offline: no second event");
+        assert_eq!(s[0].offline_events.load(Ordering::Relaxed), 1);
+        assert!(!s[0].is_online());
     }
 
     #[test]
@@ -152,7 +273,7 @@ mod tests {
         let s = slots(3);
         let rr = AtomicU64::new(0);
         let picks: Vec<usize> = (0..6)
-            .map(|_| place(&s, PlacementPolicy::RoundRobin, &rr))
+            .map(|_| place(&s, PlacementPolicy::RoundRobin, &rr, None))
             .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }

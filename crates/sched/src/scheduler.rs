@@ -61,6 +61,60 @@ impl Default for PreemptConfig {
     }
 }
 
+/// Bounded retry of device-faulted queries on another card.
+///
+/// Only [`BwdError::DeviceFault`] is retried — the work itself was valid
+/// and idempotent, the card misbehaved. Cancellations, deadlines, OOMs,
+/// panics and plan errors are never retried, a query pinned to a device
+/// ([`crate::SubmitOptions::device`]) fails rather than migrate, and a
+/// single-card pool has nowhere else to go. Retried queries produce
+/// bit-identical results: every card holds a replica of the persistent
+/// approximations, so re-running elsewhere reads the same data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Times one query may be re-placed on a different device after a
+    /// device fault. `0` disables failover retry entirely.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 1 }
+    }
+}
+
+/// Device-health knobs: when repeated faults take a card offline, and
+/// how recovery is probed.
+///
+/// Health is a three-state machine per [`crate::stats::DeviceSnapshot`]:
+/// *online* (serving) → *offline* (after `offline_after` consecutive
+/// faults; queued work drains onto healthy cards because placement
+/// happens at dequeue time) → *online* again once a recovery probe — a
+/// real allocation through the card's fault-injected memory path —
+/// succeeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive device faults (no intervening success) that take a
+    /// card offline.
+    pub offline_after: u64,
+    /// Probe an offline card every this many placement passes (every A&R
+    /// placement advances each offline card's probe clock by one).
+    pub probe_every: u64,
+    /// Size of the recovery probe allocation in bytes; it goes through
+    /// the card's real allocation path and is released immediately.
+    pub probe_bytes: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            offline_after: 3,
+            probe_every: 8,
+            probe_bytes: 64 << 10,
+        }
+    }
+}
+
 /// Scheduler construction knobs.
 #[derive(Debug, Clone)]
 pub struct SchedConfig {
@@ -99,6 +153,11 @@ pub struct SchedConfig {
     /// Closed-loop estimate calibration (default on; see
     /// [`CalibrateConfig`]).
     pub calibrate: CalibrateConfig,
+    /// Bounded retry-elsewhere after device faults (default one retry;
+    /// see [`RetryPolicy`]).
+    pub retry: RetryPolicy,
+    /// Device offline/recovery thresholds (see [`HealthConfig`]).
+    pub health: HealthConfig,
 }
 
 impl Default for SchedConfig {
@@ -118,6 +177,8 @@ impl Default for SchedConfig {
             trace_ring_capacity: 1024,
             preempt: PreemptConfig::default(),
             calibrate: CalibrateConfig::default(),
+            retry: RetryPolicy::default(),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -153,6 +214,15 @@ pub(crate) struct SchedMetrics {
     /// Hosted jobs whose non-blocking admission failed and that went
     /// back to the queue with their original seq and bypass count.
     pub preempt_requeues: Counter,
+    /// Jobs resolved with [`BwdError::Cancelled`] or
+    /// [`BwdError::DeadlineExceeded`].
+    pub cancelled: Counter,
+    /// Device-faulted queries re-placed on another card.
+    pub retries: Counter,
+    /// Online → offline transitions across the pool.
+    pub device_offline: Counter,
+    /// Offline → online transitions (successful recovery probes).
+    pub device_recovered: Counter,
 }
 
 impl SchedMetrics {
@@ -167,6 +237,10 @@ impl SchedMetrics {
             estimate_ratio_milli: registry.histogram("bwd_sched_estimate_ratio_milli"),
             preemptions: registry.counter("bwd_sched_preemptions_total"),
             preempt_requeues: registry.counter("bwd_sched_preempt_requeues_total"),
+            cancelled: registry.counter("bwd_sched_cancelled_total"),
+            retries: registry.counter("bwd_sched_retries_total"),
+            device_offline: registry.counter("bwd_sched_device_offline_total"),
+            device_recovered: registry.counter("bwd_sched_device_recovered_total"),
             registry,
         }
     }
@@ -208,6 +282,10 @@ pub(crate) struct Shared {
     pub preempt_active: AtomicU64,
     /// Per-plan-shape estimate corrections, fed by every completion.
     pub calibrator: Calibrator,
+    /// Bounded retry-elsewhere policy for device faults.
+    pub retry: RetryPolicy,
+    /// Device offline/recovery thresholds.
+    pub health: HealthConfig,
 }
 
 /// A multi-session query scheduler over one shared [`Database`] and its
@@ -302,6 +380,8 @@ impl Scheduler {
             preempt: config.preempt,
             preempt_active: AtomicU64::new(0),
             calibrator: Calibrator::new(config.calibrate),
+            retry: config.retry,
+            health: config.health,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -372,6 +452,9 @@ impl Scheduler {
                     peak_bytes: mem.peak(),
                     capacity_bytes: mem.capacity(),
                     breakdown: slot.device.ledger().breakdown(),
+                    offline: !slot.is_online(),
+                    consecutive_faults: slot.consecutive_faults.load(Ordering::Relaxed),
+                    offline_events: slot.offline_events.load(Ordering::Relaxed),
                 }
             })
             .collect();
@@ -433,6 +516,10 @@ impl Scheduler {
             out.push_str(&format!(
                 "bwd_sched_device_capacity_bytes{{device=\"{i}\"}} {}\n",
                 dev.capacity_bytes
+            ));
+            out.push_str(&format!(
+                "bwd_sched_device_offline{{device=\"{i}\"}} {}\n",
+                u64::from(dev.offline)
             ));
         }
         for (shape, cal) in self.shared.calibrator.snapshot() {
@@ -526,22 +613,20 @@ fn execute_job(shared: &Arc<Shared>, job: Job, lane: &str, depth: u32) -> Option
         0,
     );
     let started = Instant::now();
-    // A panicking query must not kill the worker: the pool would
-    // silently shrink and queued jobs would hang forever. Convert the
-    // unwind into a per-query error instead.
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_job(shared, &job, &obs, lane, depth)
-    }))
-    .unwrap_or_else(|payload| {
-        let msg = payload
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".into());
-        Err(bwd_types::BwdError::Exec(format!(
-            "query panicked during execution: {msg}"
-        )))
-    });
+    // A cancelled or deadline-expired job never starts executing: it
+    // resolves with its typed error straight out of the queue (there is
+    // no reservation yet, so nothing to release). A panicking query must
+    // not kill the worker either — the pool would silently shrink and
+    // queued jobs would hang forever — so the unwind becomes a per-query
+    // error (the inner guard in `run_job` already closed the exec span;
+    // this outer one is the backstop for panics outside it).
+    let result = match job.cancel.status() {
+        Err(stop) => Err(stop),
+        Ok(()) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(shared, &job, &obs, lane, depth)
+        }))
+        .unwrap_or_else(|payload| Err(panic_error(payload))),
+    };
     if depth > 0 {
         if let Err(BwdError::AdmissionWouldBlock { .. }) = &result {
             // The hosted job could not reserve device memory without
@@ -581,7 +666,16 @@ fn execute_job(shared: &Arc<Shared>, job: Job, lane: &str, depth: u32) -> Option
                 _ => shared.metrics.queries_ar.inc(),
             }
         }
-        Err(_) => {
+        Err(e) => {
+            if matches!(e, BwdError::Cancelled | BwdError::DeadlineExceeded { .. }) {
+                shared.metrics.cancelled.inc();
+                obs.instant(
+                    EventKind::Cancel,
+                    job.root,
+                    u64::from(matches!(e, BwdError::DeadlineExceeded { .. })),
+                    0,
+                );
+            }
             shared.errors.fetch_add(1, Ordering::Relaxed);
             shared.metrics.errors.inc();
         }
@@ -633,6 +727,16 @@ fn execute_job(shared: &Arc<Shared>, job: Job, lane: &str, depth: u32) -> Option
     None
 }
 
+/// Render a caught unwind payload as the per-query panic error.
+fn panic_error(payload: Box<dyn std::any::Any + Send>) -> BwdError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into());
+    BwdError::Exec(format!("query panicked during execution: {msg}"))
+}
+
 /// Build the [`YieldPoint`] hook one execution polls between partitions.
 ///
 /// Each poll drains eligible queued work inline: a queued job whose
@@ -651,15 +755,20 @@ fn yield_hook(shared: &Arc<Shared>, job: &Job, lane: &str, exec: SpanId, depth: 
     let lane = lane.to_string();
     let parent_est = job.est_seconds;
     let ratio = shared.preempt.ratio;
+    let cancel = Arc::clone(&job.cancel);
     // Per-execution hosting budget: a steady stream of short arrivals
     // must not stretch one long job's wall clock without bound.
     let budget = AtomicU32::new(shared.preempt.max_hosted);
     YieldPoint::new(Arc::new(move || {
+        // Cancellation/deadline first: a stopping query must not host
+        // more work — the error propagates out of the engine at this
+        // boundary and the job's reservation releases with it.
+        cancel.status()?;
         while budget.load(Ordering::Relaxed) > 0 {
             let popped = {
                 let mut q = shared.queue.lock().unwrap();
                 if q.closed {
-                    return;
+                    return Ok(());
                 }
                 // Scan past ineligible entries (under FIFO the head is
                 // usually another bulk scan) — aging's no-overtake bound
@@ -667,7 +776,9 @@ fn yield_hook(shared: &Arc<Shared>, job: &Job, lane: &str, exec: SpanId, depth: 
                 q.jobs
                     .pop_if_scan(|k, _| k.est_seconds <= ratio * parent_est)
             };
-            let Some((key, child)) = popped else { return };
+            let Some((key, child)) = popped else {
+                return Ok(());
+            };
             budget.fetch_sub(1, Ordering::Relaxed);
             shared.metrics.preemptions.inc();
             shared.preempt_active.fetch_add(1, Ordering::Relaxed);
@@ -705,9 +816,10 @@ fn yield_hook(shared: &Arc<Shared>, job: &Job, lane: &str, exec: SpanId, depth: 
                 shared.work_ready.notify_one();
             }
             if would_block {
-                return;
+                return Ok(());
             }
         }
+        Ok(())
     }))
 }
 
@@ -743,16 +855,27 @@ fn run_job(
     // (approx-select, refine, gather, group/agg, morsels, classic) nest
     // under this worker's exec span on the same lane.
     env.trace = TraceCtx::new(job.recorder.clone(), exec, lane);
-    // Arm the yield point: the engine polls it between partitions, and
-    // each poll may host queued short work inline (one nesting level
-    // deeper, up to the configured depth) before this job resumes.
+    // Arm the yield point: the engine polls it between partitions. With
+    // preemption on, each poll may additionally host queued short work
+    // inline (one nesting level deeper, up to the configured depth)
+    // before this job resumes; with preemption off the hook still
+    // observes cancellation and deadlines, so every running query stops
+    // within one yield-point interval of being cancelled.
     if shared.preempt.enabled && depth < shared.preempt.max_depth {
         env.preempt = yield_hook(shared, job, lane, exec, depth);
+    } else {
+        let cancel = Arc::clone(&job.cancel);
+        env.preempt = YieldPoint::new(Arc::new(move || cancel.status()));
     }
-    let result = match &job.mode {
+    // Panic isolation *inside* the exec span: a query that panics — a
+    // real bug or an injected `FaultKind::Panic` — must still close this
+    // span on its way out, so captured traces stay well-formed while the
+    // RAII permits/buffers release on the unwind.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &job.mode {
         ExecMode::Classic => db.run_bound_in(&job.plan, job.mode.clone(), &env, morsels),
         mode => run_ar_job(shared, job, mode, &env, morsels, obs, exec, depth),
-    };
+    }))
+    .unwrap_or_else(|payload| Err(panic_error(payload)));
     match &result {
         Ok(r) => obs.end(
             EventKind::Exec,
@@ -767,14 +890,36 @@ fn run_job(
     result
 }
 
-/// Place, admit and execute one A&R query, handling the underestimate
-/// re-queue path.
-///
-/// At `depth > 0` (hosted inline at another job's yield point) every
-/// reservation is non-blocking: a request that does not fit raises
-/// [`BwdError::AdmissionWouldBlock`], which [`execute_job`] intercepts to
-/// re-queue the job — a paused host must never sit behind a blocking
-/// admission wait.
+/// Advance every offline card's probe clock by one placement pass; on
+/// cadence, attempt a real allocation through the card's (possibly
+/// fault-injected) memory. A successful probe brings the card back
+/// online with its fault streak cleared — queued work then flows to it
+/// again through normal placement.
+fn probe_offline_devices(shared: &Shared, obs: &WorkerHandle, exec: SpanId) {
+    for (i, slot) in shared.devices.iter().enumerate() {
+        if slot.is_online() {
+            continue;
+        }
+        let tick = slot.probe_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if tick % shared.health.probe_every.max(1) != 0 {
+            continue;
+        }
+        if let Ok(probe) = slot.admission.memory().alloc(shared.health.probe_bytes) {
+            drop(probe);
+            slot.set_online();
+            shared.metrics.device_recovered.inc();
+            obs.instant(EventKind::DeviceUp, exec, i as u64, tick);
+        }
+    }
+}
+
+/// Place and execute one A&R query, handling device failover: a query
+/// that dies with a [`BwdError::DeviceFault`] feeds the faulting card's
+/// health machine (possibly taking it offline) and — when the
+/// [`RetryPolicy`] allows, the job is not pinned, and the pool has
+/// another card — is retried once on a different device. Results of a
+/// retried query are bit-identical to a fault-free run: every card holds
+/// the same replicated data, and the first attempt produced nothing.
 #[allow(clippy::too_many_arguments)]
 fn run_ar_job(
     shared: &Shared,
@@ -798,18 +943,89 @@ fn run_ar_job(
         shared.calibrator.cands_factor(&job.shape),
     );
 
-    // --- Placement: pin wins, otherwise the policy routes by load. ---
-    let idx = match job.opts.device {
-        Some(i) if i < shared.devices.len() => i,
-        Some(i) => {
-            return Err(BwdError::InvalidArgument(format!(
-                "device index {i} out of range (pool has {} devices)",
-                shared.devices.len()
-            )))
+    let mut avoid: Option<usize> = None;
+    let mut retries_left = shared.retry.max_retries;
+    loop {
+        probe_offline_devices(shared, obs, exec);
+        // --- Placement: pin wins, otherwise the policy routes by load
+        // over the online cards (skipping the one a retry just left). ---
+        let idx = match job.opts.device {
+            Some(i) if i < shared.devices.len() => {
+                if !shared.devices[i].is_online() {
+                    return Err(BwdError::DeviceFault(format!(
+                        "device {i} is offline (pinned query cannot migrate)"
+                    )));
+                }
+                i
+            }
+            Some(i) => {
+                return Err(BwdError::InvalidArgument(format!(
+                    "device index {i} out of range (pool has {} devices)",
+                    shared.devices.len()
+                )))
+            }
+            None => place(&shared.devices, shared.placement, &shared.rr_cursor, avoid),
+        };
+        obs.instant(EventKind::Placement, exec, idx as u64, est.estimated);
+        let slot = &shared.devices[idx];
+        match run_ar_on_device(shared, job, mode, env, morsels, obs, exec, depth, &est, idx) {
+            Err(BwdError::DeviceFault(msg)) => {
+                if slot.record_fault(shared.health.offline_after) {
+                    shared.metrics.device_offline.inc();
+                    obs.instant(
+                        EventKind::DeviceDown,
+                        exec,
+                        idx as u64,
+                        slot.consecutive_faults.load(Ordering::Relaxed),
+                    );
+                }
+                // Device faults are the retryable class: the work is
+                // valid and idempotent, only the card misbehaved. Retry
+                // elsewhere, bounded, never for pinned jobs.
+                let can_retry =
+                    retries_left > 0 && job.opts.device.is_none() && shared.devices.len() > 1;
+                if !can_retry {
+                    return Err(BwdError::DeviceFault(msg));
+                }
+                retries_left -= 1;
+                avoid = Some(idx);
+                shared.metrics.retries.inc();
+            }
+            result => {
+                if result.is_ok() {
+                    slot.record_success();
+                }
+                return result;
+            }
         }
-        None => place(&shared.devices, shared.placement, &shared.rr_cursor),
-    };
-    obs.instant(EventKind::Placement, exec, idx as u64, est.estimated);
+    }
+}
+
+/// Admit and execute one A&R query on the chosen device, handling the
+/// underestimate re-queue path.
+///
+/// At `depth > 0` (hosted inline at another job's yield point) every
+/// reservation is non-blocking: a request that does not fit raises
+/// [`BwdError::AdmissionWouldBlock`], which [`execute_job`] intercepts to
+/// re-queue the job — a paused host must never sit behind a blocking
+/// admission wait. At depth 0 the blocking wait is clamped to the job's
+/// remaining deadline budget, so an expiring query reports
+/// [`BwdError::DeadlineExceeded`] instead of camping in the reservation
+/// queue.
+#[allow(clippy::too_many_arguments)]
+fn run_ar_on_device(
+    shared: &Shared,
+    job: &Job,
+    mode: &ExecMode,
+    env: &bwd_device::Env,
+    morsels: usize,
+    obs: &WorkerHandle,
+    exec: SpanId,
+    depth: u32,
+    est: &crate::estimate::WorkingSetEstimate,
+    idx: usize,
+) -> Result<QueryResult> {
+    let db = &shared.db;
     let slot = &shared.devices[idx];
     let env = env.on_device(idx)?;
 
@@ -840,9 +1056,24 @@ fn run_ar_job(
         let permit = {
             let _pending = slot.begin_pending(request);
             if depth == 0 {
-                match slot.admission.admit(request) {
+                // Clamp the blocking wait to the job's remaining deadline
+                // budget; an already-stopped job skips the wait entirely.
+                let outcome = job.cancel.status().and_then(|()| {
+                    let wait = match (slot.admission.deadline(), job.cancel.remaining()) {
+                        (Some(a), Some(r)) => Some(a.min(r)),
+                        (a, r) => a.or(r),
+                    };
+                    slot.admission.admit_within(request, wait)
+                });
+                match outcome {
                     Ok(p) => p,
                     Err(e) => {
+                        // A wait cut short by the job's own expiry is the
+                        // job's deadline, not a device admission timeout.
+                        let e = match (e, job.cancel.status()) {
+                            (BwdError::AdmissionTimeout { .. }, Err(stop)) => stop,
+                            (e, _) => e,
+                        };
                         obs.end(EventKind::Admission, admission, 0, 0, requeues, 1);
                         return Err(e);
                     }

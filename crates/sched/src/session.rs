@@ -2,7 +2,7 @@
 
 use crate::calibrate::ShapeKey;
 use crate::cost::{estimate_latency, predicted_survivors};
-use crate::job::{CompletionHook, Job, SubmitOptions, Ticket};
+use crate::job::{CancelState, CompletionHook, Job, SubmitOptions, Ticket};
 use crate::scheduler::Shared;
 use bwd_core::plan::{ArPlan, RewriteOptions};
 use bwd_engine::{ExecMode, QueryResult};
@@ -85,6 +85,9 @@ impl Session {
         let queue_span =
             session_lane.begin(bwd_obs::EventKind::Queue, root, est_seconds.to_bits(), 0);
         let hook = Arc::new(CompletionHook::default());
+        // The deadline clock starts at submission: queue wait spends the
+        // same budget execution does.
+        let cancel = Arc::new(CancelState::new(opts.deadline));
         let job = Job {
             plan,
             mode,
@@ -100,6 +103,7 @@ impl Session {
             root,
             queue_span,
             hook: Arc::clone(&hook),
+            cancel: Arc::clone(&cancel),
         };
         let mut q = self.shared.queue.lock().unwrap();
         if q.closed {
@@ -111,7 +115,7 @@ impl Session {
         q.jobs.push(priority, est_seconds, job);
         drop(q);
         self.shared.work_ready.notify_one();
-        Ticket { rx, hook }
+        Ticket { rx, hook, cancel }
     }
 
     /// Parse, bind and enqueue one SQL query.

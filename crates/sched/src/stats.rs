@@ -140,6 +140,14 @@ pub struct DeviceSnapshot {
     /// time + the PCI-E transfers that fed it), from the per-device
     /// [`SharedLedger`].
     pub breakdown: Breakdown,
+    /// `true` while the card is marked offline (crossed its
+    /// consecutive-fault threshold and no recovery probe has succeeded
+    /// yet); offline cards take no new placements.
+    pub offline: bool,
+    /// Device faults since the last successful query on this card.
+    pub consecutive_faults: u64,
+    /// Times this card has transitioned online → offline.
+    pub offline_events: u64,
 }
 
 /// Point-in-time view of the whole scheduler.

@@ -36,6 +36,22 @@ pub enum BwdError {
     Unsupported(String),
     /// An argument violates a documented precondition.
     InvalidArgument(String),
+    /// The query was cancelled cooperatively (ticket cancel or peer
+    /// disconnect) before it produced a result. Never retried: the
+    /// caller asked for the stop.
+    Cancelled,
+    /// The query's deadline elapsed before it completed; `deadline_ms`
+    /// is the budget the caller submitted with. Never retried.
+    DeadlineExceeded {
+        /// The submitted deadline budget, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A device failed mid-operation (injected by a
+    /// [`crate::FaultPlan`] or surfaced by the runtime). This is the
+    /// *retryable* fault class: the work itself was valid and
+    /// idempotent, only the card misbehaved, so the scheduler may retry
+    /// it once on a healthy device.
+    DeviceFault(String),
 }
 
 impl fmt::Display for BwdError {
@@ -68,6 +84,11 @@ impl fmt::Display for BwdError {
             BwdError::NotFound(m) => write!(f, "not found: {m}"),
             BwdError::Unsupported(m) => write!(f, "unsupported: {m}"),
             BwdError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            BwdError::Cancelled => write!(f, "query cancelled"),
+            BwdError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "query deadline exceeded: budget was {deadline_ms} ms")
+            }
+            BwdError::DeviceFault(m) => write!(f, "device fault: {m}"),
         }
     }
 }

@@ -9,6 +9,7 @@
 pub mod bits;
 pub mod date;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod rng;
 pub mod value;
@@ -16,6 +17,7 @@ pub mod value;
 pub use bits::{bits_for_value, bits_for_width, low_mask};
 pub use date::Date;
 pub use error::{BwdError, Result};
+pub use fault::{FaultKind, FaultPlan, FaultSite, FaultSpec};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::SplitMix64;
 pub use value::{DataType, Value};

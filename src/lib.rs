@@ -42,7 +42,7 @@ pub use bwd_device::{Breakdown, Env};
 pub use bwd_engine::{ArExecOptions, Database, DecompositionReport, ExecMode, QueryResult};
 pub use bwd_net::{NetClient, NetConfig, NetServer};
 pub use bwd_sched::{SchedConfig, Scheduler, Session};
-pub use bwd_types::{BwdError, Result, Value};
+pub use bwd_types::{BwdError, FaultKind, FaultPlan, FaultSite, FaultSpec, Result, Value};
 
 use bwd_sql::{bind, parse, BoundStatement};
 
